@@ -1,0 +1,117 @@
+"""E-3.1 -- sequential ATPG effort: exponential in cycle length, linear
+in sequential depth.
+
+Survey claim (section 3.1, after [10,22]): "the complexity of
+generating sequential test patterns grows exponentially with the length
+of cycles in the S-graph, and linearly with the sequential depth."
+
+Substrate: synthetic gate-level circuits with controlled topology --
+register rings of increasing length (cycle sweep) and register chains
+of increasing depth (depth sweep) -- driven through our time-frame
+ATPG; plus the analytic cost model, which must order the same way.
+"""
+
+import math
+
+from common import Table
+from repro.gatelevel.atpg import combinational_atpg
+from repro.gatelevel.faults import Fault
+from repro.gatelevel.gates import Netlist
+from repro.gatelevel.seq_atpg import sequential_atpg
+from repro.sgraph.atpg_cost import estimate_cost
+import networkx as nx
+
+
+def register_ring(length: int, width: int = 2) -> Netlist:
+    """A ring of ``length`` registers with an inverting hop and a
+    synchronous clear: the canonical length-L S-graph cycle."""
+    nl = Netlist(f"ring{length}")
+    nl.add("en", "input")
+    nl.add("zero", "const0")
+    for i in range(length):
+        prev = f"q{(i - 1) % length}"
+        inject = f"v{i}"
+        nl.add(inject, "not", prev) if i == 0 else nl.add(
+            inject, "buf", prev
+        )
+        nl.add(f"d{i}", "mux", "en", inject, "zero")
+        nl.add(f"q{i}", "dff", f"d{i}")
+    nl.add_output(f"q{length - 1}")
+    return nl
+
+
+def register_chain(depth: int) -> Netlist:
+    """A shift chain of ``depth`` registers: pure sequential depth."""
+    nl = Netlist(f"chain{depth}")
+    nl.add("x", "input")
+    prev = "x"
+    for i in range(depth):
+        nl.add(f"inv{i}", "not", prev)
+        nl.add(f"q{i}", "dff", f"inv{i}")
+        prev = f"q{i}"
+    nl.add_output(prev)
+    return nl
+
+
+def run_experiment() -> Table:
+    t = Table(
+        "E-3.1",
+        "sequential ATPG effort vs S-graph topology",
+        ["circuit", "structure", "frames", "measured effort",
+         "model score"],
+    )
+    ring_efforts = []
+    for length in (2, 3, 4, 5):
+        nl = register_ring(length)
+        res = sequential_atpg(
+            nl, Fault("v0", 0), max_frames=length + 3,
+            backtrack_limit=300,
+        )
+        g = nx.DiGraph()
+        nx.add_cycle(g, [f"q{i}" for i in range(length)])
+        score = estimate_cost(g).score
+        ring_efforts.append(res.effort)
+        t.add(f"ring{length}", f"cycle len {length}", res.frames,
+              res.effort, f"{score:.0f}")
+    chain_efforts = []
+    for depth in (2, 4, 6, 8):
+        nl = register_chain(depth)
+        res = sequential_atpg(
+            nl, Fault("inv0", 1), max_frames=depth + 2,
+            backtrack_limit=300,
+        )
+        g = nx.DiGraph()
+        nx.add_path(g, [f"q{i}" for i in range(depth)])
+        score = estimate_cost(g).score
+        chain_efforts.append(res.effort)
+        t.add(f"chain{depth}", f"depth {depth}", res.frames,
+              res.effort, f"{score:.0f}")
+    t.notes.append(
+        "claim shape: ring efforts grow superlinearly with cycle "
+        "length; chain efforts grow ~linearly with depth"
+    )
+    t.ring_efforts = ring_efforts
+    t.chain_efforts = chain_efforts
+    return t
+
+
+def test_atpg_cost(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rings = table.ring_efforts
+    chains = table.chain_efforts
+    # monotone growth in both sweeps
+    assert rings == sorted(rings)
+    assert chains == sorted(chains)
+    # exponential-vs-linear shape: ring effort growth factor from the
+    # shortest to the longest cycle exceeds the chain growth factor.
+    ring_factor = rings[-1] / max(1, rings[0])
+    chain_factor = chains[-1] / max(1, chains[0])
+    assert ring_factor > chain_factor
+    # chain effort is ~linear: effort per unit depth roughly constant
+    per_depth = [e / d for e, d in zip(chains, (2, 4, 6, 8))]
+    assert max(per_depth) <= 4 * min(per_depth)
+    table.emit()
+
+
+if __name__ == "__main__":
+    run_experiment().emit()

@@ -1,0 +1,70 @@
+"""F1 -- regenerate Figure 1: assignment loops in the data path.
+
+Paper exhibit: the 5-addition CDFG under a 3-step / 2-adder constraint.
+Binding (b) creates the assignment loop RA1 -> RA2 -> RA1 (one register
+must be scanned); binding (c) leaves only two self-loops (no scan
+needed).  The bench reproduces both data paths exactly and also shows
+that the loop-aware binder of [33] finds a (c)-class solution under the
+same constraints.
+"""
+
+from common import Table
+from repro.cdfg.suite import figure1
+from repro.hls import Allocation
+from repro.scan import loop_aware_synthesis
+from repro.sgraph import (
+    build_sgraph,
+    estimate_cost,
+    minimum_feedback_vertex_set,
+    nontrivial_cycles,
+    self_loops,
+)
+from repro.survey import figure1_datapath
+
+
+def run_experiment() -> Table:
+    t = Table(
+        "F1",
+        "Figure 1: loops formed during assignment (3 steps, 2 adders)",
+        ["variant", "nontrivial cycles", "self-loops", "scan regs needed",
+         "ATPG cost score"],
+    )
+    for variant in ("b", "c"):
+        g = build_sgraph(figure1_datapath(variant))
+        t.add(
+            f"figure1({variant})",
+            len(nontrivial_cycles(g)),
+            len(self_loops(g)),
+            len(minimum_feedback_vertex_set(g)),
+            f"{estimate_cost(g, respect_scan=False).score:.1f}",
+        )
+    dp, _plan = loop_aware_synthesis(
+        figure1(), Allocation({"alu": 2}), num_steps=3
+    )
+    g = build_sgraph(dp)
+    t.add(
+        "loop-aware [33]",
+        len(nontrivial_cycles(g)),
+        len(self_loops(g)),
+        len(minimum_feedback_vertex_set(g)),
+        f"{estimate_cost(g, respect_scan=False).score:.1f}",
+    )
+    t.notes.append(
+        "paper: (b) needs one scanned register; (c) 'contains only two "
+        "self-loops' and needs none"
+    )
+    return t
+
+
+def test_figure1(benchmark):
+    table = benchmark(run_experiment)
+    by = {r[0]: r for r in table.rows}
+    assert by["figure1(b)"][1] == 1 and by["figure1(b)"][3] == 1
+    assert by["figure1(c)"][1] == 0 and by["figure1(c)"][2] == 2
+    assert by["figure1(c)"][3] == 0
+    assert by["loop-aware [33]"][1] == 0 and by["loop-aware [33]"][3] == 0
+    table.emit()
+
+
+if __name__ == "__main__":
+    run_experiment().emit()

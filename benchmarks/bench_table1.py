@@ -1,0 +1,48 @@
+"""T1 -- regenerate Table 1 of the survey verbatim.
+
+Paper exhibit: "Operational Level of Testability Insertion" for seven
+commercial tool offerings.  This bench reproduces the table exactly and
+additionally maps each insertion level to the executable flow in this
+library demonstrating it.
+"""
+
+from common import Table
+from repro.survey import TABLE1, render_table1
+from repro.survey.table1 import InsertionLevel
+
+
+def run_experiment() -> Table:
+    t = Table(
+        "T1",
+        "Operational Level of Testability Insertion (Table 1, verbatim)",
+        ["Name", "Synthesis Base", "Insertion Level", "repro flow"],
+    )
+    for row in TABLE1:
+        t.add(
+            row.name,
+            row.synthesis_base,
+            " or ".join(l.value for l in row.levels),
+            row.repro_flow,
+        )
+    return t
+
+
+def test_table1(benchmark):
+    table = benchmark(run_experiment)
+    assert len(table.rows) == 7
+    names = [r[0] for r in table.rows]
+    assert names == [
+        "Sunrise", "Mentor", "LogicVision", "IBM",
+        "Synopsys", "Compass", "AT&T",
+    ]
+    # the paper's level assignments, spot checks
+    levels = {r[0]: r[2] for r in table.rows}
+    assert levels["LogicVision"] == "HDL"
+    assert "technology-independent" in levels["IBM"]
+    table.emit()
+
+
+if __name__ == "__main__":
+    run_experiment().emit()
+    print()
+    print(render_table1())

@@ -1,0 +1,87 @@
+"""E-5.3 -- test behavior and the three-session scheme [30,31].
+
+Survey claim (section 5.3): test points inserted into the behavior
+(extra TPGRs/SRs at new primary I/O) raise the testability of internal
+signals, and "a testing scheme ... uses the test behavior to generate
+tests for the complete design, controller and data path, using only
+three test sessions" -- independent of design size, unlike per-module
+session counts.
+"""
+
+from common import Table
+from repro.cdfg import suite
+from repro.cdfg.analysis import critical_path_length
+from repro import hls
+from repro.bist import (
+    assign_test_roles,
+    insert_test_behavior,
+    schedule_sessions,
+    sharing_register_assignment,
+    signal_coverage,
+    three_session_plan,
+)
+
+NAMES = ["diffeq", "iir2", "ewf", "ar4"]
+
+
+def run_experiment() -> Table:
+    t = Table(
+        "E-5.3",
+        "[30,31] test behavior: coverage lift and fixed 3 sessions",
+        ["design", "worst signal cov before", "worst after", "test points",
+         "extra TPGR/SR", "sessions [31]", "sessions per-module"],
+    )
+    for name in NAMES:
+        c = suite.standard_suite()[name]
+        res = insert_test_behavior(c, coverage_threshold=0.85, max_points=3)
+        cov_after = signal_coverage(res.modified)
+        internals = [
+            v.name for v in c.variables.values()
+            if not v.is_input and not v.is_output
+        ]
+        worst_before = min(res.coverage_before[v] for v in internals)
+
+        def seen_by_consumers(v: str) -> float:
+            # a controlled variable is rerouted through v_t: that is
+            # the signal the rest of the design (and the test) sees
+            vt = f"{v}_t"
+            return cov_after.get(vt, cov_after.get(v, 1.0))
+
+        worst_after = min(seen_by_consumers(v) for v in internals)
+        plan = three_session_plan(res)
+        latency = int(1.6 * critical_path_length(c))
+        alloc = hls.allocate_for_latency(c, latency)
+        sched = hls.list_schedule(c, alloc)
+        fub = hls.bind_functional_units(c, sched, alloc)
+        dp = hls.build_datapath(
+            c, sched, fub, sharing_register_assignment(c, sched, fub)
+        )
+        _cfg, envs = assign_test_roles(dp)
+        t.add(name, f"{worst_before:.2f}", f"{worst_after:.2f}",
+              len(res.controlled_variables),
+              f"{res.extra_tpgrs}/{res.extra_srs}",
+              plan.num_sessions, len(schedule_sessions(envs)))
+    t.notes.append(
+        "claim shape: three sessions regardless of design size; test "
+        "points target the lowest-coverage internals"
+    )
+    return t
+
+
+def test_test_behavior(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    strict = 0
+    for row in table.rows:
+        assert row[5] == 3, row[0]  # always exactly three sessions
+        before, after = float(row[1]), float(row[2])
+        assert after >= before, row[0]
+        strict += after > before
+    assert strict >= 1  # the test points actually lift coverage
+    # on at least one design the per-module count differs from 3's
+    # size-independence (i.e. the scheme is not vacuous)
+    assert any(row[6] != 3 or row[3] > 0 for row in table.rows)
+    table.emit()
+
+
+if __name__ == "__main__":
+    run_experiment().emit()

@@ -1,0 +1,72 @@
+"""E-5.2 -- test-session minimisation [20].
+
+Survey claim (section 5.2): conflict-aware synthesis "generate[s] data
+paths that require only one test session"; sharing-oriented assignment
+"[32] ... may lead to test path conflicts and hence reduced test
+concurrency".
+
+Measured: sessions needed under per-module role assignment (the
+[32]-style, sharing-first view) vs the path-based test scheme of [20],
+plus the register cost of the concurrency-oriented assignment.
+"""
+
+from common import Table
+from repro.cdfg import suite
+from repro.cdfg.analysis import critical_path_length
+from repro import hls
+from repro.bist import (
+    assign_test_roles,
+    schedule_sessions,
+    sharing_register_assignment,
+)
+from repro.bist.sessions import path_based_sessions, session_aware_assignment
+
+NAMES = ["diffeq", "iir2", "iir3", "ewf", "ar4", "fir8"]
+
+
+def run_experiment() -> Table:
+    t = Table(
+        "E-5.2",
+        "[20] test concurrency: per-module sessions vs path-based",
+        ["design", "sessions per-module", "sessions path [20]",
+         "regs shared", "regs concurrency"],
+    )
+    for name in NAMES:
+        c = suite.standard_suite()[name]
+        latency = int(1.6 * critical_path_length(c))
+        alloc = hls.allocate_for_latency(c, latency)
+        sched = hls.list_schedule(c, alloc)
+        fub = hls.bind_functional_units(c, sched, alloc)
+        shared = hls.build_datapath(
+            c, sched, fub, sharing_register_assignment(c, sched, fub)
+        )
+        aware = hls.build_datapath(
+            c, sched, fub, session_aware_assignment(c, sched, fub)
+        )
+        _cfg, envs = assign_test_roles(shared)
+        t.add(
+            name,
+            len(schedule_sessions(envs)),
+            len(path_based_sessions(aware)),
+            len(shared.registers),
+            len(aware.registers),
+        )
+    t.notes.append(
+        "claim shape: path-based testing reaches one session on every "
+        "data path; per-module sharing needs several; concurrency may "
+        "cost extra registers (the survey's noted trade-off)"
+    )
+    return t
+
+
+def test_sessions(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for name, per_module, path, _rs, _rc in table.rows:
+        assert path == 1, name
+        assert per_module >= path, name
+    assert any(r[1] > 1 for r in table.rows)  # conflicts really occur
+    table.emit()
+
+
+if __name__ == "__main__":
+    run_experiment().emit()

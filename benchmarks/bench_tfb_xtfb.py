@@ -1,0 +1,67 @@
+"""E-5.1b -- TFB vs XTFB vs [3] BIST overhead ladder [19,31].
+
+Survey claim (section 5.1): the TFB architecture avoids self-adjacency
+entirely (no CBILBOs); the XTFB relaxation "enable[s] generation of
+self-testable data paths with less test area overhead than either the
+traditional high level synthesis techniques or the BIST register
+assignment approach [3]"; relaxing SR placement further ("sequential
+depth between TPGRs and SRs greater than 1") trades even more area for
+coverage.
+"""
+
+from common import Table
+from repro.cdfg import suite
+from repro.cdfg.analysis import critical_path_length
+from repro import hls
+from repro.bist.self_adjacent import avra_test_overhead, bist_register_assignment
+from repro.bist.tfb import map_to_tfbs, verify_no_self_adjacency
+from repro.bist.xtfb import map_to_xtfbs
+
+NAMES = ["figure1", "diffeq", "tseng", "fir8", "iir2", "ewf"]
+
+
+def run_experiment() -> Table:
+    t = Table(
+        "E-5.1b",
+        "test-area-overhead ladder: [3] vs TFB [31] vs XTFB [19]",
+        ["design", "[3] overhead", "TFB overhead", "XTFB d1", "XTFB d2",
+         "TFBs", "XTFBs", "SRs d1", "SRs d2"],
+    )
+    for name in NAMES:
+        c = suite.standard_suite()[name]
+        latency = int(1.6 * critical_path_length(c))
+        alloc = hls.allocate_for_latency(c, latency)
+        sched = hls.list_schedule(c, alloc)
+        fub = hls.bind_functional_units(c, sched, alloc)
+        avra = hls.build_datapath(
+            c, sched, fub, bist_register_assignment(c, sched, fub)
+        )
+        s = hls.asap(c)
+        tfb = map_to_tfbs(c, s)
+        verify_no_self_adjacency(c, tfb)
+        x1 = map_to_xtfbs(c, s, sr_depth=1)
+        x2 = map_to_xtfbs(c, s, sr_depth=2)
+        t.add(name, f"{avra_test_overhead(avra):.0f}",
+              f"{tfb.test_overhead(c):.0f}",
+              f"{x1.test_overhead(c):.0f}",
+              f"{x2.test_overhead(c):.0f}",
+              tfb.num_tfbs, x1.num_xtfbs, x1.num_srs, x2.num_srs)
+    t.notes.append(
+        "claim shape: XTFB(d2) <= XTFB(d1) <= TFB <= [3] on overhead; "
+        "no CBILBOs anywhere in the TFB/XTFB columns by construction"
+    )
+    return t
+
+
+def test_tfb_xtfb(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for row in table.rows:
+        name = row[0]
+        avra, tfb, x1, x2 = (float(row[i]) for i in (1, 2, 3, 4))
+        assert x2 <= x1 <= tfb <= avra, name
+        assert row[7] >= row[8], name  # SRs shrink with depth
+    table.emit()
+
+
+if __name__ == "__main__":
+    run_experiment().emit()

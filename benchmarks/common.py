@@ -1,0 +1,79 @@
+"""Shared helpers for the experiment benches.
+
+Every bench module exposes ``run_experiment()`` returning a
+:class:`Table`, asserts the experiment's shape claims in its pytest
+entry, and prints the table when executed directly
+(``python benchmarks/bench_x.py``).  Tables are also written to
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cdfg.analysis import critical_path_length
+from repro import hls
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@dataclass
+class Table:
+    """A printable experiment result."""
+
+    experiment: str
+    title: str
+    header: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row: object) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(h)), *(len(str(r[i])) for r in self.rows), 1)
+            if self.rows else len(str(h))
+            for i, h in enumerate(self.header)
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(
+            "  ".join(str(h).ljust(w) for h, w in zip(self.header, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for r in self.rows:
+            lines.append(
+                "  ".join(str(v).ljust(w) for v, w in zip(r, widths))
+            )
+        for n in self.notes:
+            lines.append(f"note: {n}")
+        return "\n".join(lines)
+
+    def save(self) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.experiment}.txt"
+        path.write_text(self.render() + "\n")
+        return path
+
+    def emit(self) -> None:
+        print(self.render())
+        self.save()
+
+
+def conventional_flow(cdfg, slack: float = 1.5, register_style="left_edge"):
+    """The testability-blind baseline synthesis used across benches."""
+    latency = max(
+        critical_path_length(cdfg),
+        int(slack * critical_path_length(cdfg)),
+    )
+    alloc = hls.allocate_for_latency(cdfg, latency)
+    sched = hls.list_schedule(cdfg, alloc)
+    fub = hls.bind_functional_units(cdfg, sched, alloc)
+    if register_style == "left_edge":
+        regs = hls.assign_registers_left_edge(cdfg, sched)
+    else:
+        regs = hls.assign_registers_coloring(cdfg, sched)
+    dp = hls.build_datapath(cdfg, sched, fub, regs)
+    return dp, sched, fub, alloc

@@ -1,0 +1,6 @@
+"""Make the benchmarks directory importable as a flat namespace."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

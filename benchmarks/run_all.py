@@ -1,0 +1,69 @@
+"""Regenerate every experiment table in one go.
+
+Usage::
+
+    python benchmarks/run_all.py            # print + write results/
+    python benchmarks/run_all.py --quiet    # write results/ only
+
+Imports each ``bench_*.py`` module and calls its ``run_experiment()``;
+the rendered tables land in ``benchmarks/results/`` (the same files the
+pytest entries write), giving EXPERIMENTS.md a one-command refresh.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pathlib
+import sys
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+
+def bench_modules() -> list[str]:
+    return sorted(
+        p.stem for p in HERE.glob("bench_*.py")
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quiet", action="store_true")
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="bench module stems to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    names = args.only if args.only else bench_modules()
+    failures: list[str] = []
+    t_all = time.perf_counter()
+    for name in names:
+        t0 = time.perf_counter()
+        try:
+            mod = importlib.import_module(name)
+            table = mod.run_experiment()
+            path = table.save()
+            if not args.quiet:
+                print(table.render())
+                print()
+            print(f"[{name}] ok in {time.perf_counter() - t0:.1f}s "
+                  f"-> {path.relative_to(HERE.parent)}",
+                  file=sys.stderr)
+        except Exception as exc:  # keep going; report at the end
+            failures.append(f"{name}: {exc!r}")
+            print(f"[{name}] FAILED: {exc!r}", file=sys.stderr)
+    print(
+        f"{len(names) - len(failures)}/{len(names)} experiments in "
+        f"{time.perf_counter() - t_all:.1f}s",
+        file=sys.stderr,
+    )
+    if failures:
+        print("failures:", *failures, sep="\n  ", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Hierarchical test generation with test environments (section 6).
+
+Extracts a verified test environment for every functional unit of the
+figure1 design, composes precomputed module tests into chip-level
+tests, and checks each composed test by executing the behavior -- the
+ATKET/CHEETA/Genesis flow [7,37,38] in miniature.  Where a unit has no
+environment, the AMBIANT-style behavioral modification [39] adds one.
+
+Run:  python examples/hierarchical_testgen.py
+"""
+
+from repro.cdfg import suite
+from repro.cdfg.interpret import run_iteration
+from repro import hls
+from repro.hier import (
+    environment_aware_binding,
+    hierarchical_test_suite,
+    modify_for_environments,
+    module_test_environments,
+)
+
+
+def main() -> None:
+    cdfg = suite.figure1()
+    alloc = hls.Allocation({"alu": 2})
+    sched = hls.list_schedule(cdfg, alloc)
+    fub = environment_aware_binding(cdfg, sched, alloc)
+
+    envs = module_test_environments(cdfg, fub)
+    print("test environments per unit:")
+    for unit, env in sorted(envs.items()):
+        if env is None:
+            print(f"  {unit}: NONE")
+            continue
+        print(f"  {unit}: via operation {env.operation}")
+        print(f"    carriers: {env.carriers}  pins: {dict(env.pins)}  "
+              f"observe at: {env.observe}")
+
+    tests, uncovered = hierarchical_test_suite(
+        cdfg, envs, width=8, budget_per_module=8
+    )
+    print(f"\ncomposed {len(tests)} chip-level tests "
+          f"({len(uncovered)} units uncovered)")
+    sample = tests[0]
+    print(f"example test for {sample.unit} ({sample.operation}):")
+    print(f"  apply PIs: { {k: v for k, v in sorted(sample.inputs.items())} }")
+    print(f"  expect {sample.expected} at output {sample.observe!r}")
+    values = run_iteration(cdfg, sample.inputs)
+    print(f"  executed: output {sample.observe!r} = "
+          f"{values[sample.observe]}  "
+          f"({'OK' if values[sample.observe] == sample.expected else 'FAIL'})")
+
+    # A design where some unit lacks an environment: tseng's multiplier.
+    tseng = suite.tseng()
+    alloc = hls.allocate_for_latency(tseng, 8)
+    sched = hls.list_schedule(tseng, alloc)
+    fub = hls.bind_functional_units(tseng, sched, alloc)
+    envs = module_test_environments(tseng, fub)
+    needy = [u for u, e in envs.items() if e is None]
+    print(f"\ntseng units without environments: {needy}")
+    modified, fixed = modify_for_environments(tseng, fub)
+    print(f"after AMBIANT-style modification: +"
+          f"{len(modified) - len(tseng)} operations for units {fixed}")
+
+    # -- global test modes across a multi-module hierarchy [37,39] ---
+    from repro.cdfg.builder import CDFGBuilder
+    from repro.hier import (
+        SystemDesign,
+        flatten,
+        modify_top_level,
+        module_access,
+    )
+
+    def stage(name, transparent=True):
+        b = CDFGBuilder(name)
+        b.inputs("x", "k")
+        b.outputs("y")
+        if transparent:
+            b.add("x", "k", "t1").add("t1", "k", "y")
+        else:
+            b.mul("x", "x", "t1").add("t1", "k", "y")
+        return b.build()
+
+    system = SystemDesign("pipe")
+    system.add_module("pre", stage("pre", transparent=False))
+    system.add_module("core", stage("core"))
+    system.connect(("pre", "y"), ("core", "x"))
+    print(f"\nhierarchical system: {sorted(system.modules)} "
+          f"({len(flatten(system))} flattened operations)")
+    print(f"core global test mode before modification: "
+          f"{module_access(system, 'core')}")
+    fixed_system, changed = modify_top_level(system, "core")
+    acc = module_access(fixed_system, "core")
+    print(f"after modifying {changed}: carriers {dict(acc.input_carriers)}"
+          f", observe at {acc.observe[1]!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""IEEE 1149.1 boundary scan around a synthesized data path.
+
+Section 4.2 of the survey: "Testability structures, such as an IEEE
+1149.1 boundary scan cell, can be directly synthesized."  This example
+wraps the gate-level figure1 data path (control nets exposed as pins)
+in a TAP + boundary register and drives it purely through the 4-wire
+interface: IDCODE readout, BYPASS, pin SAMPLE, and an INTEST vector
+that exercises an adder through the boundary register.
+
+Run:  python examples/jtag_boundary_scan.py
+"""
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import critical_path_length
+from repro import hls
+from repro.gatelevel import expand_datapath
+from repro.jtag import Instruction, JTAGWrapper
+
+WIDTH = 3
+
+
+def main() -> None:
+    cdfg = suite.figure1(width=WIDTH)
+    alloc = hls.Allocation({"alu": 2})
+    sched = hls.list_schedule(cdfg, alloc)
+    fub = hls.bind_functional_units(cdfg, sched, alloc)
+    regs = hls.assign_registers_left_edge(cdfg, sched)
+    dp = hls.build_datapath(cdfg, sched, fub, regs)
+    core, control = expand_datapath(dp)
+    print(f"core: {len(core)} gates, {len(core.inputs())} pins in, "
+          f"{len(core.outputs)} pins out")
+
+    tap = JTAGWrapper(core, idcode=0x1149_0001)
+    print(f"boundary register length: {len(tap.boundary)} cells")
+
+    print(f"\nIDCODE read through TDO: 0x{tap.read_idcode():08x}")
+
+    tap.load_instruction(Instruction.BYPASS)
+    pattern = [1, 0, 1, 1, 0]
+    echoed = tap.shift_dr_bits(pattern)
+    print(f"BYPASS: shifted {pattern} -> {echoed} (one-bit delay)")
+
+    # SAMPLE the pins while the chip 'operates' with a=5, b=2 loading
+    a, b = 5, 2
+    pins = {pi: 0 for pi in core.inputs()}
+    for i in range(WIDTH):
+        pins[f"pi_a_b{i}"] = (a >> i) & 1
+        pins[f"pi_b_b{i}"] = (b >> i) & 1
+    snap = tap.sample_pins(pins)
+    got_a = sum(snap[f"pi_a_b{i}"] << i for i in range(WIDTH))
+    print(f"SAMPLE: captured pi_a = {got_a} (applied {a})")
+
+    # INTEST: drive R0 <- a through the +1 adder purely via JTAG.
+    # Assert the load/select controls for one captured cycle.
+    vector = dict(pins)
+    r0 = dp.register_of_variable("a").name
+    vector[f"{r0}_load"] = 1
+    outputs = tap.run_intest(vector, run_cycles=1)
+    print(f"INTEST: ran 1 core clock with {r0}_load=1; "
+          f"{sum(outputs.values())} output bits captured")
+    print("TAP state machine, boundary cells, and instructions all "
+          "exercised through TMS/TDI only.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the
+``wheel`` package (offline environment; see note in pyproject.toml)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["networkx>=3.0", "numpy>=1.24"],
+)

@@ -1,0 +1,46 @@
+"""repro: high-level synthesis for testability.
+
+A complete, executable reproduction of the system space surveyed by
+Wagner & Dey, "High-Level Synthesis for Testability: A Survey and
+Perspective" (DAC 1996).
+
+Subpackages
+-----------
+
+* :mod:`repro.cdfg` -- control-data flow graphs, behavioral benchmarks,
+  behavioral transformations for testability, an interpreter.
+* :mod:`repro.hls` -- allocation, scheduling, binding, data-path and
+  controller construction, area estimation.
+* :mod:`repro.sgraph` -- S-graph analysis: loops, sequential depth,
+  MFVS, the empirical sequential-ATPG cost model.
+* :mod:`repro.scan` -- partial-scan synthesis: CDFG scan selection,
+  boundary variables, I/O-register maximisation, loop-aware
+  simultaneous scheduling/assignment, gate-level MFVS baseline, RTL
+  partial scan with transparent scan registers.
+* :mod:`repro.bist` -- BIST synthesis: BILBO/CBILBO models,
+  self-adjacency minimisation, TFB/XTFB architectures, TPGR/SR
+  sharing, test sessions, arithmetic BIST, test behavior.
+* :mod:`repro.gatelevel` -- bit-level expansion, stuck-at faults,
+  PODEM, time-frame sequential ATPG, fault simulation, pseudorandom
+  BIST coverage.
+* :mod:`repro.controller_dft` -- controller implication analysis and
+  extra-test-vector redesign.
+* :mod:`repro.rtl` -- RTL testability ranges, k-level test points,
+  full-scan reports.
+* :mod:`repro.hier` -- test environments, ATKET-style extraction,
+  module-test composition.
+* :mod:`repro.survey` -- Table 1, Figure 1, and the technique taxonomy
+  of the survey itself.
+
+Quick start::
+
+    from repro.cdfg import suite
+    from repro import hls, scan, sgraph
+
+    cdfg = suite.iir_biquad(2)
+    alloc = hls.allocate_for_latency(cdfg, 20)
+    dp, plan = scan.loop_aware_synthesis(cdfg, alloc)
+    print(sgraph.estimate_cost(sgraph.build_sgraph(dp)))
+"""
+
+__version__ = "1.0.0"

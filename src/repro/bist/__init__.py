@@ -1,0 +1,104 @@
+"""Behavioral synthesis for BIST (survey section 5).
+
+Implements the full ladder of BIST register-overhead techniques the
+survey compares:
+
+* :mod:`~repro.bist.registers` -- LFSR/MISR/BILBO/CBILBO models.
+* :mod:`~repro.bist.self_adjacent` -- conflict-edge-augmented register
+  assignment minimising self-adjacent registers [3].
+* :mod:`~repro.bist.tfb` -- TFB architecture, zero self-adjacency [31].
+* :mod:`~repro.bist.xtfb` -- XTFB relaxation, fewer SRs, still no
+  CBILBOs [19].
+* :mod:`~repro.bist.sharing` -- TPGR/SR sharing with exact CBILBO
+  conditions [32].
+* :mod:`~repro.bist.sessions` -- test-session minimisation [20].
+* :mod:`~repro.bist.test_behavior` -- test behavior + three-session
+  scheme [30,31].
+* :mod:`~repro.bist.arithmetic` -- arithmetic BIST with subspace state
+  coverage [28].
+"""
+
+from repro.bist.registers import (
+    LFSR,
+    MISR,
+    BISTConfiguration,
+    TestRole,
+    taps_for,
+)
+from repro.bist.self_adjacent import (
+    bist_register_assignment,
+    module_io_conflicts,
+    self_adjacent_registers,
+)
+from repro.bist.tfb import TFBAllocation, map_to_tfbs, verify_no_self_adjacency
+from repro.bist.xtfb import XTFBAllocation, map_to_xtfbs
+from repro.bist.sharing import (
+    ModuleTestEnvironment,
+    assign_test_roles,
+    sharing_register_assignment,
+    unit_io_registers,
+)
+from repro.bist.sessions import (
+    module_conflict_graph,
+    schedule_sessions,
+    session_aware_roles,
+)
+from repro.bist.aliasing import (
+    AliasingEstimate,
+    checkpointed_aliasing,
+    measure_aliasing,
+    theoretical_aliasing_probability,
+)
+from repro.bist.arithmetic import (
+    OperationCoverage,
+    accumulator_stream,
+    coverage_guided_binding,
+    measure_operation_coverage,
+    subspace_state_coverage,
+    unit_coverage,
+)
+from repro.bist.test_behavior import (
+    TestBehaviorResult,
+    ThreeSessionPlan,
+    insert_test_behavior,
+    signal_coverage,
+    three_session_plan,
+)
+
+__all__ = [
+    "AliasingEstimate",
+    "checkpointed_aliasing",
+    "measure_aliasing",
+    "theoretical_aliasing_probability",
+    "LFSR",
+    "MISR",
+    "BISTConfiguration",
+    "TestRole",
+    "taps_for",
+    "bist_register_assignment",
+    "module_io_conflicts",
+    "self_adjacent_registers",
+    "TFBAllocation",
+    "map_to_tfbs",
+    "verify_no_self_adjacency",
+    "XTFBAllocation",
+    "map_to_xtfbs",
+    "ModuleTestEnvironment",
+    "assign_test_roles",
+    "sharing_register_assignment",
+    "unit_io_registers",
+    "module_conflict_graph",
+    "schedule_sessions",
+    "session_aware_roles",
+    "OperationCoverage",
+    "accumulator_stream",
+    "coverage_guided_binding",
+    "measure_operation_coverage",
+    "subspace_state_coverage",
+    "unit_coverage",
+    "TestBehaviorResult",
+    "ThreeSessionPlan",
+    "insert_test_behavior",
+    "signal_coverage",
+    "three_session_plan",
+]

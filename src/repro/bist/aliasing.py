@@ -1,0 +1,102 @@
+"""MISR aliasing analysis.
+
+A w-bit MISR maps error streams onto signatures; an error pattern
+aliases when its syndrome is zero, which happens with probability
+approaching ``2**-w`` for random error streams -- the classic result
+BIST schemes budget for.  This module measures it empirically (the
+in-situ experiments use the numbers to pick signature widths and
+checkpoint counts) and provides the theoretical bound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bist.registers import MISR
+
+
+def theoretical_aliasing_probability(width: int) -> float:
+    """Asymptotic aliasing probability of a maximal-polynomial MISR."""
+    return 2.0 ** -width
+
+
+@dataclass(frozen=True)
+class AliasingEstimate:
+    """Empirical aliasing measurement."""
+
+    width: int
+    trials: int
+    aliased: int
+
+    @property
+    def probability(self) -> float:
+        return self.aliased / self.trials if self.trials else 0.0
+
+
+def measure_aliasing(
+    width: int,
+    stream_length: int = 64,
+    trials: int = 2000,
+    error_bits: int = 3,
+    seed: int = 1,
+) -> AliasingEstimate:
+    """Empirical aliasing probability for random multi-bit error streams.
+
+    Each trial compacts a random good stream and the same stream with
+    ``error_bits`` random bit flips; aliasing = identical signatures.
+    """
+    rng = random.Random(seed)
+    mask = (1 << width) - 1
+    aliased = 0
+    for _ in range(trials):
+        stream = [rng.getrandbits(width) for _ in range(stream_length)]
+        bad = list(stream)
+        for _ in range(error_bits):
+            pos = rng.randrange(stream_length)
+            bit = 1 << rng.randrange(width)
+            bad[pos] ^= bit
+        good_m, bad_m = MISR(width), MISR(width)
+        for g, b in zip(stream, bad):
+            good_m.absorb(g & mask)
+            bad_m.absorb(b & mask)
+        if good_m.signature == bad_m.signature:
+            aliased += 1
+    return AliasingEstimate(width, trials, aliased)
+
+
+def checkpointed_aliasing(
+    width: int,
+    stream_length: int = 64,
+    checkpoints: int = 4,
+    trials: int = 2000,
+    error_bits: int = 3,
+    seed: int = 1,
+) -> AliasingEstimate:
+    """Aliasing probability when signatures are compared at several
+    intermediate checkpoints (escaping requires aliasing at *all* of
+    them), the scheme :mod:`repro.gatelevel.bist_session` uses."""
+    rng = random.Random(seed)
+    mask = (1 << width) - 1
+    marks = {
+        max(1, (k + 1) * stream_length // checkpoints)
+        for k in range(checkpoints)
+    }
+    aliased = 0
+    for _ in range(trials):
+        stream = [rng.getrandbits(width) for _ in range(stream_length)]
+        bad = list(stream)
+        for _ in range(error_bits):
+            pos = rng.randrange(stream_length)
+            bad[pos] ^= 1 << rng.randrange(width)
+        good_m, bad_m = MISR(width), MISR(width)
+        detected = False
+        for cycle, (g, b) in enumerate(zip(stream, bad), start=1):
+            good_m.absorb(g & mask)
+            bad_m.absorb(b & mask)
+            if cycle in marks and good_m.signature != bad_m.signature:
+                detected = True
+                break
+        if not detected:
+            aliased += 1
+    return AliasingEstimate(width, trials, aliased)

@@ -1,0 +1,179 @@
+"""Arithmetic BIST with subspace state coverage, after [28]
+(Mukherjee/Kassab/Rajski/Tyszer, VTS'95 -- survey section 5.4).
+
+"Instead of using special BIST hardware like TPGRs and SRs, functional
+units can be used to perform test pattern generation and test response
+compaction."  Patterns come from accumulator-style arithmetic
+generators; their quality at each operation's inputs -- after
+degradation through intervening operations -- is measured by *subspace
+state coverage*: the fraction of k-bit windows' value space exercised.
+
+High-level synthesis is guided by the metric: "assignment of operations
+to functional units is done to maximize the state coverage obtained at
+the inputs of each functional unit" (the states seen at a unit's inputs
+are the union over the operations mapped to it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.interpret import run_sequence
+from repro.hls.allocation import Allocation, AllocationError
+from repro.hls.binding import FUBinding
+from repro.hls.scheduling import Schedule
+
+
+def accumulator_stream(
+    width: int, increment: int, seed: int, length: int
+) -> list[int]:
+    """The arithmetic TPG of [28]: x(t+1) = x(t) + increment (mod 2^w).
+
+    Odd increments sweep the full 2^w space.
+    """
+    mask = (1 << width) - 1
+    out = []
+    x = seed & mask
+    for _ in range(length):
+        out.append(x)
+        x = (x + increment) & mask
+    return out
+
+
+def subspace_states(values: Sequence[int], width: int, k: int) -> set[tuple[int, int]]:
+    """All observed (window position, k-bit pattern) states."""
+    if k > width:
+        raise ValueError(f"subspace width {k} exceeds word width {width}")
+    states: set[tuple[int, int]] = set()
+    for v in values:
+        for pos in range(width - k + 1):
+            states.add((pos, (v >> pos) & ((1 << k) - 1)))
+    return states
+
+
+def subspace_state_coverage(
+    values: Sequence[int], width: int, k: int
+) -> float:
+    """Fraction of the k-bit subspace state space covered by ``values``."""
+    total = (width - k + 1) * (1 << k)
+    return len(subspace_states(values, width, k)) / total
+
+
+@dataclass(frozen=True)
+class OperationCoverage:
+    """Per-operation input state sets under the arithmetic generators."""
+
+    states: Mapping[str, frozenset[tuple[int, int, int]]]  # op -> {(port,pos,pat)}
+    width: int
+    k: int
+
+    def coverage_of(self, op_states: frozenset) -> float:
+        ports = {p for p, _pos, _pat in op_states} or {0, 1}
+        total = len(ports) * (self.width - self.k + 1) * (1 << self.k)
+        return len(op_states) / total
+
+
+def measure_operation_coverage(
+    cdfg: CDFG,
+    n_vectors: int = 64,
+    k: int = 3,
+    seed: int = 1,
+) -> OperationCoverage:
+    """Simulate the behavior under accumulator generators at the PIs and
+    collect the input states seen by every operation."""
+    width = max(v.width for v in cdfg.variables.values())
+    pis = sorted(v.name for v in cdfg.primary_inputs())
+    streams = {
+        name: accumulator_stream(
+            cdfg.variable(name).width,
+            increment=2 * (i + seed) + 1,
+            seed=(i * 37 + seed) & 0xFF,
+            length=n_vectors,
+        )
+        for i, name in enumerate(pis)
+    }
+    input_stream = [
+        {name: streams[name][t] for name in pis} for t in range(n_vectors)
+    ]
+    trace = run_sequence(cdfg, input_stream)
+
+    states: dict[str, set[tuple[int, int, int]]] = {
+        op.name: set() for op in cdfg
+    }
+    for t, values in enumerate(trace):
+        prev = trace[t - 1] if t > 0 else None
+        for op in cdfg:
+            w = cdfg.variable(op.output).width
+            for port, var in enumerate(op.inputs):
+                if var in op.carried:
+                    val = prev[var] if prev is not None else 0
+                else:
+                    val = values[var]
+                for pos in range(w - k + 1):
+                    states[op.name].add(
+                        (port, pos, (val >> pos) & ((1 << k) - 1))
+                    )
+    return OperationCoverage(
+        {o: frozenset(s) for o, s in states.items()}, width, k
+    )
+
+
+def coverage_guided_binding(
+    cdfg: CDFG,
+    schedule: Schedule,
+    allocation: Allocation,
+    coverage: OperationCoverage,
+) -> FUBinding:
+    """Bind operations to units maximising per-unit input state coverage.
+
+    Greedy in schedule order: each operation goes to the free unit whose
+    state-set union it grows the most (the [28] objective), so units
+    accumulate diverse input states and need no extra test hardware.
+    """
+    allocation.validate_for(cdfg)
+    busy: set[tuple[str, int]] = set()
+    unit_states: dict[str, set] = {}
+    assignment: dict[str, str] = {}
+    ordered = sorted(cdfg, key=lambda op: (schedule.step_of(op.name), op.name))
+    for op in ordered:
+        cls = allocation.unit_class(op.kind)
+        s = schedule.step_of(op.name)
+        best: tuple[int, str] | None = None
+        for unit in allocation.unit_names(cls):
+            if any((unit, s + d) in busy for d in range(op.delay)):
+                continue
+            have = unit_states.setdefault(unit, set())
+            gain = len(coverage.states[op.name] - have)
+            key = (-gain, unit)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            raise AllocationError(
+                f"coverage-guided binding: no free unit for {op.name!r}"
+            )
+        unit = best[1]
+        assignment[op.name] = unit
+        unit_states[unit].update(coverage.states[op.name])
+        for d in range(op.delay):
+            busy.add((unit, s + d))
+    binding = FUBinding(assignment)
+    binding.verify(cdfg, schedule)
+    return binding
+
+
+def unit_coverage(
+    cdfg: CDFG,
+    binding: FUBinding,
+    coverage: OperationCoverage,
+) -> dict[str, float]:
+    """Union input-state coverage achieved at each unit."""
+    unions: dict[str, set] = {}
+    for op in cdfg:
+        unions.setdefault(binding.unit_of(op.name), set()).update(
+            coverage.states[op.name]
+        )
+    return {
+        u: coverage.coverage_of(frozenset(s)) for u, s in unions.items()
+    }

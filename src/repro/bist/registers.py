@@ -1,0 +1,141 @@
+"""Test register models: LFSR, MISR, BILBO, CBILBO (section 5).
+
+The pseudorandom BIST methodology reconfigures functional registers as
+test pattern generation registers (TPGRs) or signature registers (SRs);
+a register implemented as a BILBO [21] supports both roles (one at a
+time), while the concurrent BILBO (CBILBO) supports both *at once* at a
+steep area/delay penalty.  The bit-true LFSR/MISR implementations here
+drive the fault-coverage simulations in :mod:`repro.gatelevel`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Primitive polynomial tap positions (1-based bit indices) for every
+#: width up to 32, giving maximal-length LFSR sequences (XAPP052-style
+#: Fibonacci taps; verified empirically in the tests for w <= 20).
+PRIMITIVE_TAPS: dict[int, tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 25, 24, 20),
+    27: (27, 26, 25, 22),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 29, 28, 7),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+}
+
+
+class TestRole(enum.Enum):
+    """Test-mode configuration of a data-path register."""
+
+    NONE = "none"
+    TPGR = "TPGR"
+    SR = "SR"
+    BILBO = "BILBO"      # TPGR or SR, one per session
+    CBILBO = "CBILBO"    # TPGR and SR concurrently
+
+
+def taps_for(width: int) -> tuple[int, ...]:
+    """Primitive taps for ``width`` (2..32).
+
+    Raises :class:`ValueError` outside the tabulated range; data-path
+    registers never exceed 32 bits in this library.
+    """
+    if width in PRIMITIVE_TAPS:
+        return PRIMITIVE_TAPS[width]
+    raise ValueError(f"no primitive taps tabulated for width {width}")
+
+
+class LFSR:
+    """External-XOR (Fibonacci) linear feedback shift register."""
+
+    def __init__(self, width: int, seed: int = 1,
+                 taps: tuple[int, ...] | None = None) -> None:
+        if width < 2:
+            raise ValueError("LFSR width must be >= 2")
+        if seed == 0:
+            raise ValueError("LFSR seed must be nonzero")
+        self.width = width
+        self.taps = taps if taps is not None else taps_for(width)
+        self.state = seed & ((1 << width) - 1)
+
+    def step(self) -> int:
+        """Advance one clock; returns the new state."""
+        fb = 0
+        for t in self.taps:
+            fb ^= (self.state >> (t - 1)) & 1
+        self.state = ((self.state << 1) | fb) & ((1 << self.width) - 1)
+        return self.state
+
+    def sequence(self, n: int) -> list[int]:
+        """The next ``n`` states."""
+        return [self.step() for _ in range(n)]
+
+
+class MISR:
+    """Multiple-input signature register (parallel-input LFSR)."""
+
+    def __init__(self, width: int, seed: int = 0,
+                 taps: tuple[int, ...] | None = None) -> None:
+        if width < 2:
+            raise ValueError("MISR width must be >= 2")
+        self.width = width
+        self.taps = taps if taps is not None else taps_for(width)
+        self.state = seed & ((1 << width) - 1)
+
+    def absorb(self, value: int) -> int:
+        """Clock one response word into the signature."""
+        fb = 0
+        for t in self.taps:
+            fb ^= (self.state >> (t - 1)) & 1
+        self.state = (
+            ((self.state << 1) | fb) ^ value
+        ) & ((1 << self.width) - 1)
+        return self.state
+
+    @property
+    def signature(self) -> int:
+        return self.state
+
+
+@dataclass(frozen=True)
+class BISTConfiguration:
+    """Assignment of test roles to a data path's registers."""
+
+    roles: dict[str, TestRole]
+
+    def count(self, role: TestRole) -> int:
+        return sum(1 for r in self.roles.values() if r is role)
+
+    @property
+    def converted_registers(self) -> int:
+        """Registers needing any test hardware at all."""
+        return sum(
+            1 for r in self.roles.values() if r is not TestRole.NONE
+        )

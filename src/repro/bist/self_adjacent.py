@@ -1,0 +1,165 @@
+"""BIST register assignment minimising self-adjacent registers, after
+[3] (Avra, ITC'91 -- survey section 5.1).
+
+A register is *self-adjacent* when it is both an input and an output of
+the same logic block (functional unit), because it would then have to
+generate patterns for and capture responses from that block -- i.e. be
+a CBILBO, "very expensive in terms of area and delay".
+
+[3] avoids self-adjacency during register assignment by adding conflict
+edges "between two nodes if the corresponding variables are an input
+and output of the same module".  Our variant treats those edges as
+*soft* constraints under a register budget: the assignment never uses
+more registers than the conventional left-edge result (matching [3]'s
+"equal number of total registers" outcome) and minimises violated soft
+edges greedily.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import variable_lifetimes
+from repro.hls.binding import (
+    FUBinding,
+    RegisterAssignment,
+    assign_registers_left_edge,
+)
+from repro.hls.datapath import Datapath
+from repro.hls.scheduling import Schedule
+
+
+def module_io_conflicts(
+    cdfg: CDFG, binding: FUBinding
+) -> set[tuple[str, str]]:
+    """Variable pairs that would create self-adjacency if they shared a
+    register: (input of an op on module M, output of an op on module M).
+    """
+    ins: dict[str, set[str]] = {}
+    outs: dict[str, set[str]] = {}
+    for op in cdfg:
+        unit = binding.unit_of(op.name)
+        ins.setdefault(unit, set()).update(op.inputs)
+        outs.setdefault(unit, set()).add(op.output)
+    conflicts: set[tuple[str, str]] = set()
+    for unit in ins:
+        for a in ins[unit]:
+            for b in outs.get(unit, ()):
+                if a != b:
+                    conflicts.add(tuple(sorted((a, b))))
+                else:
+                    # A variable that is both input and output of the
+                    # same module is self-adjacent by itself; no
+                    # register assignment can avoid that (section 5.1's
+                    # motivation for TFB/XTFB architectures).
+                    pass
+    return conflicts
+
+
+def bist_register_assignment(
+    cdfg: CDFG,
+    schedule: Schedule,
+    binding: FUBinding,
+    max_passes: int = 8,
+) -> RegisterAssignment:
+    """Register assignment minimising self-adjacent registers ([3]).
+
+    Starts from the conventional left-edge assignment (so the total
+    register count matches [3]'s "equal number of total registers"
+    result by construction) and then runs a local search: variables are
+    moved between lifetime-compatible registers whenever the move
+    reduces the number of self-adjacent registers.  The module-I/O
+    conflict edges of [3] are what the move evaluation prices.
+    """
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    base = assign_registers_left_edge(cdfg, schedule)
+    register_of = dict(base.register_of)
+    num_regs = base.num_registers
+
+    var_in_unit: dict[str, set[str]] = {}
+    var_out_unit: dict[str, set[str]] = {}
+    for op in cdfg:
+        unit = binding.unit_of(op.name)
+        for v in op.inputs:
+            var_in_unit.setdefault(v, set()).add(unit)
+        var_out_unit.setdefault(op.output, set()).add(unit)
+
+    def self_adjacent_count(assign: Mapping[str, int]) -> int:
+        reg_in: dict[str, set[int]] = {}
+        reg_out: dict[str, set[int]] = {}
+        for v, idx in assign.items():
+            for u in var_in_unit.get(v, ()):
+                reg_in.setdefault(u, set()).add(idx)
+            for u in var_out_unit.get(v, ()):
+                reg_out.setdefault(u, set()).add(idx)
+        sa: set[int] = set()
+        for u in reg_in:
+            sa |= reg_in[u] & reg_out.get(u, set())
+        return len(sa)
+
+    def compatible(v: str, idx: int) -> bool:
+        lt = lifetimes[v]
+        return all(
+            not lt.overlaps(lifetimes[m])
+            for m, r in register_of.items()
+            if r == idx and m != v
+        )
+
+    current = self_adjacent_count(register_of)
+    for _ in range(max_passes):
+        improved = False
+        for v in sorted(register_of):
+            home = register_of[v]
+            for idx in range(num_regs):
+                if idx == home or not compatible(v, idx):
+                    continue
+                register_of[v] = idx
+                candidate = self_adjacent_count(register_of)
+                if candidate < current:
+                    current = candidate
+                    improved = True
+                    break
+                register_of[v] = home
+        if not improved:
+            break
+    result = RegisterAssignment(register_of)
+    result.verify(lifetimes)
+    return result
+
+
+def avra_test_overhead(datapath: Datapath) -> float:
+    """Test-area overhead under the [3] assumption set.
+
+    Every self-adjacent register becomes a CBILBO; every other register
+    participating in a unit's test (any register, in a shared data
+    path) becomes a BILBO.  Returned in the same gate-equivalent units
+    as :mod:`repro.hls.estimate`.
+    """
+    from repro.hls.estimate import AREA_MODEL
+
+    sa = set(self_adjacent_registers(datapath))
+    overhead = 0.0
+    for r in datapath.registers:
+        if r.name in sa:
+            overhead += (
+                AREA_MODEL["cbilbo_bit"] - AREA_MODEL["register_bit"]
+            ) * r.width
+        else:
+            overhead += (
+                AREA_MODEL["bilbo_bit"] - AREA_MODEL["register_bit"]
+            ) * r.width
+    return overhead
+
+
+def self_adjacent_registers(datapath: Datapath) -> list[str]:
+    """Registers that are both an input and an output of some unit."""
+    ins: dict[str, set[str]] = {}
+    outs: dict[str, set[str]] = {}
+    for t in datapath.transfers:
+        ins.setdefault(t.unit, set()).update(t.source_registers)
+        outs.setdefault(t.unit, set()).add(t.dest_register)
+    out: set[str] = set()
+    for unit in ins:
+        out |= ins[unit] & outs.get(unit, set())
+    return sorted(out)

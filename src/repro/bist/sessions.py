@@ -1,0 +1,218 @@
+"""Test-session scheduling and minimisation, after [20]
+(Harris & Orailoglu, DAC'94 -- survey section 5.2).
+
+"Two or more test paths sharing the same hardware (registers, ALUs,
+multiplexers, buses) creates conflicts and forces the need for multiple
+test sessions."  A session is a set of modules tested concurrently; the
+minimum number of sessions is the chromatic number of the module
+conflict graph.
+
+Conflict rules (pseudorandom BIST semantics):
+
+* two modules conflict when they share an SR (one signature register
+  cannot compact two response streams at once);
+* a module conflicts with any module whose SR it uses as a TPGR
+  (the register cannot generate and capture simultaneously -- unless it
+  is a CBILBO, which we price, not assume);
+* TPGR sharing does *not* conflict: a pattern generator broadcasts.
+
+:func:`session_aware_assignment` is the [20]-style synthesis knob: a
+register assignment that avoids SR sharing between modules, trading a
+few more converted registers for single-session testability (the
+survey explicitly notes [32]-style sharing "may lead to test path
+conflicts and hence reduced test concurrency").
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.bist.sharing import ModuleTestEnvironment, unit_io_registers
+from repro.hls.datapath import Datapath
+
+
+def module_conflict_graph(
+    envs: list[ModuleTestEnvironment],
+    cbilbo_registers: set[str] | None = None,
+) -> nx.Graph:
+    """Build the test-conflict graph over functional units."""
+    cbilbo = cbilbo_registers or set()
+    g = nx.Graph()
+    g.add_nodes_from(e.unit for e in envs)
+    for i, a in enumerate(envs):
+        for b in envs[i + 1:]:
+            if a.sr_register == b.sr_register:
+                g.add_edge(a.unit, b.unit, reason="shared SR")
+                continue
+            if (
+                a.sr_register in b.tpgr_registers
+                and a.sr_register not in cbilbo
+            ) or (
+                b.sr_register in a.tpgr_registers
+                and b.sr_register not in cbilbo
+            ):
+                g.add_edge(a.unit, b.unit, reason="SR-as-TPGR")
+    return g
+
+
+def schedule_sessions(
+    envs: list[ModuleTestEnvironment],
+    cbilbo_registers: set[str] | None = None,
+) -> list[list[str]]:
+    """Partition modules into a minimal number of concurrent sessions.
+
+    Greedy coloring of the conflict graph; exact on the small module
+    counts of data-path BIST.
+    """
+    g = module_conflict_graph(envs, cbilbo_registers)
+    colors = nx.coloring.greedy_color(g, strategy="largest_first")
+    sessions: dict[int, list[str]] = {}
+    for unit, c in colors.items():
+        sessions.setdefault(c, []).append(unit)
+    return [sorted(sessions[c]) for c in sorted(sessions)]
+
+
+def path_based_sessions(datapath: Datapath) -> list[list[str]]:
+    """Test-path-based session schedule, the [20] synthesis target.
+
+    In the general scheme of section 5.2, "a test path through which
+    test data can go from the TPGRs to the SR at the output of a logic
+    block may pass through several ALUs": a unit whose responses can
+    propagate through downstream transfers to a *terminal* register
+    (one holding a primary output) is tested in the main session with
+    capture at that terminal SR -- propagation through other units does
+    not conflict, since under pseudorandom BIST every unit processes
+    data regardless.  Only units whose responses cannot reach a
+    terminal need a local SR; a local SR on a register that also feeds
+    other units is the TPGR/SR role collision that forces an extra
+    session.
+    """
+    reg_graph = nx.DiGraph()
+    reg_graph.add_nodes_from(r.name for r in datapath.registers)
+    feeds: dict[str, set[str]] = {r.name: set() for r in datapath.registers}
+    for t in datapath.transfers:
+        for src in set(t.source_registers):
+            reg_graph.add_edge(src, t.dest_register)
+            feeds[src].add(t.unit)
+    terminals = {
+        r.name for r in datapath.registers if r.is_output_register
+    }
+    main: list[str] = []
+    local: list[tuple[str, str]] = []  # (unit, local SR register)
+    io = unit_io_registers(datapath)
+    for unit in sorted(io):
+        _ins, outs = io[unit]
+        reachable = any(
+            nx.has_path(reg_graph, out, t)
+            for out in outs
+            for t in terminals
+        )
+        if reachable:
+            main.append(unit)
+        else:
+            local.append((unit, sorted(outs)[0]))
+    sessions: list[list[str]] = []
+    if main:
+        sessions.append(sorted(main))
+    # Local-SR units: collide when the SR register feeds another unit
+    # under test in the same session, or when they share the SR.
+    g = nx.Graph()
+    g.add_nodes_from(u for u, _r in local)
+    for i, (u1, r1) in enumerate(local):
+        for u2, r2 in local[i + 1:]:
+            if r1 == r2 or u2 in feeds[r1] or u1 in feeds[r2]:
+                g.add_edge(u1, u2)
+    if local:
+        colors = nx.coloring.greedy_color(g, strategy="largest_first")
+        extra: dict[int, list[str]] = {}
+        for u, c in colors.items():
+            extra.setdefault(c, []).append(u)
+        sessions.extend(sorted(extra[c]) for c in sorted(extra))
+    return sessions
+
+
+def session_aware_assignment(cdfg, schedule, binding):
+    """Register assignment maximising test concurrency, after [20].
+
+    Output variables of *different* units are kept in different
+    registers (each unit gets a private SR candidate) and a unit's
+    output variables avoid registers holding its own input variables
+    (so the SR is never one of the unit's TPGRs).  Both rules may cost
+    extra registers relative to left-edge -- the area price of test
+    concurrency the survey notes.
+    """
+    from repro.cdfg.lifetimes import variable_lifetimes
+    from repro.hls.binding import RegisterAssignment
+
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    out_unit: dict[str, str] = {}
+    in_units: dict[str, set[str]] = {}
+    for op in cdfg:
+        unit = binding.unit_of(op.name)
+        out_unit[op.output] = unit
+        for v in op.inputs:
+            in_units.setdefault(v, set()).add(unit)
+
+    contents: list[list[str]] = []
+    register_of: dict[str, int] = {}
+
+    def conflicts(v: str, idx: int) -> bool:
+        vu = out_unit.get(v)
+        for m in contents[idx]:
+            mu = out_unit.get(m)
+            if vu is not None and mu is not None and vu != mu:
+                return True  # two units' outputs -> shared SR
+            if vu is not None and vu in in_units.get(m, ()):
+                return True  # SR would double as this unit's TPGR
+            if mu is not None and mu in in_units.get(v, ()):
+                return True
+        return False
+
+    order = sorted(
+        lifetimes.values(), key=lambda lt: (lt.birth, lt.variable)
+    )
+    for lt in order:
+        v = lt.variable
+        placed = False
+        for idx, regvars in enumerate(contents):
+            if any(lt.overlaps(lifetimes[m]) for m in regvars):
+                continue
+            if conflicts(v, idx):
+                continue
+            regvars.append(v)
+            register_of[v] = idx
+            placed = True
+            break
+        if not placed:
+            contents.append([v])
+            register_of[v] = len(contents) - 1
+    result = RegisterAssignment(register_of)
+    result.verify(lifetimes)
+    return result
+
+
+def session_aware_roles(
+    datapath: Datapath,
+) -> tuple[list[ModuleTestEnvironment], int]:
+    """Choose SRs so modules avoid conflicts (maximal test concurrency).
+
+    Each unit gets a *private* SR when possible: outputs not shared
+    with other units' SRs and not among the unit's own inputs are
+    preferred.  Returns the environments and the number of converted
+    registers (TPGRs + SRs), the cost [20] pays for concurrency.
+    """
+    io = unit_io_registers(datapath)
+    taken_sr: set[str] = set()
+    envs: list[ModuleTestEnvironment] = []
+    tpgr: set[str] = set()
+    for unit in sorted(io):
+        ins, outs = io[unit]
+        tpgr.update(ins)
+        candidates = sorted(outs - ins - taken_sr) or sorted(outs - taken_sr)
+        choice = candidates[0] if candidates else sorted(outs)[0]
+        taken_sr.add(choice)
+        envs.append(
+            ModuleTestEnvironment(unit, tuple(sorted(ins)), choice)
+        )
+    converted = len(tpgr | taken_sr)
+    return envs, converted

@@ -1,0 +1,165 @@
+"""TPGR/SR sharing and exact CBILBO conditions, after [32]
+(Parulkar/Gupta/Breuer, DAC'95 -- survey section 5.1).
+
+To test every data-path module under pseudorandom BIST, each module
+needs a TPGR at each input and an SR at some output.  [32] reduces BIST
+area by (a) assigning registers so each converted register serves as
+TPGR for *many* modules and/or SR for *many* modules, and (b) applying
+exact conditions for when a self-adjacent register truly needs to be a
+CBILBO: only when the register must simultaneously generate patterns
+for and capture responses from the *same module in the same session*.
+If the module's response can be captured by a *different* output
+register, the self-adjacent register is configured as a TPGR only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bist.registers import BISTConfiguration, TestRole
+from repro.hls.datapath import Datapath
+
+
+@dataclass(frozen=True)
+class ModuleTestEnvironment:
+    """Registers used to test one functional unit under BIST."""
+
+    unit: str
+    tpgr_registers: tuple[str, ...]
+    sr_register: str
+
+
+def unit_io_registers(
+    datapath: Datapath,
+) -> dict[str, tuple[set[str], set[str]]]:
+    """Per unit: (input register set, output register set)."""
+    out: dict[str, tuple[set[str], set[str]]] = {}
+    for t in datapath.transfers:
+        ins, outs = out.setdefault(t.unit, (set(), set()))
+        ins.update(t.source_registers)
+        outs.add(t.dest_register)
+    return out
+
+
+def assign_test_roles(datapath: Datapath) -> tuple[
+    BISTConfiguration, list[ModuleTestEnvironment]
+]:
+    """Assign TPGR/SR/BILBO/CBILBO roles per the [32] conditions.
+
+    Every input register of a unit becomes a TPGR (shared across all
+    units it feeds).  For each unit one output register is chosen as its
+    SR, preferring (1) a register that is not simultaneously one of the
+    unit's own inputs (avoiding the CBILBO condition) and (2) a register
+    already serving as SR for another unit (sharing).  A register that
+    is TPGR for some unit and SR for another becomes a BILBO; a CBILBO
+    is required only when a unit's *every* output register is also one
+    of its own inputs.
+
+    The role annotations are written back onto the data path's
+    registers and returned as a :class:`BISTConfiguration`.
+    """
+    io = unit_io_registers(datapath)
+    tpgr: set[str] = set()
+    for ins, _outs in io.values():
+        tpgr.update(ins)
+
+    sr: set[str] = set()
+    cbilbo: set[str] = set()
+    envs: list[ModuleTestEnvironment] = []
+    for unit in sorted(io):
+        ins, outs = io[unit]
+        clean = sorted(outs - ins)
+        shared_clean = [r for r in clean if r in sr]
+        if shared_clean:
+            choice = shared_clean[0]
+        elif clean:
+            choice = clean[0]
+        else:
+            # Exact CBILBO condition: every output is also an input of
+            # this same unit -> concurrent generate + capture needed.
+            choice = sorted(outs)[0]
+            cbilbo.add(choice)
+        sr.add(choice)
+        envs.append(
+            ModuleTestEnvironment(unit, tuple(sorted(ins)), choice)
+        )
+
+    roles: dict[str, TestRole] = {}
+    for r in datapath.registers:
+        name = r.name
+        if name in cbilbo:
+            roles[name] = TestRole.CBILBO
+        elif name in tpgr and name in sr:
+            roles[name] = TestRole.BILBO
+        elif name in tpgr:
+            roles[name] = TestRole.TPGR
+        elif name in sr:
+            roles[name] = TestRole.SR
+        else:
+            roles[name] = TestRole.NONE
+        r.test_role = None if roles[name] is TestRole.NONE else roles[name].value
+    return BISTConfiguration(roles), envs
+
+
+def sharing_register_assignment(cdfg, schedule, binding):
+    """Register assignment maximising TPGR/SR sharing, after [32].
+
+    Variables that are inputs of many modules are steered into common
+    registers (one TPGR serves them all), and likewise for outputs;
+    input-role and output-role variables are kept apart so registers
+    rarely need to be BILBOs.  Budgeted like the [3] assigner: never
+    more registers than left-edge.
+    """
+    from repro.cdfg.lifetimes import variable_lifetimes
+    from repro.hls.binding import (
+        RegisterAssignment,
+        assign_registers_left_edge,
+    )
+
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    budget = assign_registers_left_edge(cdfg, schedule).num_registers
+
+    is_in: set[str] = set()
+    is_out: set[str] = set()
+    for op in cdfg:
+        is_in.update(op.inputs)
+        is_out.add(op.output)
+
+    def role(v: str) -> int:
+        # 0: pure input-side, 1: mixed, 2: pure output-side
+        if v in is_in and v in is_out:
+            return 1
+        return 0 if v in is_in else 2
+
+    contents: list[list[str]] = []
+    reg_role: list[int] = []
+    register_of: dict[str, int] = {}
+    order = sorted(
+        lifetimes.values(), key=lambda lt: (lt.birth, lt.variable)
+    )
+    for lt in order:
+        v = lt.variable
+        r = role(v)
+        compatible = [
+            idx
+            for idx, vs in enumerate(contents)
+            if all(not lt.overlaps(lifetimes[m]) for m in vs)
+        ]
+        same_role = [idx for idx in compatible if reg_role[idx] == r]
+        if same_role:
+            idx = same_role[0]
+        elif len(contents) < budget:
+            idx = len(contents)
+            contents.append([])
+            reg_role.append(r)
+        elif compatible:
+            idx = compatible[0]
+        else:
+            idx = len(contents)
+            contents.append([])
+            reg_role.append(r)
+        contents[idx].append(v)
+        register_of[v] = idx
+    result = RegisterAssignment(register_of)
+    result.verify(lifetimes)
+    return result

@@ -1,0 +1,142 @@
+"""Test-behavior insertion and the three-session scheme, after [30,31]
+(survey section 5.3).
+
+"A test behavior, executed only in the test mode, is obtained by
+inserting test points in the original behavior to enhance the
+testability of required internal signals.  The test points need extra
+primary I/O, implemented by extra TPGRs/SRs.  ...  A testing scheme is
+proposed which uses the test behavior to generate tests for the
+complete design, controller and data path, using only three test
+sessions."
+
+Testability of an internal signal under pseudorandom stimuli is
+measured by its subspace state coverage (reusing the [28] metric):
+variables whose value stream exercises little of their value space are
+the hard-to-test ones that receive test points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bist.arithmetic import accumulator_stream, subspace_state_coverage
+from repro.cdfg.graph import CDFG
+from repro.cdfg.interpret import run_sequence
+from repro.cdfg.transform import insert_test_statements
+
+
+@dataclass(frozen=True)
+class TestBehaviorResult:
+    """Outcome of test-behavior insertion."""
+
+    original: CDFG
+    modified: CDFG
+    controlled_variables: tuple[str, ...]
+    observed_variables: tuple[str, ...]
+    coverage_before: dict[str, float]
+
+    @property
+    def extra_tpgrs(self) -> int:
+        """One extra TPGR per test input added (tmode pin excluded)."""
+        return len(self.controlled_variables)
+
+    @property
+    def extra_srs(self) -> int:
+        """The XOR-compacted test output needs one SR."""
+        return 1 if self.observed_variables else 0
+
+
+def signal_coverage(
+    cdfg: CDFG, n_vectors: int = 64, k: int = 3, seed: int = 1
+) -> dict[str, float]:
+    """Subspace state coverage of every variable under pseudorandom
+    (arithmetic-generator) primary-input stimuli."""
+    pis = sorted(v.name for v in cdfg.primary_inputs())
+    streams = {
+        name: accumulator_stream(
+            cdfg.variable(name).width, 2 * (i + seed) + 1,
+            (i * 37 + seed) & 0xFF, n_vectors,
+        )
+        for i, name in enumerate(pis)
+    }
+    trace = run_sequence(
+        cdfg,
+        [{n: streams[n][t] for n in pis} for t in range(n_vectors)],
+    )
+    out: dict[str, float] = {}
+    for var in cdfg.variables.values():
+        values = [vals[var.name] for vals in trace]
+        kk = min(k, var.width)
+        out[var.name] = subspace_state_coverage(values, var.width, kk)
+    return out
+
+
+def insert_test_behavior(
+    cdfg: CDFG,
+    coverage_threshold: float = 0.5,
+    n_vectors: int = 64,
+    max_points: int = 4,
+) -> TestBehaviorResult:
+    """Add test statements for the lowest-coverage internal variables.
+
+    Variables below ``coverage_threshold`` get a control test point
+    (loadable from an extra TPGR in test mode) and are folded into the
+    compacted test output (observed by an extra SR); at most
+    ``max_points`` on each axis.
+    """
+    cov = signal_coverage(cdfg, n_vectors=n_vectors)
+    internals = [
+        v.name
+        for v in cdfg.variables.values()
+        if not v.is_input and not v.is_output
+    ]
+    hard = sorted(
+        (v for v in internals if cov[v] < coverage_threshold),
+        key=lambda v: (cov[v], v),
+    )[:max_points]
+    modified = (
+        insert_test_statements(cdfg, control_vars=hard, observe_vars=hard)
+        if hard
+        else cdfg
+    )
+    return TestBehaviorResult(
+        original=cdfg,
+        modified=modified,
+        controlled_variables=tuple(hard),
+        observed_variables=tuple(hard),
+        coverage_before=cov,
+    )
+
+
+@dataclass(frozen=True)
+class ThreeSessionPlan:
+    """The fixed three-session scheme of [31].
+
+    Session 1 exercises the data path's functional units through the
+    combined design+test behavior (I/O registers as TPGRs/SRs, test
+    points supplying the hard internals); session 2 tests the
+    controller (status inputs driven pseudorandomly, control word
+    outputs compacted); session 3 exercises the interconnect (register
+    -> mux -> register transfer paths).
+    """
+
+    design: str
+    sessions: tuple[tuple[str, ...], ...]
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self.sessions)
+
+
+def three_session_plan(result: TestBehaviorResult) -> ThreeSessionPlan:
+    """Build the [31] session plan for a behavior with test behavior."""
+    cdfg = result.modified
+    fu_targets = tuple(sorted({op.kind for op in cdfg})) or ("datapath",)
+    return ThreeSessionPlan(
+        design=cdfg.name,
+        sessions=(
+            tuple(f"FU:{k}" for k in fu_targets),
+            ("controller",),
+            ("interconnect",),
+        ),
+    )

@@ -1,0 +1,141 @@
+"""Test-function-block (TFB) data-path synthesis, after [31]
+(Papachristou/Chiu/Harmanani, DAC'91 -- survey section 5.1).
+
+"The basic building block used to map a variable and the operation
+which generates the variable is a test function block (TFB), which
+consists of an ALU, a multiplexer at each of the inputs of the ALU, and
+a test register (TPGR, SR, or BILBO) at the output of the ALU."
+
+Mapping unit: the *action* ``(v, o(v))``.  Two actions are compatible
+(mergeable into one TFB) iff (i) the lifetimes of their variables do
+not overlap, and (ii) neither variable is an input of the other
+action's operation -- condition (ii) is what guarantees the TFB's
+output register never feeds its own ALU, so *no self-adjacent register
+can form* and no CBILBO is ever needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import variable_lifetimes
+from repro.hls.estimate import AREA_MODEL, unit_area
+from repro.hls.scheduling import Schedule
+
+
+@dataclass(frozen=True)
+class Action:
+    """A (variable, producing-operation) pair."""
+
+    variable: str
+    operation: str
+
+
+@dataclass(frozen=True)
+class TFBAllocation:
+    """A partition of the CDFG's actions into test function blocks."""
+
+    blocks: tuple[tuple[Action, ...], ...]
+    design: str
+
+    @property
+    def num_tfbs(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_test_registers(self) -> int:
+        """One BILBO-capable register per TFB output."""
+        return len(self.blocks)
+
+    def area(self, cdfg: CDFG) -> float:
+        """Total area: ALUs + output test registers + input muxes."""
+        total = 0.0
+        for block in self.blocks:
+            width = max(
+                cdfg.variable(a.variable).width for a in block
+            )
+            total += unit_area("alu", width)
+            total += AREA_MODEL["bilbo_bit"] * width
+            fan = max(0, len(block) - 1)
+            total += 2 * fan * AREA_MODEL["mux2_bit"] * width
+        return total
+
+    def test_overhead(self, cdfg: CDFG) -> float:
+        """Extra area versus the same structure with plain registers.
+
+        Every TFB output register is a BILBO (it generates patterns for
+        downstream blocks and captures its own block's responses).
+        """
+        total = 0.0
+        for block in self.blocks:
+            width = max(cdfg.variable(a.variable).width for a in block)
+            total += (
+                AREA_MODEL["bilbo_bit"] - AREA_MODEL["register_bit"]
+            ) * width
+        return total
+
+
+def actions_of(cdfg: CDFG) -> list[Action]:
+    """All (variable, producer) actions; primary inputs have none."""
+    return [
+        Action(op.output, op.name)
+        for op in sorted(cdfg, key=lambda o: o.name)
+    ]
+
+
+def compatible(cdfg: CDFG, lifetimes, a: Action, b: Action) -> bool:
+    """The two-condition compatibility test of [31]."""
+    if lifetimes[a.variable].overlaps(lifetimes[b.variable]):
+        return False
+    op_a = cdfg.operation(a.operation)
+    op_b = cdfg.operation(b.operation)
+    if a.variable in op_b.inputs or b.variable in op_a.inputs:
+        return False
+    # A variable that feeds its own producer (accumulator-style carried
+    # self-input) is inherently self-adjacent; exclude such merges too.
+    if a.variable in op_a.inputs or b.variable in op_b.inputs:
+        return False
+    return True
+
+
+def map_to_tfbs(cdfg: CDFG, schedule: Schedule) -> TFBAllocation:
+    """Partition actions into a near-minimal number of TFBs.
+
+    Formulated as coloring of the incompatibility graph (equivalent to
+    the prime-sequence cover of [31] on interval-structured lifetimes);
+    greedy largest-first coloring is used.
+    """
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    acts = actions_of(cdfg)
+    g = nx.Graph()
+    g.add_nodes_from(range(len(acts)))
+    for i in range(len(acts)):
+        for j in range(i + 1, len(acts)):
+            if not compatible(cdfg, lifetimes, acts[i], acts[j]):
+                g.add_edge(i, j)
+    colors = nx.coloring.greedy_color(g, strategy="largest_first")
+    blocks: dict[int, list[Action]] = {}
+    for idx, color in colors.items():
+        blocks.setdefault(color, []).append(acts[idx])
+    ordered = [
+        tuple(sorted(blocks[c], key=lambda a: a.variable))
+        for c in sorted(blocks)
+    ]
+    return TFBAllocation(tuple(ordered), cdfg.name)
+
+
+def verify_no_self_adjacency(cdfg: CDFG, allocation: TFBAllocation) -> None:
+    """Raise if any TFB's output variable feeds that TFB's own ALU."""
+    for block in allocation.blocks:
+        block_vars = {a.variable for a in block}
+        for action in block:
+            op = cdfg.operation(action.operation)
+            overlap = block_vars.intersection(op.inputs)
+            if overlap:
+                raise AssertionError(
+                    f"TFB {block}: output variable(s) {sorted(overlap)} "
+                    f"feed operation {op.name!r} in the same block"
+                )

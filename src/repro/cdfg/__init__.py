@@ -1,0 +1,49 @@
+"""Control-Data Flow Graph (CDFG) substrate.
+
+The CDFG is the behavioral representation used throughout the survey
+(section 1.1): operations connected by data-dependency edges, with
+loop-carried dependencies modelling behavioral loops (section 3.3.1).
+
+Public API:
+
+* :class:`~repro.cdfg.graph.CDFG`, :class:`~repro.cdfg.graph.Operation`,
+  :class:`~repro.cdfg.graph.Variable` -- the data model.
+* :class:`~repro.cdfg.builder.CDFGBuilder` -- fluent construction, plus
+  :func:`~repro.cdfg.builder.parse_behavior` for a tiny assignment
+  language.
+* :mod:`~repro.cdfg.analysis` -- ASAP/ALAP, mobility, loop enumeration.
+* :mod:`~repro.cdfg.lifetimes` -- variable lifetime intervals for a
+  schedule.
+* :mod:`~repro.cdfg.suite` -- the standard HLS benchmark behaviors used
+  by the papers the survey covers (Figure 1, HAL diffeq, EWF, ...).
+* :mod:`~repro.cdfg.transform` -- behavioral modification for
+  testability (deflection operations [16], test statements [9]).
+"""
+
+from repro.cdfg.graph import CDFG, Operation, Variable
+from repro.cdfg.builder import CDFGBuilder, parse_behavior
+from repro.cdfg.analysis import (
+    asap_schedule,
+    alap_schedule,
+    mobility,
+    critical_path_length,
+    cdfg_loops,
+    loop_variables,
+)
+from repro.cdfg.lifetimes import Lifetime, variable_lifetimes
+
+__all__ = [
+    "CDFG",
+    "Operation",
+    "Variable",
+    "CDFGBuilder",
+    "parse_behavior",
+    "asap_schedule",
+    "alap_schedule",
+    "mobility",
+    "critical_path_length",
+    "cdfg_loops",
+    "loop_variables",
+    "Lifetime",
+    "variable_lifetimes",
+]

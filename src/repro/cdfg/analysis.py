@@ -1,0 +1,140 @@
+"""CDFG analysis: ASAP/ALAP schedules, mobility, and loop enumeration.
+
+The mobility of an operation (ALAP - ASAP control step) drives list
+scheduling and the mobility-path scheduling of [26].  The loop
+enumeration implements the section 3.3.1 view: a *CDFG loop* is a cycle
+of data-dependency edges in the variable-level dependence graph; each
+such cycle necessarily crosses at least one loop-carried edge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.cdfg.graph import CDFG, CDFGError
+
+
+def asap_schedule(cdfg: CDFG) -> dict[str, int]:
+    """As-soon-as-possible control step for each operation (1-based).
+
+    Ignores loop-carried edges; an operation scheduled at step *s* with
+    delay *d* produces its result at the end of step ``s + d - 1``.
+    """
+    dag = cdfg.op_graph(include_carried=False)
+    steps: dict[str, int] = {}
+    for op_name in nx.topological_sort(dag):
+        op = cdfg.operation(op_name)
+        earliest = 1
+        for pred in dag.predecessors(op_name):
+            p = cdfg.operation(pred)
+            earliest = max(earliest, steps[pred] + p.delay)
+        steps[op_name] = earliest
+    return steps
+
+
+def critical_path_length(cdfg: CDFG) -> int:
+    """Minimum number of control steps for any feasible schedule."""
+    asap = asap_schedule(cdfg)
+    if not asap:
+        return 0
+    return max(asap[o] + cdfg.operation(o).delay - 1 for o in asap)
+
+
+def alap_schedule(cdfg: CDFG, num_steps: int | None = None) -> dict[str, int]:
+    """As-late-as-possible control step for each operation.
+
+    Parameters
+    ----------
+    num_steps:
+        Latency constraint; defaults to the critical path length.
+        Raises :class:`CDFGError` if infeasible.
+    """
+    cpl = critical_path_length(cdfg)
+    if num_steps is None:
+        num_steps = cpl
+    if num_steps < cpl:
+        raise CDFGError(
+            f"latency constraint {num_steps} below critical path {cpl}"
+        )
+    dag = cdfg.op_graph(include_carried=False)
+    steps: dict[str, int] = {}
+    for op_name in reversed(list(nx.topological_sort(dag))):
+        op = cdfg.operation(op_name)
+        latest = num_steps - op.delay + 1
+        for succ in dag.successors(op_name):
+            latest = min(latest, steps[succ] - op.delay)
+        steps[op_name] = latest
+    return steps
+
+
+def mobility(cdfg: CDFG, num_steps: int | None = None) -> dict[str, int]:
+    """Mobility (slack) per operation: ALAP - ASAP control step."""
+    asap = asap_schedule(cdfg)
+    alap = alap_schedule(cdfg, num_steps)
+    return {o: alap[o] - asap[o] for o in asap}
+
+
+def cdfg_loops(cdfg: CDFG, bound: int | None = None) -> list[list[str]]:
+    """Enumerate CDFG loops as variable cycles.
+
+    Returns a list of loops; each loop is the list of variable names on
+    a simple cycle of the variable dependence graph.  ``bound`` caps the
+    number of cycles enumerated (cycle counts can blow up on dense
+    graphs); loops are enumerated shortest-first when bounded.
+    """
+    g = cdfg.variable_graph()
+    cycles: list[list[str]] = []
+    for cyc in nx.simple_cycles(g):
+        cycles.append(list(cyc))
+        if bound is not None and len(cycles) >= bound:
+            break
+    cycles.sort(key=len)
+    return cycles
+
+
+def loop_variables(cdfg: CDFG, bound: int | None = None) -> set[str]:
+    """All variables lying on at least one CDFG loop."""
+    out: set[str] = set()
+    for cyc in cdfg_loops(cdfg, bound=bound):
+        out.update(cyc)
+    return out
+
+
+def operations_on_loops(cdfg: CDFG, bound: int | None = None) -> set[str]:
+    """All operations lying on at least one CDFG loop."""
+    g = cdfg.op_graph(include_carried=True)
+    out: set[str] = set()
+    for cyc in nx.simple_cycles(g):
+        out.update(cyc)
+        if bound is not None and len(out) >= bound:
+            break
+    return out
+
+
+def loops_broken_by(loops: Sequence[Sequence[str]], chosen: Iterable[str]) -> int:
+    """How many of ``loops`` contain at least one variable of ``chosen``."""
+    chosen_set = set(chosen)
+    return sum(1 for loop in loops if chosen_set.intersection(loop))
+
+
+def unbroken_loops(
+    loops: Sequence[Sequence[str]], chosen: Iterable[str]
+) -> list[list[str]]:
+    """The subset of ``loops`` not cut by any variable in ``chosen``."""
+    chosen_set = set(chosen)
+    return [list(l) for l in loops if not chosen_set.intersection(l)]
+
+
+def sequential_depth_estimate(cdfg: CDFG) -> int:
+    """Depth (in operations) of the longest input-to-output chain.
+
+    A behavioral proxy for the data-path sequential depth of section
+    3.1: before scheduling, the best achievable register-to-register
+    depth tracks the operation chain length.
+    """
+    dag = cdfg.op_graph(include_carried=False)
+    if len(dag) == 0:
+        return 0
+    return nx.dag_longest_path_length(dag) + 1

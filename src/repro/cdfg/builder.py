@@ -1,0 +1,146 @@
+"""Convenient CDFG construction.
+
+Two entry points:
+
+* :class:`CDFGBuilder` -- programmatic fluent interface used by the
+  benchmark suite and tests.
+* :func:`parse_behavior` -- a tiny single-assignment language, one
+  statement per line::
+
+      input a b c
+      output y
+      t1 = a + b
+      t2 = t1 * c        # '*' defaults to delay 2
+      y  = t2 + a
+      s  = y @+ s        # '@' marks the *second* operand loop-carried
+
+  The ``@`` prefix on an operator marks its right operand as
+  loop-carried (the value from the previous iteration), which is how
+  behavioral loops (section 3.3.1) are expressed.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cdfg.graph import CDFG, CDFGError, Operation, Variable
+
+#: Default operation latencies in control steps (multipliers are the
+#: classic 2-cycle units of the HLS literature).
+DEFAULT_DELAYS = {"*": 2}
+
+
+class CDFGBuilder:
+    """Fluent builder for :class:`~repro.cdfg.graph.CDFG` objects."""
+
+    def __init__(self, name: str = "cdfg", width: int = 8) -> None:
+        self._cdfg = CDFG(name)
+        self._width = width
+        self._counter: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def inputs(self, *names: str, width: int | None = None) -> "CDFGBuilder":
+        for n in names:
+            self._cdfg.add_variable(
+                Variable(n, width or self._width, is_input=True)
+            )
+        return self
+
+    def outputs(self, *names: str, width: int | None = None) -> "CDFGBuilder":
+        for n in names:
+            self._cdfg.add_variable(
+                Variable(n, width or self._width, is_output=True)
+            )
+        return self
+
+    def var(self, name: str, width: int | None = None) -> "CDFGBuilder":
+        self._cdfg.add_variable(Variable(name, width or self._width))
+        return self
+
+    def op(
+        self,
+        kind: str,
+        inputs: tuple[str, ...] | list[str],
+        output: str,
+        name: str | None = None,
+        carried: tuple[str, ...] = (),
+        delay: int | None = None,
+    ) -> "CDFGBuilder":
+        """Add an operation; missing variables are created as intermediates."""
+        for v in tuple(inputs) + (output,):
+            if v not in self._cdfg.variables:
+                self._cdfg.add_variable(Variable(v, self._width))
+        if name is None:
+            self._counter[kind] = self._counter.get(kind, 0) + 1
+            name = f"{kind}{self._counter[kind]}"
+        self._cdfg.add_operation(
+            Operation(
+                name,
+                kind,
+                tuple(inputs),
+                output,
+                carried=frozenset(carried),
+                delay=delay if delay is not None else DEFAULT_DELAYS.get(kind, 1),
+            )
+        )
+        return self
+
+    # shorthand operation helpers -------------------------------------
+
+    def add(self, a: str, b: str, out: str, **kw) -> "CDFGBuilder":
+        return self.op("+", (a, b), out, **kw)
+
+    def sub(self, a: str, b: str, out: str, **kw) -> "CDFGBuilder":
+        return self.op("-", (a, b), out, **kw)
+
+    def mul(self, a: str, b: str, out: str, **kw) -> "CDFGBuilder":
+        return self.op("*", (a, b), out, **kw)
+
+    def lt(self, a: str, b: str, out: str, **kw) -> "CDFGBuilder":
+        return self.op("<", (a, b), out, **kw)
+
+    def build(self, validate: bool = True) -> CDFG:
+        if validate:
+            self._cdfg.validate()
+        return self._cdfg
+
+
+_STMT_RE = re.compile(
+    r"^(?P<out>\w+)\s*=\s*(?P<a>\w+)\s*(?P<carry>@?)"
+    r"(?P<op>\+|\-|\*|\&|\||\^|<<|>>|<|>|==)\s*(?P<b>\w+)$"
+)
+
+
+def parse_behavior(text: str, name: str = "cdfg", width: int = 8) -> CDFG:
+    """Parse the tiny behavioral language described in the module docstring.
+
+    Raises
+    ------
+    CDFGError
+        On any malformed statement.
+    """
+    builder = CDFGBuilder(name, width=width)
+    declared_out: list[str] = []
+    statements: list[tuple[str, str, str, str, bool]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        head, _, rest = line.partition(" ")
+        if head == "input":
+            builder.inputs(*rest.split())
+            continue
+        if head == "output":
+            declared_out.extend(rest.split())
+            continue
+        m = _STMT_RE.match(line)
+        if m is None:
+            raise CDFGError(f"cannot parse statement: {line!r}")
+        statements.append(
+            (m["out"], m["a"], m["op"], m["b"], bool(m["carry"]))
+        )
+    builder.outputs(*declared_out)
+    for out, a, op, b, carried in statements:
+        builder.op(op, (a, b), out, carried=(b,) if carried else ())
+    return builder.build()

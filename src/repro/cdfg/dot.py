@@ -1,0 +1,117 @@
+"""Graphviz DOT export for CDFGs, S-graphs, and data paths.
+
+Visual inspection is half of DFT debugging; these renderers emit plain
+DOT (viewable with ``dot -Tpng`` or any online viewer) with the
+testability annotations the library computes: loop membership on CDFG
+variables, scan marks and self-loops on S-graph registers.
+"""
+
+from __future__ import annotations
+
+import io
+
+import networkx as nx
+
+from repro.cdfg.analysis import loop_variables
+from repro.cdfg.graph import CDFG
+
+
+def _esc(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def cdfg_to_dot(cdfg: CDFG, highlight_loops: bool = True) -> str:
+    """Render a CDFG: boxes are operations, ellipses are variables.
+
+    Loop variables are shaded; loop-carried edges are dashed.
+    """
+    on_loop = loop_variables(cdfg) if highlight_loops else set()
+    buf = io.StringIO()
+    buf.write(f"digraph {_esc(cdfg.name)} {{\n  rankdir=TB;\n")
+    for v in cdfg.variables.values():
+        attrs = ["shape=ellipse"]
+        if v.is_input:
+            attrs.append("style=bold")
+            attrs.append('color="blue"')
+        elif v.is_output:
+            attrs.append("style=bold")
+            attrs.append('color="darkgreen"')
+        if v.name in on_loop:
+            attrs.append("style=filled")
+            attrs.append('fillcolor="mistyrose"')
+        buf.write(f"  {_esc(v.name)} [{', '.join(attrs)}];\n")
+    for op in cdfg:
+        label = f"{op.name}\\n{op.kind}"
+        buf.write(
+            f"  {_esc('op:' + op.name)} [shape=box, label={_esc(label)}];\n"
+        )
+        for v in op.inputs:
+            dashed = ", style=dashed" if v in op.carried else ""
+            buf.write(
+                f"  {_esc(v)} -> {_esc('op:' + op.name)} [arrowsize=0.7"
+                f"{dashed}];\n"
+            )
+        buf.write(
+            f"  {_esc('op:' + op.name)} -> {_esc(op.output)} "
+            f"[arrowsize=0.7];\n"
+        )
+    buf.write("}\n")
+    return buf.getvalue()
+
+
+def sgraph_to_dot(sgraph: nx.DiGraph) -> str:
+    """Render an S-graph: registers with I/O and scan annotations."""
+    buf = io.StringIO()
+    name = sgraph.graph.get("name", "sgraph")
+    buf.write(f"digraph {_esc(name)} {{\n  rankdir=LR;\n")
+    for n, d in sgraph.nodes(data=True):
+        attrs = ["shape=box"]
+        if d.get("scan"):
+            attrs.append("style=filled")
+            attrs.append('fillcolor="gold"')
+        elif d.get("is_input") or d.get("is_output"):
+            attrs.append("style=bold")
+        label = n
+        if d.get("width"):
+            label += f"\\n{d['width']}b"
+        attrs.append(f"label={_esc(label)}")
+        buf.write(f"  {_esc(n)} [{', '.join(attrs)}];\n")
+    for u, v, d in sgraph.edges(data=True):
+        ops = ",".join(d.get("operations", [])[:3])
+        buf.write(
+            f"  {_esc(u)} -> {_esc(v)} [label={_esc(ops)}, fontsize=8];\n"
+        )
+    buf.write("}\n")
+    return buf.getvalue()
+
+
+def datapath_to_dot(datapath) -> str:
+    """Render a data path: registers, units, and transfers."""
+    buf = io.StringIO()
+    buf.write(f"digraph {_esc(datapath.name)} {{\n  rankdir=LR;\n")
+    for r in datapath.registers:
+        attrs = ["shape=box"]
+        if r.scan:
+            attrs.append("style=filled")
+            attrs.append('fillcolor="gold"')
+        elif r.is_io_register:
+            attrs.append("style=bold")
+        label = f"{r.name}\\n{{{','.join(r.variables)}}}"
+        attrs.append(f"label={_esc(label)}")
+        buf.write(f"  {_esc(r.name)} [{', '.join(attrs)}];\n")
+    for u in datapath.units:
+        label = f"{u.name}\\n{'/'.join(sorted(u.kinds))}"
+        buf.write(
+            f"  {_esc(u.name)} [shape=trapezium, label={_esc(label)}];\n"
+        )
+    seen = set()
+    for t in datapath.transfers:
+        for src in set(t.source_registers):
+            if (src, t.unit) not in seen:
+                seen.add((src, t.unit))
+                buf.write(f"  {_esc(src)} -> {_esc(t.unit)};\n")
+        if (t.unit, t.dest_register) not in seen:
+            seen.add((t.unit, t.dest_register))
+            buf.write(f"  {_esc(t.unit)} -> {_esc(t.dest_register)};\n")
+    buf.write("}\n")
+    return buf.getvalue()

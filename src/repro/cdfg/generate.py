@@ -1,0 +1,197 @@
+"""Synthetic CDFG generators.
+
+Used by the property-based tests and by the parameter sweeps in the
+benchmark harness (e.g. scaling the number and length of behavioral
+loops, section 3.3.1).  All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFG
+
+_KINDS = ("+", "-", "*", "+", "+", "-")  # add-heavy mix, DSP-like
+
+
+def random_dag_cdfg(
+    n_ops: int,
+    n_inputs: int = 4,
+    seed: int = 0,
+    width: int = 8,
+    fanin_window: int = 6,
+) -> CDFG:
+    """A random acyclic CDFG with ``n_ops`` binary operations.
+
+    Each operation draws its operands from the ``fanin_window`` most
+    recently produced values (or primary inputs), which yields the
+    narrow, chain-heavy DFGs typical of DSP behaviors rather than
+    uniformly random graphs.  Values left unconsumed become primary
+    outputs.
+    """
+    if n_ops < 1:
+        raise ValueError("n_ops must be >= 1")
+    rng = random.Random(seed)
+    b = CDFGBuilder(f"rand{n_ops}_{seed}", width=width)
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    b.inputs(*inputs)
+    available = list(inputs)
+    produced: list[str] = []
+    consumed: set[str] = set()
+    for k in range(n_ops):
+        window = available[-fanin_window:]
+        a = rng.choice(window)
+        c = rng.choice(window)
+        out = f"v{k}"
+        b.op(rng.choice(_KINDS), (a, c), out, name=f"op{k}")
+        consumed.update((a, c))
+        available.append(out)
+        produced.append(out)
+    cdfg = b.build(validate=False)
+    # Expose dangling values as primary outputs so validation passes.
+    dangling = [v for v in produced if v not in consumed]
+    return _with_outputs(cdfg, dangling)
+
+
+def random_looped_cdfg(
+    n_ops: int,
+    n_loops: int,
+    loop_length: int = 3,
+    n_inputs: int = 4,
+    seed: int = 0,
+    width: int = 8,
+) -> CDFG:
+    """A random CDFG containing ``n_loops`` behavioral loops.
+
+    Each loop is a chain of ``loop_length`` operations whose head reads
+    the tail's value loop-carried, mimicking filter-state feedback.  The
+    remaining ``n_ops - n_loops * loop_length`` operations form random
+    acyclic glue that consumes loop outputs.
+    """
+    if n_loops * loop_length > n_ops:
+        raise ValueError("loops do not fit in n_ops")
+    rng = random.Random(seed)
+    b = CDFGBuilder(f"loopy{n_ops}_{n_loops}_{seed}", width=width)
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    b.inputs(*inputs)
+    available = list(inputs)
+    consumed: set[str] = set()
+    produced: list[str] = []
+
+    def emit(kind, a, c, out, name, carried=()):
+        b.op(kind, (a, c), out, name=name, carried=carried)
+        consumed.update((a, c))
+        consumed.difference_update(carried)  # carried uses don't sink a value
+        available.append(out)
+        produced.append(out)
+
+    op_idx = 0
+    for loop in range(n_loops):
+        tail = f"L{loop}_{loop_length - 1}"
+        prev = tail
+        for j in range(loop_length):
+            out = f"L{loop}_{j}"
+            other = rng.choice(available)
+            carried = (prev,) if j == 0 else ()
+            emit(rng.choice(_KINDS), prev, other, out,
+                 f"op{op_idx}", carried=carried)
+            consumed.add(tail)  # the carried read still counts as a use
+            prev = out
+            op_idx += 1
+    while op_idx < n_ops:
+        a = rng.choice(available[-8:])
+        c = rng.choice(available[-8:])
+        emit(rng.choice(_KINDS), a, c, f"v{op_idx}", f"op{op_idx}")
+        op_idx += 1
+    cdfg = b.build(validate=False)
+    dangling = [v for v in produced if v not in consumed]
+    return _with_outputs(cdfg, dangling)
+
+
+def random_control_cdfg(
+    n_ops: int,
+    n_selects: int,
+    n_loops: int = 1,
+    n_inputs: int = 4,
+    seed: int = 0,
+    width: int = 8,
+) -> CDFG:
+    """A random *control-flow-oriented* CDFG (survey §7a class).
+
+    Like :func:`random_looped_cdfg`, but ``n_selects`` of the glue
+    operations are data-steering selects whose conditions come from
+    comparisons -- state flows through multiplexing rather than
+    arithmetic, the telecom-style structure the survey says techniques
+    must evolve toward.
+    """
+    if n_loops * 3 + n_selects > n_ops:
+        raise ValueError("selects and loops do not fit in n_ops")
+    rng = random.Random(seed)
+    b = CDFGBuilder(f"ctrl{n_ops}_{n_selects}_{seed}", width=width)
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    b.inputs(*inputs)
+    available = list(inputs)
+    consumed: set[str] = set()
+    produced: list[str] = []
+
+    def emit(kind, ins, out, name, carried=()):
+        b.op(kind, ins, out, name=name, carried=carried)
+        consumed.update(ins)
+        consumed.difference_update(carried)
+        available.append(out)
+        produced.append(out)
+
+    op_idx = 0
+    for loop in range(n_loops):
+        # a select-steered feedback loop: state chosen by a comparison
+        tail = f"L{loop}_state"
+        cond = f"L{loop}_c"
+        emit("<", (rng.choice(available), tail), cond,
+             f"op{op_idx}", carried=(tail,))
+        consumed.add(tail)
+        op_idx += 1
+        upd = f"L{loop}_u"
+        emit(rng.choice(_KINDS), (rng.choice(available),
+                                  rng.choice(available)),
+             upd, f"op{op_idx}")
+        op_idx += 1
+        emit("select", (cond, upd, rng.choice(available)), tail,
+             f"op{op_idx}")
+        op_idx += 1
+    selects_left = n_selects
+    while op_idx < n_ops:
+        a = rng.choice(available[-8:])
+        c = rng.choice(available[-8:])
+        if selects_left > 0 and rng.random() < 0.5:
+            cond = f"c{op_idx}"
+            emit("<", (a, c), cond, f"op{op_idx}")
+            op_idx += 1
+            if op_idx >= n_ops:
+                break
+            emit("select", (cond, rng.choice(available[-8:]), c),
+                 f"v{op_idx}", f"op{op_idx}")
+            selects_left -= 1
+        else:
+            emit(rng.choice(_KINDS), (a, c), f"v{op_idx}", f"op{op_idx}")
+        op_idx += 1
+    cdfg = b.build(validate=False)
+    dangling = [v for v in produced if v not in consumed]
+    return _with_outputs(cdfg, dangling)
+
+
+def _with_outputs(cdfg: CDFG, names: list[str]) -> CDFG:
+    """Rebuild ``cdfg`` with ``names`` (plus existing outputs) marked as POs."""
+    from repro.cdfg.graph import Variable
+
+    out = CDFG(cdfg.name)
+    mark = set(names)
+    for v in cdfg.variables.values():
+        if v.name in mark and not v.is_input:
+            out.add_variable(Variable(v.name, v.width, False, True))
+        else:
+            out.add_variable(v)
+    for op in cdfg.operations.values():
+        out.add_operation(op)
+    out.validate()
+    return out

@@ -1,0 +1,311 @@
+"""Core CDFG data model.
+
+A :class:`CDFG` holds *operations* and *variables*.  Data dependencies are
+implied by variables: an operation consumes its input variables and
+produces exactly one output variable.  A dependency may be *loop
+carried* -- the consumer reads the value produced in the *previous*
+iteration of the behavior.  Loop-carried dependencies are what create
+the behavioral loops discussed in section 3.3.1 of the survey: every
+cycle in the data-dependency graph passes through at least one carried
+edge (otherwise the behavior would not be computable).
+
+The model deliberately mirrors what the surveyed papers assume:
+
+* single-assignment variables (each variable has at most one producer);
+* single-output operations;
+* commutative/associative knowledge carried by the operation *kind*
+  (used by the deflection-operation transform of [16]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import networkx as nx
+
+#: Operation kinds with an identity element usable for deflection
+#: operations ([16]): ``op(x, identity) == x``.
+IDENTITY_ELEMENTS: Mapping[str, int] = {
+    "+": 0,
+    "-": 0,
+    "*": 1,
+    "|": 0,
+    "^": 0,
+}
+
+#: Kinds whose gate-level realisation is an ALU-class unit (used by
+#: module allocation); comparison and selection are handled separately.
+ARITHMETIC_KINDS = frozenset({"+", "-", "*", "<", ">", "==", "&", "|", "^", ">>", "<<"})
+
+#: Kinds that commute in their two data operands.
+COMMUTATIVE_KINDS = frozenset({"+", "*", "&", "|", "^", "=="})
+
+
+class CDFGError(ValueError):
+    """Raised for structurally invalid CDFG constructions."""
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A single-assignment behavioral variable.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the CDFG.
+    width:
+        Bit width of the value; the gate-level expansion uses this.
+    is_input:
+        True when the variable is a primary input of the behavior.
+    is_output:
+        True when the variable is a primary output of the behavior.
+    """
+
+    name: str
+    width: int = 8
+    is_input: bool = False
+    is_output: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise CDFGError(f"variable {self.name!r}: width must be positive")
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A behavioral operation.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"+1"``.
+    kind:
+        Operator symbol (``"+"``, ``"*"``, ``"select"``, ...).
+    inputs:
+        Names of the input variables, in port order.
+    output:
+        Name of the produced variable.
+    carried:
+        Subset of ``inputs`` that are loop-carried: the operation reads
+        the value produced in the previous iteration.  Carried inputs do
+        not constrain the schedule but do close CDFG loops.
+    delay:
+        Latency in control steps (>= 1).  Multipliers are commonly 2.
+    """
+
+    name: str
+    kind: str
+    inputs: tuple[str, ...]
+    output: str
+    carried: frozenset[str] = frozenset()
+    delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.delay < 1:
+            raise CDFGError(f"operation {self.name!r}: delay must be >= 1")
+        if not self.inputs:
+            raise CDFGError(f"operation {self.name!r}: needs at least one input")
+        extra = set(self.carried) - set(self.inputs)
+        if extra:
+            raise CDFGError(
+                f"operation {self.name!r}: carried names {sorted(extra)} "
+                "are not inputs"
+            )
+
+    @property
+    def is_commutative(self) -> bool:
+        return self.kind in COMMUTATIVE_KINDS
+
+    def sequencing_inputs(self) -> tuple[str, ...]:
+        """Inputs that impose intra-iteration precedence (not carried)."""
+        return tuple(v for v in self.inputs if v not in self.carried)
+
+
+class CDFG:
+    """A control-data flow graph.
+
+    The graph is built incrementally through :meth:`add_variable` and
+    :meth:`add_operation` (or, more conveniently, via
+    :class:`~repro.cdfg.builder.CDFGBuilder`).  It exposes producer /
+    consumer maps and conversions to :mod:`networkx` graphs for
+    analysis.
+    """
+
+    def __init__(self, name: str = "cdfg") -> None:
+        self.name = name
+        self._variables: dict[str, Variable] = {}
+        self._operations: dict[str, Operation] = {}
+        self._producer: dict[str, str] = {}  # variable -> op name
+        self._consumers: dict[str, list[str]] = {}  # variable -> op names
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_variable(self, variable: Variable) -> Variable:
+        if variable.name in self._variables:
+            raise CDFGError(f"duplicate variable {variable.name!r}")
+        self._variables[variable.name] = variable
+        self._consumers.setdefault(variable.name, [])
+        return variable
+
+    def add_operation(self, operation: Operation) -> Operation:
+        if operation.name in self._operations:
+            raise CDFGError(f"duplicate operation {operation.name!r}")
+        for v in operation.inputs + (operation.output,):
+            if v not in self._variables:
+                raise CDFGError(
+                    f"operation {operation.name!r} references unknown "
+                    f"variable {v!r}"
+                )
+        out = self._variables[operation.output]
+        if out.is_input:
+            raise CDFGError(
+                f"operation {operation.name!r} writes primary input {out.name!r}"
+            )
+        if operation.output in self._producer:
+            raise CDFGError(
+                f"variable {operation.output!r} already produced by "
+                f"{self._producer[operation.output]!r} (single assignment)"
+            )
+        self._operations[operation.name] = operation
+        self._producer[operation.output] = operation.name
+        for v in operation.inputs:
+            self._consumers[v].append(operation.name)
+        return operation
+
+    # ------------------------------------------------------------------
+    # accessors
+
+    @property
+    def variables(self) -> Mapping[str, Variable]:
+        return self._variables
+
+    @property
+    def operations(self) -> Mapping[str, Operation]:
+        return self._operations
+
+    def variable(self, name: str) -> Variable:
+        return self._variables[name]
+
+    def operation(self, name: str) -> Operation:
+        return self._operations[name]
+
+    def producer_of(self, variable: str) -> Operation | None:
+        """The operation producing ``variable`` (None for primary inputs)."""
+        op = self._producer.get(variable)
+        return self._operations[op] if op is not None else None
+
+    def consumers_of(self, variable: str) -> list[Operation]:
+        return [self._operations[o] for o in self._consumers.get(variable, ())]
+
+    def primary_inputs(self) -> list[Variable]:
+        return [v for v in self._variables.values() if v.is_input]
+
+    def primary_outputs(self) -> list[Variable]:
+        return [v for v in self._variables.values() if v.is_output]
+
+    def intermediate_variables(self) -> list[Variable]:
+        return [
+            v
+            for v in self._variables.values()
+            if not v.is_input and not v.is_output
+        ]
+
+    def kinds(self) -> set[str]:
+        """All operation kinds used by this behavior."""
+        return {op.kind for op in self._operations.values()}
+
+    def operations_of_kind(self, kind: str) -> list[Operation]:
+        return [op for op in self._operations.values() if op.kind == kind]
+
+    # ------------------------------------------------------------------
+    # validation & graph views
+
+    def validate(self) -> None:
+        """Raise :class:`CDFGError` unless the CDFG is well formed.
+
+        Checks: every non-input variable has a producer; every
+        non-output variable has a consumer (no dead code); the
+        intra-iteration dependence graph (carried edges removed) is
+        acyclic -- a cyclic one would describe an uncomputable behavior.
+        """
+        for v in self._variables.values():
+            if not v.is_input and v.name not in self._producer:
+                raise CDFGError(f"variable {v.name!r} has no producer")
+            if (
+                not v.is_output
+                and not v.is_input  # an unconsumed PI is an unused port
+                and not self._consumers.get(v.name)
+            ):
+                raise CDFGError(f"variable {v.name!r} is never consumed")
+        dag = self.op_graph(include_carried=False)
+        if not nx.is_directed_acyclic_graph(dag):
+            cycle = nx.find_cycle(dag)
+            raise CDFGError(
+                "intra-iteration dependence cycle (missing 'carried' "
+                f"annotation?): {cycle}"
+            )
+
+    def op_graph(self, include_carried: bool = True) -> nx.DiGraph:
+        """Operation-level dependence graph.
+
+        Nodes are operation names.  There is an edge ``p -> c`` when
+        ``c`` consumes the variable produced by ``p``.  Edges caused by
+        loop-carried inputs get attribute ``carried=True`` and are
+        omitted when ``include_carried`` is False (that projection is
+        the scheduling DAG).
+        """
+        g = nx.DiGraph()
+        g.add_nodes_from(self._operations)
+        for c in self._operations.values():
+            for v in c.inputs:
+                p = self._producer.get(v)
+                if p is None:
+                    continue
+                carried = v in c.carried
+                if carried and not include_carried:
+                    continue
+                # Do not overwrite a non-carried edge with a carried one.
+                if g.has_edge(p, c.name) and not g[p][c.name]["carried"]:
+                    continue
+                g.add_edge(p, c.name, carried=carried, variable=v)
+        return g
+
+    def variable_graph(self) -> nx.DiGraph:
+        """Variable-level dependence graph.
+
+        Nodes are variable names.  There is an edge ``u -> w`` when some
+        operation consumes ``u`` and produces ``w``.  Cycles in this
+        graph are exactly the CDFG loops of section 3.3.1.
+        """
+        g = nx.DiGraph()
+        g.add_nodes_from(self._variables)
+        for op in self._operations.values():
+            for v in op.inputs:
+                g.add_edge(v, op.output, operation=op.name,
+                           carried=v in op.carried)
+        return g
+
+    # ------------------------------------------------------------------
+    # misc
+
+    def copy(self, name: str | None = None) -> "CDFG":
+        out = CDFG(name or self.name)
+        for v in self._variables.values():
+            out.add_variable(v)
+        for op in self._operations.values():
+            out.add_operation(op)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._operations.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"CDFG({self.name!r}, ops={len(self._operations)}, "
+            f"vars={len(self._variables)})"
+        )

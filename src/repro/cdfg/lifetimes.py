@@ -1,0 +1,112 @@
+"""Variable lifetimes under a schedule.
+
+The lifetime convention follows the register-transfer semantics used by
+the surveyed register-assignment papers [3,24,25,31]:
+
+* A value produced by an operation scheduled at step *s* with delay *d*
+  is written into a register at the clock edge ending step ``s+d-1``;
+  it therefore *occupies* the register from step ``s+d`` onwards.
+* The value must be held through the control step of its last
+  (non-carried) consumer.
+* Primary inputs are loaded before step 1, so they occupy their
+  register from step 1.
+* Primary outputs must be held through step ``n_steps + 1`` (the
+  "deliver" boundary) so they can be observed after the iteration.
+* A loop-carried use wraps around: the value is additionally alive from
+  its birth to the end of the iteration and from step 1 to the carried
+  consumer's step in the next iteration.  Lifetimes are therefore
+  represented as *sets* of control steps, not intervals.
+
+Two variables can share a register iff their lifetimes are disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cdfg.graph import CDFG, CDFGError
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """The set of control steps during which a variable occupies a register."""
+
+    variable: str
+    steps: frozenset[int]
+
+    @property
+    def birth(self) -> int:
+        return min(self.steps) if self.steps else 0
+
+    @property
+    def death(self) -> int:
+        return max(self.steps) if self.steps else 0
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        return bool(self.steps & other.steps)
+
+
+def schedule_length(cdfg: CDFG, schedule: Mapping[str, int]) -> int:
+    """Number of control steps used by ``schedule``."""
+    if not schedule:
+        return 0
+    return max(
+        schedule[o] + cdfg.operation(o).delay - 1 for o in schedule
+    )
+
+
+def variable_lifetimes(
+    cdfg: CDFG, schedule: Mapping[str, int]
+) -> dict[str, Lifetime]:
+    """Compute the lifetime of every variable under ``schedule``.
+
+    Raises :class:`CDFGError` when the schedule violates a data
+    dependency (a consumer scheduled before its producer's result is
+    available).
+    """
+    n_steps = schedule_length(cdfg, schedule)
+    lifetimes: dict[str, Lifetime] = {}
+    for var in cdfg.variables.values():
+        producer = cdfg.producer_of(var.name)
+        if producer is None:
+            if not var.is_input:
+                raise CDFGError(f"variable {var.name!r} has no producer")
+            birth = 1
+        else:
+            birth = schedule[producer.name] + producer.delay
+        steps: set[int] = set()
+        last_use = birth if var.is_output or producer is None else birth
+        for consumer in cdfg.consumers_of(var.name):
+            use_step = schedule[consumer.name]
+            # Operands of a multicycle unit must be held through the
+            # consumer's entire execution (the unit is combinational).
+            hold_until = use_step + consumer.delay - 1
+            if var.name in consumer.carried:
+                # Wrap-around: alive to end of iteration, then from step
+                # 1 of the next iteration to the consumer.
+                steps.update(range(birth, n_steps + 1))
+                steps.update(range(1, hold_until + 1))
+                continue
+            if use_step < birth:
+                raise CDFGError(
+                    f"schedule violates dependency: {consumer.name!r} at "
+                    f"step {use_step} reads {var.name!r} born at {birth}"
+                )
+            last_use = max(last_use, hold_until)
+        if var.is_output:
+            last_use = max(last_use, n_steps + 1)
+        steps.update(range(birth, last_use + 1))
+        lifetimes[var.name] = Lifetime(var.name, frozenset(steps))
+    return lifetimes
+
+
+def lifetimes_overlap(
+    lifetimes: Mapping[str, Lifetime], a: str, b: str
+) -> bool:
+    """True when variables ``a`` and ``b`` cannot share a register."""
+    return lifetimes[a].overlaps(lifetimes[b])

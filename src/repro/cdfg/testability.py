@@ -1,0 +1,103 @@
+"""Behavioral testability analysis (section 3.4, after [9]).
+
+Classifies each variable of a behavior by how hard it is to control
+from the primary inputs and to observe at the primary outputs, using
+operation-distance and loop membership.  This is the analysis that
+drives test-statement insertion [9] and the selection heuristics of the
+scan and BIST passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.cdfg.analysis import loop_variables
+from repro.cdfg.graph import CDFG
+
+#: Classification labels used by [9].
+CONTROLLABLE = "controllable"
+PARTIALLY_CONTROLLABLE = "partially_controllable"
+OBSERVABLE = "observable"
+PARTIALLY_OBSERVABLE = "partially_observable"
+
+
+@dataclass(frozen=True)
+class VariableTestability:
+    """Per-variable behavioral testability record.
+
+    ``control_depth`` / ``observe_depth`` count operations on the
+    shortest justification / propagation path (None when unreachable).
+    ``on_loop`` marks membership in a CDFG loop, which degrades both.
+    """
+
+    variable: str
+    control_depth: int | None
+    observe_depth: int | None
+    on_loop: bool
+
+    @property
+    def controllability(self) -> str:
+        if self.control_depth == 0:
+            return CONTROLLABLE
+        return PARTIALLY_CONTROLLABLE
+
+    @property
+    def observability(self) -> str:
+        if self.observe_depth == 0:
+            return OBSERVABLE
+        return PARTIALLY_OBSERVABLE
+
+    def score(self, loop_penalty: int = 4) -> int:
+        """Scalar hardness score: larger is harder to test."""
+        c = self.control_depth if self.control_depth is not None else 99
+        o = self.observe_depth if self.observe_depth is not None else 99
+        return c + o + (loop_penalty if self.on_loop else 0)
+
+
+def analyze(cdfg: CDFG) -> dict[str, VariableTestability]:
+    """Behavioral testability of every variable in ``cdfg``."""
+    g = cdfg.variable_graph()
+    on_loop = loop_variables(cdfg)
+    pis = [v.name for v in cdfg.primary_inputs()]
+    pos = [v.name for v in cdfg.primary_outputs()]
+
+    cdepth = _multi_source_shortest(g, pis)
+    odepth = _multi_source_shortest(g.reverse(copy=False), pos)
+
+    out: dict[str, VariableTestability] = {}
+    for name in cdfg.variables:
+        out[name] = VariableTestability(
+            variable=name,
+            control_depth=cdepth.get(name),
+            observe_depth=odepth.get(name),
+            on_loop=name in on_loop,
+        )
+    return out
+
+
+def hardest_variables(
+    cdfg: CDFG, count: int, loop_penalty: int = 4
+) -> list[str]:
+    """The ``count`` hardest-to-test variables, hardest first.
+
+    Primary I/O variables are excluded (they are trivially accessible).
+    """
+    records = analyze(cdfg)
+    candidates = [
+        r for name, r in records.items()
+        if not cdfg.variable(name).is_input
+        and not cdfg.variable(name).is_output
+    ]
+    candidates.sort(key=lambda r: (-r.score(loop_penalty), r.variable))
+    return [r.variable for r in candidates[:count]]
+
+
+def _multi_source_shortest(
+    g: nx.DiGraph, sources: list[str]
+) -> dict[str, int]:
+    present = [s for s in sources if s in g]
+    if not present:
+        return {}
+    return nx.multi_source_dijkstra_path_length(g, present, weight=None)

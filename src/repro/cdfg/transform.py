@@ -1,0 +1,250 @@
+"""Behavioral modification for testability (section 3.4).
+
+Two families of transformation are implemented:
+
+* **Deflection operations** ([16], Dey & Potkonjak ITC'94): identity
+  operations (``x + 0``, ``x * 1``) inserted between CDFG operations.
+  They preserve the computed function but *split variable lifetimes*,
+  removing the sharing bottlenecks that force extra scan registers.
+  See :func:`deflect_variable` and :func:`insert_deflection_ops`.
+
+* **Test statements** ([9], Chen/Karnik/Saab): statements executed only
+  in test mode that make hard-to-control variables loadable and
+  hard-to-observe variables visible.  See
+  :func:`insert_test_statements`.
+
+All transforms return a *new* CDFG; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import (
+    CDFG,
+    CDFGError,
+    IDENTITY_ELEMENTS,
+    Operation,
+    Variable,
+)
+from repro.cdfg import testability
+
+
+def _rebuild(
+    cdfg: CDFG,
+    name: str,
+    extra_vars: list[Variable],
+    replace_ops: dict[str, Operation],
+    extra_ops: list[Operation],
+) -> CDFG:
+    out = CDFG(name)
+    for v in cdfg.variables.values():
+        out.add_variable(v)
+    for v in extra_vars:
+        out.add_variable(v)
+    for op in cdfg.operations.values():
+        out.add_operation(replace_ops.get(op.name, op))
+    for op in extra_ops:
+        out.add_operation(op)
+    out.validate()
+    return out
+
+
+def _identity_input_name(kind: str) -> str:
+    """Name of the shared identity-constant input for ``kind``."""
+    return f"_id{IDENTITY_ELEMENTS[kind]}"
+
+
+def deflect_variable(
+    cdfg: CDFG,
+    variable: str,
+    reroute_consumers: list[str],
+    kind: str = "+",
+) -> CDFG:
+    """Insert one deflection operation on ``variable``.
+
+    A new operation ``vd = variable <kind> identity`` is added and the
+    listed consumer operations are rerouted to read ``vd`` instead of
+    ``variable``.  Since the identity element leaves the value
+    unchanged, the behavior is preserved while ``variable``'s lifetime
+    now ends at its remaining (non-rerouted) consumers.
+
+    Raises
+    ------
+    CDFGError
+        If ``kind`` has no identity element or a named consumer does not
+        read ``variable``.
+    """
+    if kind not in IDENTITY_ELEMENTS:
+        raise CDFGError(f"kind {kind!r} has no identity element")
+    vd_name = _fresh_name(cdfg, f"{variable}_defl")
+    id_name = _identity_input_name(kind)
+    width = cdfg.variable(variable).width
+
+    extra_vars = [Variable(vd_name, width)]
+    if id_name not in cdfg.variables:
+        extra_vars.append(Variable(id_name, width, is_input=True))
+
+    replace: dict[str, Operation] = {}
+    for op_name in reroute_consumers:
+        op = cdfg.operation(op_name)
+        if variable not in op.inputs:
+            raise CDFGError(
+                f"operation {op_name!r} does not consume {variable!r}"
+            )
+        new_inputs = tuple(vd_name if v == variable else v for v in op.inputs)
+        new_carried = frozenset(
+            vd_name if v == variable else v for v in op.carried
+        )
+        replace[op_name] = Operation(
+            op.name, op.kind, new_inputs, op.output,
+            carried=new_carried, delay=op.delay,
+        )
+    defl_op = Operation(
+        _fresh_name(cdfg, f"defl_{variable}"),
+        kind,
+        (variable, id_name),
+        vd_name,
+        delay=1,
+    )
+    return _rebuild(cdfg, cdfg.name + "+defl", extra_vars, replace, [defl_op])
+
+
+def insert_deflection_ops(
+    cdfg: CDFG,
+    split_requests: list[tuple[str, list[str]]],
+    kind: str = "+",
+) -> CDFG:
+    """Apply several :func:`deflect_variable` transforms in sequence.
+
+    ``split_requests`` is a list of ``(variable, consumers_to_reroute)``
+    pairs.  Used by the scan pass ([16] flow) after it identifies
+    sharing bottlenecks among selected scan variables.
+    """
+    out = cdfg
+    for variable, consumers in split_requests:
+        out = deflect_variable(out, variable, consumers, kind=kind)
+    return out
+
+
+def insert_test_statements(
+    cdfg: CDFG,
+    control_vars: list[str] | None = None,
+    observe_vars: list[str] | None = None,
+    budget: int = 2,
+) -> CDFG:
+    """Add test-mode statements improving variable access ([9]).
+
+    For each hard-to-control variable ``v`` a select operation
+    ``v_t = select(tmode, tin_k, v)`` is inserted and all consumers are
+    rerouted to ``v_t``: in test mode the variable becomes directly
+    loadable from the new test input.  For each hard-to-observe
+    variable, the value is folded into a new test output through an
+    XOR-compaction chain (one extra output pin total).
+
+    When the variable lists are omitted, the ``budget`` hardest
+    variables from :func:`repro.cdfg.testability.hardest_variables`
+    are improved on each axis.
+    """
+    records = testability.analyze(cdfg)
+    if control_vars is None:
+        hard = testability.hardest_variables(cdfg, budget)
+        control_vars = [
+            v for v in hard
+            if records[v].control_depth is None or records[v].control_depth > 1
+        ]
+    if observe_vars is None:
+        hard = testability.hardest_variables(cdfg, budget)
+        observe_vars = [
+            v for v in hard
+            if records[v].observe_depth is None or records[v].observe_depth > 1
+        ]
+
+    out = cdfg
+    if control_vars:
+        out = _add_control_statements(out, control_vars)
+    if observe_vars:
+        out = _add_observe_statements(out, observe_vars)
+    return out
+
+
+def _add_control_statements(cdfg: CDFG, variables: list[str]) -> CDFG:
+    width = max(v.width for v in cdfg.variables.values())
+    extra_vars: list[Variable] = []
+    if "tmode" not in cdfg.variables:
+        extra_vars.append(Variable("tmode", 1, is_input=True))
+    replace: dict[str, Operation] = {}
+    extra_ops: list[Operation] = []
+    # Collect every consumer rewrite first, then rebuild once.
+    pending: dict[str, dict[str, str]] = {}  # op -> {old var: new var}
+    for var in variables:
+        vt = _fresh_name(cdfg, f"{var}_t", extra=[v.name for v in extra_vars])
+        tin = _fresh_name(cdfg, f"tin_{var}", extra=[v.name for v in extra_vars])
+        extra_vars.append(Variable(vt, cdfg.variable(var).width))
+        extra_vars.append(Variable(tin, cdfg.variable(var).width, is_input=True))
+        extra_ops.append(
+            Operation(
+                _fresh_name(cdfg, f"sel_{var}"),
+                "select",
+                ("tmode", tin, var),
+                vt,
+            )
+        )
+        for consumer in cdfg.consumers_of(var):
+            pending.setdefault(consumer.name, {})[var] = vt
+    for op_name, mapping in pending.items():
+        op = cdfg.operation(op_name)
+        new_inputs = tuple(mapping.get(v, v) for v in op.inputs)
+        new_carried = frozenset(mapping.get(v, v) for v in op.carried)
+        replace[op_name] = Operation(
+            op.name, op.kind, new_inputs, op.output,
+            carried=new_carried, delay=op.delay,
+        )
+    return _rebuild(cdfg, cdfg.name + "+tctl", extra_vars, replace, extra_ops)
+
+
+def _add_observe_statements(cdfg: CDFG, variables: list[str]) -> CDFG:
+    width = max(cdfg.variable(v).width for v in variables)
+    extra_vars: list[Variable] = []
+    extra_ops: list[Operation] = []
+    acc = None
+    names_so_far: list[str] = []
+    for i, var in enumerate(variables):
+        if acc is None:
+            acc = var
+            continue
+        nxt = _fresh_name(cdfg, f"tobs{i}", extra=names_so_far)
+        names_so_far.append(nxt)
+        extra_vars.append(Variable(nxt, width))
+        extra_ops.append(
+            Operation(
+                _fresh_name(cdfg, f"xor_t{i}", extra=names_so_far),
+                "^",
+                (acc, var),
+                nxt,
+            )
+        )
+        acc = nxt
+    # Promote the compaction result (or the single variable) to a PO by
+    # copying it into a fresh output variable.
+    tout = _fresh_name(cdfg, "tout", extra=names_so_far)
+    extra_vars.append(Variable(tout, width, is_output=True))
+    extra_ops.append(
+        Operation(
+            _fresh_name(cdfg, "obs_copy", extra=names_so_far + [tout]),
+            "|",
+            (acc, acc),
+            tout,
+        )
+    )
+    return _rebuild(cdfg, cdfg.name + "+tobs", extra_vars, {}, extra_ops)
+
+
+def _fresh_name(cdfg: CDFG, base: str, extra: list[str] | None = None) -> str:
+    taken = set(cdfg.variables) | set(cdfg.operations)
+    if extra:
+        taken.update(extra)
+    if base not in taken:
+        return base
+    k = 2
+    while f"{base}{k}" in taken:
+        k += 1
+    return f"{base}{k}"

@@ -1,0 +1,34 @@
+"""Controller-based design for testability (survey section 3.5), after
+[14] (Dey/Gangaram/Potkonjak, ICCAD'95).
+
+Even when the controller and data path are individually testable, the
+composite can defeat sequential ATPG: the controller only ever emits
+its programmed control words, so control-signal value combinations the
+data-path tests need may be unreachable -- *control signal
+implications* that conflict with ATPG requirements.  The fix is to add
+a few extra control vectors, selectable in test mode, that break the
+identified implications.
+
+* :mod:`~repro.controller_dft.implications` -- implication analysis.
+* :mod:`~repro.controller_dft.redesign` -- extra-vector synthesis.
+"""
+
+from repro.controller_dft.implications import (
+    Implication,
+    control_implications,
+    infeasible_requirements,
+    requirements_from_tests,
+)
+from repro.controller_dft.redesign import (
+    redesign_with_test_vectors,
+    vectors_for_requirements,
+)
+
+__all__ = [
+    "Implication",
+    "control_implications",
+    "infeasible_requirements",
+    "requirements_from_tests",
+    "redesign_with_test_vectors",
+    "vectors_for_requirements",
+]

@@ -1,0 +1,144 @@
+"""Control-signal implication analysis ([14], survey section 3.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.hls.controller import Controller
+
+__all__ = [
+    "Implication",
+    "control_implications",
+    "requirements_from_tests",
+    "infeasible_requirements",
+    "word_satisfies",
+]
+
+
+@dataclass(frozen=True)
+class Implication:
+    """``antecedent`` forces ``consequent`` in every reachable word.
+
+    Both sides are (signal, value) pairs.  Implications constrain what
+    sequential ATPG can justify on the data path's control nets.
+    """
+
+    antecedent: tuple[str, object]
+    consequent: tuple[str, object]
+
+    def __str__(self) -> str:
+        a, av = self.antecedent
+        c, cv = self.consequent
+        return f"({a}={av}) => ({c}={cv})"
+
+
+def control_implications(
+    controller: Controller, signals: Sequence[str] | None = None
+) -> list[Implication]:
+    """All pairwise implications holding across the control words.
+
+    For every (signal, value) that occurs in some word, if a second
+    signal takes the same value in *every* word where the first holds,
+    that is an implication the composite imposes on ATPG.  Trivial
+    self-implications are omitted.
+    """
+    if signals is None:
+        signals = controller.signal_names()
+    words = [w.signals for w in controller.words]
+    domain: dict[str, set] = {}
+    for w in words:
+        for s in signals:
+            domain.setdefault(s, set()).add(w.get(s, 0))
+
+    out: list[Implication] = []
+    for a in signals:
+        for av in sorted(domain[a], key=repr):
+            holding = [w for w in words if w.get(a, 0) == av]
+            if not holding or len(holding) == len(words):
+                continue
+            for c in signals:
+                if c == a:
+                    continue
+                values = {w.get(c, 0) for w in holding}
+                if len(values) == 1:
+                    cv = values.pop()
+                    if len(domain[c]) > 1:
+                        out.append(Implication((a, av), (c, cv)))
+    return out
+
+
+def word_satisfies(word: Mapping[str, object], req: Mapping[str, object]) -> bool:
+    return all(word.get(s, 0) == v for s, v in req.items())
+
+
+def requirements_from_tests(
+    control_map: Mapping[str, object],
+    tests: Sequence[Mapping[str, int]],
+) -> list[dict[str, object]]:
+    """Derive [14]-style control requirements from real ATPG tests.
+
+    ``control_map`` is the structure returned by
+    :func:`repro.gatelevel.expand.expand_datapath`; ``tests`` are
+    vectors over that netlist's inputs (e.g. from
+    :func:`repro.gatelevel.test_generation.generate_tests`).  Each
+    test's assignments to control nets are translated back into the
+    symbolic control-word language (``R3.load = 1``,
+    ``alu0.sel0 = 'R2'``, ``alu0.fn = '+'``), giving the per-cycle
+    requirement the controller must be able to produce for that test
+    to be applicable in the composite.
+    """
+    out: list[dict[str, object]] = []
+    for test in tests:
+        req: dict[str, object] = {}
+        for reg, load_net in control_map["reg_load"].items():
+            if load_net in test:
+                req[f"{reg}.load"] = test[load_net]
+        for reg, (sels, sources) in control_map["reg_sel"].items():
+            idx = _decode_index(test, sels)
+            if idx is not None and idx < len(sources):
+                req[f"{reg}.sel"] = sorted(sources)[idx]
+        for (unit, port), (sels, sources) in control_map["port_sel"].items():
+            idx = _decode_index(test, sels)
+            if idx is not None and idx < len(sources):
+                req[f"{unit}.sel{port}"] = sorted(sources)[idx]
+        for unit, (fns, kinds) in control_map["fn_sel"].items():
+            idx = _decode_index(test, fns)
+            if idx is not None and idx < len(kinds):
+                req[f"{unit}.fn"] = kinds[idx]
+        if req:
+            out.append(req)
+    return out
+
+
+def _decode_index(
+    test: Mapping[str, int], select_nets: Sequence[str]
+) -> int | None:
+    """Binary index from individual select-bit assignments (None when
+    any bit is unassigned -- the test leaves it free)."""
+    if not select_nets:
+        return None
+    idx = 0
+    for k, net in enumerate(select_nets):
+        if net not in test:
+            return None
+        idx |= (test[net] & 1) << k
+    return idx
+
+
+def infeasible_requirements(
+    controller: Controller,
+    requirements: Sequence[Mapping[str, object]],
+) -> list[Mapping[str, object]]:
+    """The control-word requirements no reachable word satisfies.
+
+    Each requirement is a partial control assignment a data-path test
+    needs in some cycle.  Requirements unmet by every word are the ATPG
+    conflicts [14] eliminates with extra vectors.
+    """
+    words = [w.signals for w in controller.words]
+    return [
+        req
+        for req in requirements
+        if not any(word_satisfies(w, req) for w in words)
+    ]

@@ -1,0 +1,98 @@
+"""Controller redesign with extra test control vectors ([14]).
+
+"The technique involves adding a few extra control vectors to the
+existing control vectors which are outputs of the controller."  The
+extra vectors are selectable in test mode (``tm_en``/``tm_sel`` inputs
+of :func:`repro.gatelevel.expand.expand_composite`) and satisfy the
+control requirements the functional words cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.controller_dft.implications import (
+    infeasible_requirements,
+    word_satisfies,
+)
+from repro.hls.controller import Controller
+
+
+def vectors_for_requirements(
+    controller: Controller,
+    requirements: Sequence[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    """Minimal-ish extra vectors covering the infeasible requirements.
+
+    Greedy set cover: requirements that do not contradict each other
+    (no signal demanded at two values) are merged into one vector.
+    Signals a vector leaves free take the values of the controller's
+    first word (arbitrary but deterministic).
+    """
+    missing = infeasible_requirements(controller, requirements)
+    vectors: list[dict[str, object]] = []
+    for req in missing:
+        for vec in vectors:
+            if all(vec.get(s, v) == v for s, v in req.items()):
+                vec.update(req)
+                break
+        else:
+            vectors.append(dict(req))
+    return vectors
+
+
+def redesign_with_test_vectors(
+    controller: Controller,
+    requirements: Sequence[Mapping[str, object]],
+) -> tuple[list[dict[str, object]], int]:
+    """The [14] flow: analyze, synthesize extra vectors, report cost.
+
+    Returns (extra vectors, area cost in gate equivalents).  A vector's
+    cost is one decode row plus ``AREA_MODEL['control_vector']`` per
+    signal it asserts to a *non-default* value -- signals at their
+    default ride the existing decode for free, which is how [14]'s
+    extra vectors stay at "marginal area overhead".
+    """
+    from repro.hls.estimate import AREA_MODEL
+
+    vectors = vectors_for_requirements(controller, requirements)
+    defaults = _signal_defaults(controller)
+    unit = AREA_MODEL["control_vector"]
+    cost = 0.0
+    for vec in vectors:
+        asserted = sum(
+            1 for s, v in vec.items() if v != defaults.get(s, 0)
+        )
+        cost += unit * (1 + asserted)
+    return vectors, int(cost)
+
+
+def _signal_defaults(controller: Controller) -> dict[str, object]:
+    """Most common value per control signal across the words."""
+    counts: dict[str, dict] = {}
+    for w in controller.words:
+        for s in controller.signal_names():
+            v = w.value(s)
+            counts.setdefault(s, {}).setdefault(v, 0)
+            counts[s][v] += 1
+    return {
+        s: max(vals, key=lambda v: (vals[v], repr(v)))
+        for s, vals in counts.items()
+    }
+
+
+def coverage_of_requirements(
+    controller: Controller,
+    requirements: Sequence[Mapping[str, object]],
+    extra: Sequence[Mapping[str, object]] = (),
+) -> float:
+    """Fraction of requirements some (functional or extra) word meets."""
+    words = [w.signals for w in controller.words] + list(extra)
+    if not requirements:
+        return 1.0
+    met = sum(
+        1
+        for req in requirements
+        if any(word_satisfies(w, req) for w in words)
+    )
+    return met / len(requirements)

@@ -1,0 +1,312 @@
+"""Combinational ATPG: a two-machine PODEM.
+
+The good and faulty machines are simulated in 3-valued logic (0/1/X);
+a fault is detected when some observation point is binary in both
+machines with different values.  Decisions are made only at *control
+points* (primary inputs and scan flip-flop outputs), per the PODEM
+discipline; objectives are backtraced through X-paths.
+
+Observation points are the primary outputs plus the D-inputs of scan
+flip-flops (a scanned FF's captured value is unloadable); control
+points are the primary inputs plus scan-FF outputs.  This gives the
+standard scan-based combinational ATPG semantics used by the
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.gatelevel.faults import Fault
+from repro.gatelevel.gates import Netlist
+
+X = None
+
+_NONCONTROLLING = {"and": 1, "nand": 1, "or": 0, "nor": 0}
+_INVERTING = {"not", "nand", "nor", "xnor"}
+
+
+def _eval3(kind: str, ins: list) -> int | None:
+    if kind == "buf":
+        return ins[0]
+    if kind == "not":
+        return None if ins[0] is X else 1 - ins[0]
+    if kind in ("and", "nand"):
+        if 0 in ins:
+            v = 0
+        elif X in ins:
+            return X
+        else:
+            v = 1
+        return v if kind == "and" else 1 - v
+    if kind in ("or", "nor"):
+        if 1 in ins:
+            v = 1
+        elif X in ins:
+            return X
+        else:
+            v = 0
+        return v if kind == "or" else 1 - v
+    if kind in ("xor", "xnor"):
+        if X in ins:
+            return X
+        v = ins[0] ^ ins[1]
+        return v if kind == "xor" else 1 - v
+    if kind == "mux":
+        s, a, b = ins
+        if s is X:
+            return a if (a is not X and a == b) else X
+        return a if s else b
+    raise ValueError(f"cannot 3-value evaluate {kind!r}")
+
+
+def sim3(
+    netlist: Netlist,
+    order: Sequence[str],
+    assign: Mapping[str, int],
+    forced: Mapping[str, int] | None = None,
+) -> dict[str, int | None]:
+    """3-valued simulation; unassigned inputs and DFF outputs are X."""
+    forced = forced or {}
+    values: dict[str, int | None] = {}
+    for name in order:
+        gate = netlist.gate(name)
+        if gate.kind in ("input", "dff"):
+            v = assign.get(name, X)
+        elif gate.kind == "const0":
+            v = 0
+        elif gate.kind == "const1":
+            v = 1
+        else:
+            v = _eval3(gate.kind, [values[i] for i in gate.inputs])
+        if name in forced:
+            v = forced[name]
+        values[name] = v
+    return values
+
+
+@dataclass
+class ATPGResult:
+    """Outcome of one ATPG attempt."""
+
+    fault: Fault
+    detected: bool
+    aborted: bool
+    test: dict[str, int] | None
+    backtracks: int
+    decisions: int
+
+    @property
+    def effort(self) -> int:
+        """Search effort: decisions + backtracks (the E-3.1 metric)."""
+        return self.decisions + self.backtracks
+
+
+def default_observe(netlist: Netlist) -> list[str]:
+    return list(netlist.outputs) + [
+        g.inputs[0] for g in netlist.scan_dffs()
+    ]
+
+
+def default_control(netlist: Netlist) -> set[str]:
+    return set(netlist.inputs()) | {g.name for g in netlist.scan_dffs()}
+
+
+def combinational_atpg(
+    netlist: Netlist,
+    fault: Fault,
+    backtrack_limit: int = 500,
+    observe: Sequence[str] | None = None,
+    control: set[str] | None = None,
+    forced_extra: Mapping[str, int] | None = None,
+) -> ATPGResult:
+    """PODEM for one stuck-at fault.
+
+    ``forced_extra`` injects the fault at additional nets (used by the
+    time-frame expansion, where the same fault exists in every frame).
+    """
+    order = netlist.topo_order()
+    if observe is None:
+        observe = default_observe(netlist)
+    if control is None:
+        control = default_control(netlist)
+    forced = {fault.net: fault.stuck_at}
+    forced.update(forced_extra or {})
+    reachable = _control_support(netlist, order, control)
+
+    assign: dict[str, int] = {}
+    stack: list[list] = []  # [net, value, exhausted]
+    backtracks = 0
+    decisions = 0
+
+    consumers: dict[str, list[str]] = {}
+    for g in netlist:
+        for src in g.inputs:
+            consumers.setdefault(src, []).append(g.name)
+
+    while True:
+        good = sim3(netlist, order, assign)
+        bad = sim3(netlist, order, assign, forced=forced)
+        if _detected_at(observe, good, bad):
+            return ATPGResult(fault, True, False, dict(assign),
+                              backtracks, decisions)
+        obj = _objective(netlist, fault, good, bad, consumers, forced)
+        target = None
+        if obj is not None:
+            target = _backtrace(
+                netlist, good, control, assign, reachable, *obj
+            )
+        if target is None:
+            # Conflict or uncontrollable objective: backtrack.
+            while stack and stack[-1][2]:
+                net, _v, _e = stack.pop()
+                del assign[net]
+            if not stack:
+                aborted = backtracks >= backtrack_limit
+                return ATPGResult(fault, False, aborted, None,
+                                  backtracks, decisions)
+            stack[-1][1] ^= 1
+            stack[-1][2] = True
+            assign[stack[-1][0]] = stack[-1][1]
+            backtracks += 1
+            if backtracks >= backtrack_limit:
+                return ATPGResult(fault, False, True, None,
+                                  backtracks, decisions)
+            continue
+        net, val = target
+        assign[net] = val
+        stack.append([net, val, False])
+        decisions += 1
+
+
+def _detected_at(observe, good, bad) -> bool:
+    return any(
+        good[o] is not X and bad[o] is not X and good[o] != bad[o]
+        for o in observe
+    )
+
+
+def _objective(netlist, fault, good, bad, consumers, forced):
+    """Next PODEM objective: activate the fault, then advance the
+    D-frontier.  Returns (net, value) or None when hopeless."""
+    site = good[fault.net]
+    if site is X:
+        return (fault.net, 1 - fault.stuck_at)
+    if site == fault.stuck_at:
+        return None  # activation conflict under current assignment
+    frontier = _d_frontier(netlist, good, bad)
+    if not frontier:
+        return None
+    gate = netlist.gate(frontier[0])
+    nc = _NONCONTROLLING.get(gate.kind)
+    for src in gate.inputs:
+        if good[src] is X:
+            return (src, nc if nc is not None else 1)
+    return None
+
+
+def _d_frontier(netlist, good, bad) -> list[str]:
+    out = []
+    for g in netlist:
+        if g.kind in ("input", "dff", "const0", "const1"):
+            continue
+        if good[g.name] is not X and bad[g.name] is not X:
+            continue
+        for src in g.inputs:
+            gs, bs = good[src], bad[src]
+            if gs is not X and bs is not X and gs != bs:
+                out.append(g.name)
+                break
+    return out
+
+
+def _control_support(netlist, order, control) -> set[str]:
+    """Nets whose input cone contains a control point (so an X there can
+    in principle be justified by PI/scan assignments)."""
+    supported: set[str] = set()
+    for name in order:
+        if name in control:
+            supported.add(name)
+            continue
+        gate = netlist.gate(name)
+        if gate.kind in ("input", "dff", "const0", "const1"):
+            continue
+        if any(i in supported for i in gate.inputs):
+            supported.add(name)
+    return supported
+
+
+def _backtrace(netlist, good, control, assign, reachable, net, val):
+    """Walk an X-path from the objective to an unassigned control point,
+    preferring branches whose cone contains a control point."""
+
+    def pick(candidates: list[str]) -> str | None:
+        live = [s for s in candidates if s in reachable]
+        if live:
+            return live[0]
+        return candidates[0] if candidates else None
+
+    seen = 0
+    while True:
+        seen += 1
+        if seen > len(netlist) + 1:
+            return None
+        if net in control:
+            if net in assign:
+                return None
+            return (net, val)
+        gate = netlist.gate(net)
+        if gate.kind in ("dff", "input", "const0", "const1"):
+            return None  # uncontrollable source (unscanned state / const)
+        kind = gate.kind
+        if kind in _INVERTING:
+            val = 1 - val
+        if kind in ("buf", "not"):
+            net = gate.inputs[0]
+            continue
+        if kind in ("and", "nand", "or", "nor"):
+            # val (inversion already applied) is the AND/OR-part target;
+            # both "all inputs to the non-controlling value" and "one
+            # input to the controlling value" mean driving an X input to
+            # val itself.
+            xin = [s for s in gate.inputs if good[s] is X]
+            choice = pick(xin)
+            if choice is None:
+                return None
+            net = choice
+            continue
+        if kind in ("xor", "xnor"):
+            a, b = gate.inputs
+            xin = [s for s in (a, b) if good[s] is X]
+            choice = pick(xin)
+            if choice is None:
+                return None
+            other = b if choice == a else a
+            net, val = choice, val ^ (good[other] if good[other] is not X else 0)
+            continue
+        if kind == "mux":
+            s, a, b = gate.inputs
+            if good[s] is X and s in reachable:
+                # steer toward a justifiable X data input
+                if good[a] is X and a in reachable:
+                    net, val = s, 1
+                elif good[b] is X and b in reachable:
+                    net, val = s, 0
+                elif good[a] is X:
+                    net, val = s, 1
+                else:
+                    net, val = s, 0
+                continue
+            if good[s] is X:
+                # select uncontrollable: try a data input that already
+                # matches on both legs, else give up on this path
+                xin = [d for d in (a, b) if good[d] is X]
+                choice = pick(xin)
+                if choice is None:
+                    return None
+                net = choice
+                continue
+            net = a if good[s] == 1 else b
+            continue
+        return None

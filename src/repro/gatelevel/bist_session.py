@@ -1,0 +1,193 @@
+"""In-situ pseudorandom BIST execution at the gate level.
+
+The section-5 role assigners decide *which* registers become TPGRs and
+SRs; this module actually runs the self-test: the data path is expanded
+with the registers' BIST hardware in place
+(:func:`repro.gatelevel.expand.expand_datapath` with ``bist_roles``),
+each test session's control configuration steers the signature
+registers' data muxes at their units under test, the machine free-runs
+with ``bist_en=1``, and the MISR states are the signature.  Fault
+coverage is measured the way silicon measures it: a fault is detected
+iff it changes some session's signature.
+
+Session structure matters here exactly as section 5.2 says: two units
+sharing one SR cannot be observed in the same session (the SR's data
+mux selects one of them), so the coverage of a one-session run with a
+shared SR is low -- the executable form of the test conflicts [20]
+minimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.bist.registers import TestRole
+from repro.bist.sessions import schedule_sessions
+from repro.bist.sharing import ModuleTestEnvironment
+from repro.gatelevel.expand import expand_datapath
+from repro.gatelevel.faults import Fault, all_faults
+from repro.gatelevel.gates import Netlist
+from repro.gatelevel.simulate import parallel_simulate
+from repro.hls.datapath import Datapath
+
+
+@dataclass(frozen=True)
+class BISTHardware:
+    """A data path expanded with its in-situ BIST registers."""
+
+    netlist: Netlist
+    control: dict
+    role_map: Mapping[str, str]
+    envs: tuple[ModuleTestEnvironment, ...]
+    datapath_name: str
+
+    @property
+    def signature_registers(self) -> tuple[str, ...]:
+        return tuple(sorted(
+            r for r, role in self.role_map.items()
+            if role in ("SR", "BILBO")
+        ))
+
+
+def build_bist_hardware(
+    datapath: Datapath,
+    envs: Sequence[ModuleTestEnvironment],
+    roles: Mapping[str, TestRole] | None = None,
+) -> BISTHardware:
+    """Expand the data path with BIST registers per the environments.
+
+    When ``roles`` is omitted it is reconstructed from ``envs``
+    (inputs -> TPGR; chosen SRs -> SR, or BILBO when also a TPGR).
+    """
+    if roles is None:
+        role_map: dict[str, str] = {}
+        for e in envs:
+            for r in e.tpgr_registers:
+                role_map.setdefault(r, "TPGR")
+        for e in envs:
+            prev = role_map.get(e.sr_register)
+            role_map[e.sr_register] = "BILBO" if prev == "TPGR" else "SR"
+    else:
+        role_map = {
+            name: role.value
+            for name, role in roles.items()
+            if role is not TestRole.NONE
+        }
+    nl, control = expand_datapath(datapath, bist_roles=role_map)
+    return BISTHardware(nl, control, role_map, tuple(envs),
+                        datapath.name)
+
+
+def session_configuration(
+    hardware: BISTHardware,
+    session_units: Sequence[str],
+) -> dict[str, int]:
+    """Control/PI pinning for one session testing ``session_units``."""
+    control = hardware.control
+    config: dict[str, int] = {control["bist_en"]: 1}
+    for pi in hardware.netlist.inputs():
+        config.setdefault(pi, 0)
+    active = {e.unit: e for e in hardware.envs if e.unit in session_units}
+    for unit, env in active.items():
+        sels, sources = control["reg_sel"].get(env.sr_register, ([], []))
+        if unit in sources:
+            idx = sources.index(unit)
+            for k, net in enumerate(sels):
+                config[net] = (idx >> k) & 1
+    for (unit, port), (sels, sources) in control["port_sel"].items():
+        idx = 0
+        for j, s in enumerate(sources):
+            if hardware.role_map.get(s) in ("TPGR", "BILBO", "CBILBO"):
+                idx = j
+                break
+        for k, net in enumerate(sels):
+            config[net] = (idx >> k) & 1
+    return config
+
+
+def run_signature(
+    hardware: BISTHardware,
+    config: Mapping[str, int],
+    cycles: int,
+    forced: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Free-run one session; returns the final per-SR signatures."""
+    sigs = run_signatures(hardware, config, (cycles,), forced=forced)
+    return sigs[cycles]
+
+
+def run_signatures(
+    hardware: BISTHardware,
+    config: Mapping[str, int],
+    checkpoints: Sequence[int],
+    forced: Mapping[str, int] | None = None,
+) -> dict[int, dict[str, int]]:
+    """Free-run one session, snapshotting signatures at checkpoints.
+
+    Comparing at several checkpoints is the standard guard against
+    MISR aliasing (a w-bit MISR aliases with probability ~2^-w at any
+    single compare point).
+    """
+    nl = hardware.netlist
+    order = nl.topo_order()
+    state: dict[str, int] = {}
+    piv = dict(config)
+    marks = sorted(set(checkpoints))
+    out: dict[int, dict[str, int]] = {}
+    for cycle in range(1, marks[-1] + 1):
+        _vals, state = parallel_simulate(
+            nl, piv, state, width=1, order=order, forced=forced
+        )
+        if cycle in marks:
+            out[cycle] = _read_signatures(hardware, state)
+    return out
+
+
+def _read_signatures(
+    hardware: BISTHardware, state: Mapping[str, int]
+) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for reg in hardware.signature_registers:
+        bits = [n for n in state if n.startswith(f"{reg}_b")]
+        out[reg] = sum(
+            (state[f"{reg}_b{i}"] & 1) << i for i in range(len(bits))
+        )
+    return out
+
+
+def bist_fault_coverage(
+    hardware: BISTHardware,
+    sessions: Sequence[Sequence[str]] | None = None,
+    cycles: int = 64,
+    faults: Sequence[Fault] | None = None,
+) -> float:
+    """Signature-based stuck-at coverage over the given sessions.
+
+    ``sessions`` defaults to the conflict-free partition from
+    :func:`repro.bist.sessions.schedule_sessions`; a fault counts as
+    detected when any session's signature set differs from golden.
+    """
+    if sessions is None:
+        sessions = schedule_sessions(list(hardware.envs))
+    if faults is None:
+        faults = all_faults(hardware.netlist)
+    checkpoints = sorted(
+        {max(1, cycles // 4), max(1, cycles // 2),
+         max(1, 3 * cycles // 4), cycles}
+    )
+    configs = [
+        session_configuration(hardware, units) for units in sessions
+    ]
+    goldens = [
+        run_signatures(hardware, cfg, checkpoints) for cfg in configs
+    ]
+    detected = 0
+    for f in faults:
+        forced = {f.net: f.stuck_at}
+        for cfg, golden in zip(configs, goldens):
+            if run_signatures(hardware, cfg, checkpoints,
+                              forced=forced) != golden:
+                detected += 1
+                break
+    return detected / len(faults) if faults else 1.0

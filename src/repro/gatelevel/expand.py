@@ -1,0 +1,500 @@
+"""Bit-level expansion of data paths (and composites with controllers).
+
+Registers become D flip-flops with load-enable and source-select muxes,
+functional units become ripple-carry adders / subtractors / array
+multipliers / comparators / bitwise logic with function-select muxes,
+and the interconnect becomes binary-select mux trees.
+
+Two entry points:
+
+* :func:`expand_datapath` -- control signals become primary inputs
+  (the "control signals fully controllable in test mode" assumption of
+  survey section 3.5).
+* :func:`expand_composite` -- a :class:`~repro.hls.controller.Controller`
+  is synthesized alongside and drives those control nets, which is the
+  configuration where controller/data-path interaction problems appear
+  (experiment E-3.5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.gatelevel.gates import Netlist, NetlistError, sweep_dead_logic
+from repro.hls.controller import Controller
+from repro.hls.datapath import Datapath
+
+
+class _Builder:
+    """Netlist construction helpers with unique naming.
+
+    ``ns`` namespaces generated gate names so two builders' outputs can
+    be merged into one netlist without collisions.
+    """
+
+    def __init__(self, name: str, ns: str = "") -> None:
+        self.nl = Netlist(name)
+        self._n = 0
+        self._ns = ns
+        self.zero = self.nl.add("_zero", "const0")
+        self.one = self.nl.add("_one", "const1")
+
+    def fresh(self, prefix: str) -> str:
+        self._n += 1
+        return f"{self._ns}{prefix}_{self._n}"
+
+    def g(self, kind: str, *ins: str, prefix: str = "n") -> str:
+        folded = self._fold(kind, ins)
+        if folded is not None:
+            return folded
+        return self.nl.add(self.fresh(prefix), kind, *ins)
+
+    def _fold(self, kind: str, ins: tuple[str, ...]) -> str | None:
+        """Peephole constant folding: constant/duplicate operands never
+        produce gates, keeping the fault universe free of by-construction
+        redundancies (truncated carries, and-with-zero, ...)."""
+        Z, O = self.zero, self.one
+        if kind == "buf":
+            return ins[0]
+        if kind == "not":
+            return O if ins[0] == Z else Z if ins[0] == O else None
+        if kind in ("and", "or", "xor"):
+            a, b = ins
+            if a == b:
+                return a if kind in ("and", "or") else Z
+            for x, y in ((a, b), (b, a)):
+                if kind == "and" and x == Z:
+                    return Z
+                if kind == "and" and x == O:
+                    return y
+                if kind == "or" and x == O:
+                    return O
+                if kind == "or" and x == Z:
+                    return y
+                if kind == "xor" and x == Z:
+                    return y
+                if kind == "xor" and x == O:
+                    return self.g("not", y, prefix="fold")
+        if kind == "mux":
+            s, a, b = ins
+            if s == O or a == b:
+                return a
+            if s == Z:
+                return b
+        return None
+
+    # ------------------------------------------------------------------
+    # word-level building blocks (LSB-first bit vectors)
+
+    def word_input(self, name: str, width: int) -> list[str]:
+        return [self.nl.add(f"{name}_b{i}", "input") for i in range(width)]
+
+    def mux_word(self, sel: str, a: Sequence[str], b: Sequence[str]) -> list[str]:
+        """sel ? a : b, bitwise."""
+        return [self.g("mux", sel, x, y, prefix="mx") for x, y in zip(a, b)]
+
+    def mux_tree(
+        self, selects: Sequence[str], words: Sequence[Sequence[str]]
+    ) -> list[str]:
+        """Binary-select tree over ``words`` (len <= 2**len(selects))."""
+        if len(words) == 1:
+            return list(words[0])
+        level = list(words)
+        for s in selects:
+            nxt = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    nxt.append(self.mux_word(s, level[i + 1], level[i]))
+                else:
+                    nxt.append(level[i])
+            level = nxt
+            if len(level) == 1:
+                break
+        if len(level) != 1:
+            raise NetlistError("mux tree: not enough select lines")
+        return level[0]
+
+    def full_adder(self, a: str, b: str, c: str) -> tuple[str, str]:
+        # Constant operands fold away in g(), so constant-carry adders
+        # simplify to half adders automatically.
+        axb = self.g("xor", a, b, prefix="fa")
+        s = self.g("xor", axb, c, prefix="fa")
+        t1 = self.g("and", a, b, prefix="fa")
+        t2 = self.g("and", axb, c, prefix="fa")
+        cout = self.g("or", t1, t2, prefix="fa")
+        return s, cout
+
+    def adder(
+        self, a: Sequence[str], b: Sequence[str], sub: bool = False
+    ) -> tuple[list[str], str]:
+        """Ripple add (or subtract: a + ~b + 1).  Returns (sum, carry)."""
+        carry = self.one if sub else self.zero
+        out = []
+        for ai, bi in zip(a, b):
+            bb = self.g("not", bi, prefix="sb") if sub else bi
+            s, carry = self.full_adder(ai, bb, carry)
+            out.append(s)
+        return out, carry
+
+    def multiplier(self, a: Sequence[str], b: Sequence[str]) -> list[str]:
+        """Shift-and-add array multiplier, truncated to len(a) bits."""
+        width = len(a)
+        acc = [self.zero] * width
+        for j in range(width):
+            addend = [
+                self.g("and", a[i - j], b[j], prefix="pp")
+                if i >= j else self.zero
+                for i in range(width)
+            ]
+            acc, _c = self.adder(acc, addend)
+        return acc
+
+    def less_than(self, a: Sequence[str], b: Sequence[str]) -> list[str]:
+        """Unsigned a < b -> bit 0; upper bits zero."""
+        _diff, carry = self.adder(a, b, sub=True)
+        borrow = self.g("not", carry, prefix="lt")
+        return [borrow] + [self.zero] * (len(a) - 1)
+
+    def equals(self, a: Sequence[str], b: Sequence[str]) -> list[str]:
+        bits = [self.g("xnor", x, y, prefix="eq") for x, y in zip(a, b)]
+        acc = bits[0]
+        for nxt in bits[1:]:
+            acc = self.g("and", acc, nxt, prefix="eq")
+        return [acc] + [self.zero] * (len(a) - 1)
+
+    def bitwise(self, kind: str, a: Sequence[str], b: Sequence[str]) -> list[str]:
+        return [self.g(kind, x, y, prefix="bw") for x, y in zip(a, b)]
+
+    def apply_kind(self, kind: str, ports: Sequence[Sequence[str]]) -> list[str]:
+        a, b = ports[0], ports[1] if len(ports) > 1 else ports[0]
+        if kind == "+":
+            return self.adder(a, b)[0]
+        if kind == "-":
+            return self.adder(a, b, sub=True)[0]
+        if kind == "*":
+            return self.multiplier(a, b)
+        if kind == "<":
+            return self.less_than(a, b)
+        if kind == ">":
+            return self.less_than(b, a)
+        if kind == "==":
+            return self.equals(a, b)
+        if kind in ("&", "|", "^"):
+            return self.bitwise(
+                {"&": "and", "|": "or", "^": "xor"}[kind], a, b
+            )
+        if kind == "select":
+            if len(ports) < 3:
+                raise NetlistError("select needs three ports")
+            # condition is the LSB reduction-OR of port 0
+            cond = ports[0][0]
+            for bit in ports[0][1:]:
+                cond = self.g("or", cond, bit, prefix="sc")
+            return self.mux_word(cond, ports[1], ports[2])
+        raise NetlistError(f"no gate expansion for operation kind {kind!r}")
+
+
+def _select_width(n: int) -> int:
+    return max(1, math.ceil(math.log2(n))) if n > 1 else 0
+
+
+def _bist_bit(
+    b: "_Builder",
+    register,
+    q_bits: Sequence[str],
+    data_bits: Sequence[str],
+    i: int,
+    role: str,
+) -> str:
+    """Next-state bit ``i`` of a register in its BIST configuration.
+
+    TPGR (and session-active CBILBO): Fibonacci LFSR over the
+    register's own bits.  SR / BILBO: MISR -- the LFSR shift XORed with
+    the register's functional data input, compacting a response word
+    every test cycle.
+    """
+    from repro.bist.registers import taps_for
+
+    width = register.width
+    if width < 2:
+        # degenerate 1-bit register: toggle (TPGR) / xor-compact (SR)
+        if role in ("TPGR", "CBILBO"):
+            return b.g("not", q_bits[0], prefix="bg")
+        return b.g("xor", q_bits[0], data_bits[0], prefix="bg")
+    if i == 0:
+        fb = None
+        for t in taps_for(width):
+            bit = q_bits[t - 1]
+            fb = bit if fb is None else b.g("xor", fb, bit, prefix="bg")
+        # XNOR feedback: the all-zero reset state is then a live state
+        # (the lockup moves to all-ones), so no seeding logic is needed.
+        shifted = b.g("not", fb, prefix="bg")
+    else:
+        shifted = q_bits[i - 1]
+    if role in ("TPGR", "CBILBO"):
+        return shifted
+    return b.g("xor", shifted, data_bits[i], prefix="bg")
+
+
+def expand_datapath(
+    datapath: Datapath,
+    bist_roles: Mapping[str, str] | None = None,
+) -> tuple[Netlist, dict]:
+    """Expand ``datapath`` with control nets as primary inputs.
+
+    Returns the netlist and a *control map* describing the control
+    nets, used by :func:`expand_composite` and the experiments::
+
+        {
+          "reg_load":   {reg: net},
+          "reg_sel":    {reg: ([sel nets], [source names])},
+          "port_sel":   {(unit, port): ([sel nets], [source regs])},
+          "fn_sel":     {unit: ([sel nets], [kinds])},
+        }
+
+    With ``bist_roles`` (register name -> "TPGR" | "SR" | "BILBO" |
+    "CBILBO"), a ``bist_en`` input is added and the named registers get
+    in-situ test hardware at the bit level: TPGRs become LFSRs over
+    their own bits, SRs become MISRs compacting their functional data
+    input every cycle (BILBO/CBILBO are realised as their
+    session-active role: BILBO as SR, CBILBO as an LFSR that is also
+    made scan-observable).  The control map gains ``"bist_en"``.
+    """
+    b = _Builder(f"gates:{datapath.name}")
+
+    # Register state bits (Q) come first so units can reference them.
+    q: dict[str, list[str]] = {}
+    for r in datapath.registers:
+        q[r.name] = [f"{r.name}_b{i}" for i in range(r.width)]
+
+    control: dict = {"reg_load": {}, "reg_sel": {}, "port_sel": {}, "fn_sel": {}}
+
+    # Primary-input buses.
+    pi_bus: dict[str, list[str]] = {}
+    for var in datapath.cdfg.primary_inputs():
+        pi_bus[var.name] = b.word_input(f"pi_{var.name}", var.width)
+
+    def pad(bits: list[str], width: int) -> list[str]:
+        return (bits + [b.zero] * width)[:width]
+
+    # Functional units.
+    unit_out: dict[str, list[str]] = {}
+    port_srcs = datapath.unit_input_sources()
+    for unit in datapath.units:
+        ports: list[list[str]] = []
+        for p, srcs in enumerate(port_srcs.get(unit.name, [])):
+            sources = sorted(srcs)
+            nsel = _select_width(len(sources))
+            sels = [
+                b.nl.add(f"{unit.name}_p{p}_sel{k}", "input")
+                for k in range(nsel)
+            ]
+            words = [pad(q[s], unit.width) for s in sources]
+            ports.append(b.mux_tree(sels, words) if words else
+                         [b.zero] * unit.width)
+            control["port_sel"][(unit.name, p)] = (sels, sources)
+        min_ports = 3 if "select" in unit.kinds else 2
+        while len(ports) < min_ports:
+            ports.append([b.zero] * unit.width)
+        kinds = sorted(unit.kinds)
+        results = [b.apply_kind(k, ports) for k in kinds]
+        nfn = _select_width(len(kinds))
+        fns = [
+            b.nl.add(f"{unit.name}_fn{k}", "input") for k in range(nfn)
+        ]
+        unit_out[unit.name] = b.mux_tree(fns, results)
+        control["fn_sel"][unit.name] = (fns, kinds)
+
+    # Registers: D = load ? mux(sources) : Q, optionally wrapped in
+    # in-situ BIST hardware.
+    bist_roles = bist_roles or {}
+    bist_en = None
+    if bist_roles:
+        bist_en = b.nl.add("bist_en", "input")
+        control["bist_en"] = bist_en
+    reg_sources = datapath.register_sources()
+    for r in datapath.registers:
+        sources = sorted(reg_sources[r.name])
+        words = []
+        for s in sources:
+            if s.startswith("PI:"):
+                words.append(pad(pi_bus[s[3:]], r.width))
+            else:
+                words.append(pad(unit_out[s], r.width))
+        nsel = _select_width(len(sources))
+        sels = [
+            b.nl.add(f"{r.name}_sel{k}", "input") for k in range(nsel)
+        ]
+        load = b.nl.add(f"{r.name}_load", "input")
+        control["reg_load"][r.name] = load
+        control["reg_sel"][r.name] = (sels, sources)
+        if words:
+            data = b.mux_tree(sels, words)
+        else:
+            data = q[r.name]
+        role = bist_roles.get(r.name)
+        scan_flag = r.scan or r.transparent_scan
+        for i in range(r.width):
+            d = b.g("mux", load, data[i], q[r.name][i], prefix="ld")
+            if role is not None and bist_en is not None:
+                test_d = _bist_bit(b, r, q[r.name], data, i, role)
+                d = b.g("mux", bist_en, test_d, d, prefix="bd")
+            b.nl.add(
+                q[r.name][i], "dff", d,
+                scan=scan_flag or role == "CBILBO",
+            )
+
+    # Primary outputs: bits of the registers holding PO variables.
+    for var in datapath.cdfg.primary_outputs():
+        reg = datapath.register_of_variable(var.name)
+        for i in range(min(var.width, reg.width)):
+            b.nl.add_output(q[reg.name][i])
+
+    swept = sweep_dead_logic(b.nl)
+    return swept, control
+
+
+def expand_composite(
+    datapath: Datapath,
+    controller: Controller,
+    extra_words: Sequence[Mapping[str, object]] = (),
+) -> Netlist:
+    """Expand data path *plus* its microcode controller.
+
+    The controller is a step counter plus decode logic driving the
+    data-path control nets; the only primary inputs left are the data
+    buses (and, when ``extra_words`` are given, the test-mode selects
+    of the controller-DFT redesign [14]: ``tm_en`` forces the extra
+    control vectors in rotation, restoring controllability of the
+    control nets).
+    """
+    nl, control = expand_datapath(datapath)
+    words = [w.signals for w in controller.words] + [dict(w) for w in extra_words]
+    n_states = len(controller.words)
+    sbits = max(1, math.ceil(math.log2(n_states)))
+
+    # Namespaced builder: its generated nets never collide with the
+    # copied data-path nets.
+    b = _Builder(f"composite:{datapath.name}", ns="c_")
+    # -- controller state counter
+    state_q = [f"cstate_b{i}" for i in range(sbits)]
+    # increment: state + 1 mod n_states (synchronous wrap via compare).
+    inc, _carry = b.adder(state_q, [b.one] + [b.zero] * (sbits - 1))
+    # wrap when state == n_states - 1
+    last_code = n_states - 1
+    eqbits = []
+    for i, sq in enumerate(state_q):
+        bit = sq if (last_code >> i) & 1 else b.g("not", sq, prefix="wr")
+        eqbits.append(bit)
+    at_last = eqbits[0]
+    for x in eqbits[1:]:
+        at_last = b.g("and", at_last, x, prefix="wr")
+    # Synchronous reset: without it the controller state would be
+    # uninitialisable and no sequential test could ever be justified.
+    reset = b.nl.add("reset", "input")
+    clear = b.g("or", reset, at_last, prefix="ns")
+    next_state = [
+        b.g("mux", clear, b.zero, inc[i], prefix="ns") for i in range(sbits)
+    ]
+    tm_en = None
+    tm_sel: list[str] = []
+    if extra_words:
+        tm_en = b.nl.add("tm_en", "input")
+        tm_sel = [
+            b.nl.add(f"tm_sel{i}", "input")
+            for i in range(max(1, math.ceil(math.log2(len(extra_words)))))
+        ]
+
+    def state_decode(code: int) -> str:
+        bits = []
+        for i, sq in enumerate(state_q):
+            bits.append(sq if (code >> i) & 1 else b.g("not", sq, prefix="dc"))
+        acc = bits[0]
+        for x in bits[1:]:
+            acc = b.g("and", acc, x, prefix="dc")
+        return acc
+
+    state_hit = {code: state_decode(code) for code in range(n_states)}
+
+    def extra_hit(idx: int) -> str:
+        bits = [tm_en]
+        for i, s in enumerate(tm_sel):
+            bits.append(s if (idx >> i) & 1 else b.g("not", s, prefix="tm"))
+        acc = bits[0]
+        for x in bits[1:]:
+            acc = b.g("and", acc, x, prefix="tm")
+        return acc
+
+    extra_hits = [extra_hit(i) for i in range(len(extra_words))]
+
+    def signal_net(value_fn) -> str:
+        """OR of minterms where the signal is asserted."""
+        terms = []
+        for code in range(n_states):
+            if value_fn(words[code]):
+                hit = state_hit[code]
+                if tm_en is not None:
+                    ntm = b.g("not", tm_en, prefix="tm")
+                    hit = b.g("and", hit, ntm, prefix="tm")
+                terms.append(hit)
+        for i, w in enumerate(words[n_states:]):
+            if value_fn(w):
+                terms.append(extra_hits[i])
+        if not terms:
+            return b.zero
+        acc = terms[0]
+        for t in terms[1:]:
+            acc = b.g("or", acc, t, prefix="sg")
+        return acc
+
+    # -- control nets, rebuilt as decode logic
+    ctrl_nets: dict[str, str] = {}
+    for reg, load_net in control["reg_load"].items():
+        ctrl_nets[load_net] = signal_net(
+            lambda w, reg=reg: w.get(f"{reg}.load") == 1
+        )
+    for reg, (sels, sources) in control["reg_sel"].items():
+        for k, sel_net in enumerate(sels):
+            ctrl_nets[sel_net] = signal_net(
+                lambda w, reg=reg, k=k, sources=sources: _sel_bit(
+                    w.get(f"{reg}.sel"), sources, k
+                )
+            )
+    for (unit, port), (sels, sources) in control["port_sel"].items():
+        for k, sel_net in enumerate(sels):
+            ctrl_nets[sel_net] = signal_net(
+                lambda w, unit=unit, port=port, k=k, sources=sources:
+                _sel_bit(w.get(f"{unit}.sel{port}"), sources, k)
+            )
+    for unit, (fns, kinds) in control["fn_sel"].items():
+        for k, fn_net in enumerate(fns):
+            ctrl_nets[fn_net] = signal_net(
+                lambda w, unit=unit, k=k, kinds=kinds: _sel_bit(
+                    w.get(f"{unit}.fn"), kinds, k
+                )
+            )
+
+    # -- copy the datapath netlist, remapping control inputs
+    remap = dict(ctrl_nets)
+    remap["_zero"] = b.zero
+    remap["_one"] = b.one
+    for gate in nl:
+        if gate.kind == "input" and gate.name in remap:
+            continue  # replaced by controller logic
+        if gate.name in ("_zero", "_one"):
+            continue  # shared constants
+        newins = tuple(remap.get(i, i) for i in gate.inputs)
+        b.nl.add(gate.name, gate.kind, *newins, scan=gate.scan)
+    for i, sq in enumerate(state_q):
+        b.nl.add(sq, "dff", next_state[i])
+    for out in nl.outputs:
+        b.nl.add_output(out)
+    return sweep_dead_logic(b.nl)
+
+
+def _sel_bit(value, sources, k) -> bool:
+    """Bit ``k`` of the binary index of ``value`` in ``sources``."""
+    if value is None or value not in sources:
+        return False
+    return bool((list(sources).index(value) >> k) & 1)

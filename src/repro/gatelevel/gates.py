@@ -1,0 +1,197 @@
+"""Gate-level netlist model.
+
+Every gate drives exactly one net, named after the gate.  Supported
+kinds:
+
+* ``input`` -- primary input (no gate inputs)
+* ``const0`` / ``const1`` -- constants
+* ``buf``, ``not`` -- one input
+* ``and``, ``or``, ``nand``, ``nor``, ``xor``, ``xnor`` -- two inputs
+* ``mux`` -- ``(sel, a, b)``: sel ? a : b
+* ``dff`` -- one input (D); state element.  ``scan=True`` marks the
+  flip-flop as scannable (directly controllable/observable in test).
+
+Primary outputs are a list of net names.  The combinational part must
+be acyclic; :meth:`Netlist.validate` checks this and that every net is
+driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+COMBINATIONAL_KINDS = frozenset(
+    {"buf", "not", "and", "or", "nand", "nor", "xor", "xnor", "mux"}
+)
+_ARITY = {
+    "input": 0, "const0": 0, "const1": 0,
+    "buf": 1, "not": 1, "dff": 1,
+    "and": 2, "or": 2, "nand": 2, "nor": 2, "xor": 2, "xnor": 2,
+    "mux": 3,
+}
+
+
+class NetlistError(ValueError):
+    """Raised on malformed netlist constructions."""
+
+
+@dataclass
+class Gate:
+    """One gate; the driven net shares the gate's name."""
+
+    name: str
+    kind: str
+    inputs: tuple[str, ...] = ()
+    scan: bool = False  # meaningful for dff only
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ARITY:
+            raise NetlistError(f"unknown gate kind {self.kind!r}")
+        if len(self.inputs) != _ARITY[self.kind]:
+            raise NetlistError(
+                f"gate {self.name!r} ({self.kind}): expected "
+                f"{_ARITY[self.kind]} inputs, got {len(self.inputs)}"
+            )
+
+
+class Netlist:
+    """A flat gate-level netlist with D flip-flops."""
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self._gates: dict[str, Gate] = {}
+        self.outputs: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def add(self, name: str, kind: str, *inputs: str, scan: bool = False) -> str:
+        """Add a gate; returns the driven net name."""
+        if name in self._gates:
+            raise NetlistError(f"duplicate gate {name!r}")
+        self._gates[name] = Gate(name, kind, tuple(inputs), scan=scan)
+        return name
+
+    def add_output(self, net: str) -> None:
+        self.outputs.append(net)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def gates(self) -> dict[str, Gate]:
+        return self._gates
+
+    def gate(self, name: str) -> Gate:
+        return self._gates[name]
+
+    def inputs(self) -> list[str]:
+        return [g.name for g in self._gates.values() if g.kind == "input"]
+
+    def dffs(self) -> list[Gate]:
+        return [g for g in self._gates.values() if g.kind == "dff"]
+
+    def scan_dffs(self) -> list[Gate]:
+        return [g for g in self.dffs() if g.scan]
+
+    def num_gates(self) -> int:
+        return sum(
+            1 for g in self._gates.values()
+            if g.kind in COMBINATIONAL_KINDS
+        )
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates.values())
+
+    # ------------------------------------------------------------------
+
+    def topo_order(self) -> list[str]:
+        """Combinational evaluation order (DFF outputs are sources).
+
+        Raises :class:`NetlistError` on combinational cycles.
+        """
+        order: list[str] = []
+        state = dict.fromkeys(self._gates, 0)  # 0 new, 1 visiting, 2 done
+        stack: list[tuple[str, int]] = []
+        for root in self._gates:
+            if state[root]:
+                continue
+            stack.append((root, 0))
+            while stack:
+                node, phase = stack.pop()
+                if phase == 0:
+                    if state[node] == 2:
+                        continue
+                    if state[node] == 1:
+                        continue
+                    state[node] = 1
+                    stack.append((node, 1))
+                    gate = self._gates[node]
+                    if gate.kind == "dff":
+                        continue  # DFF breaks the cycle: output is state
+                    for src in gate.inputs:
+                        if src not in self._gates:
+                            raise NetlistError(
+                                f"gate {node!r} reads undriven net {src!r}"
+                            )
+                        if state[src] == 1:
+                            raise NetlistError(
+                                f"combinational cycle through {src!r}"
+                            )
+                        if state[src] == 0:
+                            stack.append((src, 0))
+                else:
+                    state[node] = 2
+                    order.append(node)
+        return order
+
+    def validate(self) -> None:
+        """Check outputs exist, DFF inputs are driven, no comb. cycles."""
+        for net in self.outputs:
+            if net not in self._gates:
+                raise NetlistError(f"primary output {net!r} is undriven")
+        for g in self.dffs():
+            if g.inputs[0] not in self._gates:
+                raise NetlistError(
+                    f"dff {g.name!r} reads undriven net {g.inputs[0]!r}"
+                )
+        self.topo_order()
+
+    def stats(self) -> dict[str, int]:
+        kinds: dict[str, int] = {}
+        for g in self._gates.values():
+            kinds[g.kind] = kinds.get(g.kind, 0) + 1
+        return kinds
+
+
+def sweep_dead_logic(netlist: Netlist) -> Netlist:
+    """Remove gates outside the fan-in cone of any output or flip-flop.
+
+    Dangling logic (e.g. the truncated MSB carry chain of a word-level
+    adder) is untestable by construction; sweeping it keeps the fault
+    universe meaningful.  Primary inputs are preserved (interface), as
+    are all flip-flops and everything feeding them.
+    """
+    roots: list[str] = list(netlist.outputs)
+    for g in netlist.dffs():
+        roots.append(g.name)
+        roots.append(g.inputs[0])
+    needed: set[str] = set()
+    stack = [r for r in roots if r in netlist.gates]
+    while stack:
+        n = stack.pop()
+        if n in needed:
+            continue
+        needed.add(n)
+        stack.extend(
+            i for i in netlist.gate(n).inputs if i not in needed
+        )
+    out = Netlist(netlist.name)
+    for g in netlist:
+        if g.name in needed or g.kind == "input":
+            out.add(g.name, g.kind, *g.inputs, scan=g.scan)
+    out.outputs = list(netlist.outputs)
+    out.validate()
+    return out

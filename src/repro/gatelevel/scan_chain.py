@@ -1,0 +1,201 @@
+"""Scan-chain stitching and scan-based test application.
+
+The scan insertion passes in :mod:`repro.scan` decide *which* registers
+become scan registers; this module makes that concrete at the gate
+level: the scan flip-flops are stitched into one or more shift chains
+(``scan_in -> FF -> ... -> scan_out``) behind a ``scan_en`` mux, and
+combinational test vectors are applied with the classic protocol:
+
+1. shift the state portion of the vector in (``scan_en=1``, one cycle
+   per bit of the longest chain -- multiple balanced chains shift in
+   parallel, which is why testers use them),
+2. apply the primary-input portion and capture one functional cycle
+   (``scan_en=0``),
+3. shift the captured response out.
+
+:func:`apply_scan_test` simulates the full protocol cycle-accurately,
+so detection results include any shift-path effects instead of assuming
+ideal scan access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.gatelevel.faults import Fault
+from repro.gatelevel.gates import Netlist
+from repro.gatelevel.simulate import parallel_simulate
+
+
+@dataclass(frozen=True)
+class ScanChain:
+    """One or more stitched scan chains over a netlist's scan DFFs."""
+
+    netlist: Netlist
+    chains: tuple[tuple[str, ...], ...]
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        """All scan FFs, chain by chain (compatibility accessor)."""
+        return tuple(ff for chain in self.chains for ff in chain)
+
+    @property
+    def length(self) -> int:
+        """Total scan FFs across chains."""
+        return sum(len(c) for c in self.chains)
+
+    @property
+    def depth(self) -> int:
+        """Shift cycles needed: the longest chain's length."""
+        return max((len(c) for c in self.chains), default=0)
+
+    def scan_in_name(self, k: int) -> str:
+        return "scan_in" if len(self.chains) == 1 else f"scan_in{k}"
+
+
+def stitch_scan_chain(
+    netlist: Netlist,
+    order: Sequence[str] | None = None,
+    n_chains: int = 1,
+) -> tuple[Netlist, ScanChain]:
+    """Rebuild ``netlist`` with its scan DFFs stitched into chains.
+
+    Adds ``scan_en`` plus one scan-in input per chain and exposes each
+    chain's last FF as a primary output; every scan DFF's D input
+    becomes ``mux(scan_en, previous-chain-bit, functional D)``.  The
+    FFs are dealt round-robin into ``n_chains`` balanced chains.  The
+    original netlist is not modified.
+    """
+    scan_ffs = [g.name for g in netlist.scan_dffs()]
+    if order is None:
+        order = sorted(scan_ffs)
+    elif sorted(order) != sorted(scan_ffs):
+        raise ValueError("order must permute exactly the scan DFFs")
+    if n_chains < 1:
+        raise ValueError("n_chains must be >= 1")
+    n_chains = min(n_chains, max(1, len(order)))
+    chains: list[list[str]] = [[] for _ in range(n_chains)]
+    for i, ff in enumerate(order):
+        chains[i % n_chains].append(ff)
+    chains = [c for c in chains if c]
+
+    out = Netlist(f"{netlist.name}+chain")
+    chain_obj = ScanChain(out, tuple(tuple(c) for c in chains))
+    out.add("scan_en", "input")
+    chain_src: dict[str, str] = {}
+    for k, chain in enumerate(chains):
+        si = chain_obj.scan_in_name(k)
+        out.add(si, "input")
+        chain_src[chain[0]] = si
+        for a, b in zip(chain, chain[1:]):
+            chain_src[b] = a
+    for gate in netlist:
+        if gate.kind == "dff" and gate.scan:
+            mux = f"scanmux_{gate.name}"
+            out.add(mux, "mux", "scan_en", chain_src[gate.name],
+                    gate.inputs[0])
+            out.add(gate.name, "dff", mux, scan=True)
+        else:
+            out.add(gate.name, gate.kind, *gate.inputs, scan=gate.scan)
+    out.outputs = list(netlist.outputs)
+    for chain in chains:
+        out.add_output(chain[-1])  # scan_out per chain
+    out.validate()
+    return out, chain_obj
+
+
+@dataclass(frozen=True)
+class ScanTestResult:
+    """Outcome of applying one scan test."""
+
+    po_values: dict[str, int]
+    captured_state: dict[str, int]
+    cycles_used: int
+
+
+def apply_scan_test(
+    chained: Netlist,
+    chain: ScanChain,
+    pi_values: Mapping[str, int],
+    state_values: Mapping[str, int],
+    forced: Mapping[str, int] | None = None,
+) -> ScanTestResult:
+    """Run the shift/capture protocol for one test, cycle-accurately.
+
+    ``state_values`` gives the desired pre-capture value per scan FF;
+    ``pi_values`` the primary-input portion.  Returns the primary
+    outputs observed during the capture cycle and the response captured
+    into the chains (read back via a full shift-out).  All chains shift
+    in parallel, so the protocol costs ``2 * chain.depth + 1`` cycles.
+    """
+    pis = {pi: 0 for pi in chained.inputs()}
+    pis.update(pi_values)
+    topo = chained.topo_order()
+    state: dict[str, int] = {}
+    cycles = 0
+    depth = chain.depth
+
+    # -- shift in (parallel across chains): the bit for a chain's last
+    # FF travels the whole chain, so present last-FF bits first; short
+    # chains idle (shift zeros) during the leading cycles.
+    for step in range(depth):
+        piv = dict(pis)
+        piv["scan_en"] = 1
+        for k, ffs in enumerate(chain.chains):
+            lead = depth - len(ffs)
+            idx = len(ffs) - 1 - (step - lead)
+            bit = (
+                state_values.get(ffs[idx], 0)
+                if 0 <= idx < len(ffs) else 0
+            )
+            piv[chain.scan_in_name(k)] = bit
+        _vals, state = parallel_simulate(
+            chained, piv, state, width=1, order=topo, forced=forced
+        )
+        cycles += 1
+
+    # -- capture one functional cycle
+    piv = dict(pis)
+    piv["scan_en"] = 0
+    vals, state = parallel_simulate(
+        chained, piv, state, width=1, order=topo, forced=forced
+    )
+    cycles += 1
+    po_values = {po: vals[po] for po in chained.outputs}
+
+    # -- shift out (parallel): after s shifts, each chain's last FF
+    # holds the capture of its element len-1-s.
+    captured: dict[str, int] = {}
+    for step in range(depth):
+        for ffs in chain.chains:
+            idx = len(ffs) - 1 - step
+            if idx >= 0:
+                captured[ffs[idx]] = state[ffs[-1]]
+        piv = dict(pis)
+        piv["scan_en"] = 1
+        for k in range(len(chain.chains)):
+            piv[chain.scan_in_name(k)] = 0
+        _vals, state = parallel_simulate(
+            chained, piv, state, width=1, order=topo, forced=forced
+        )
+        cycles += 1
+    return ScanTestResult(po_values, captured, cycles)
+
+
+def scan_test_detects(
+    chained: Netlist,
+    chain: ScanChain,
+    fault: Fault,
+    pi_values: Mapping[str, int],
+    state_values: Mapping[str, int],
+) -> bool:
+    """True when the scan protocol exposes ``fault`` for this test."""
+    forced = {fault.net: fault.stuck_at & 1}
+    good = apply_scan_test(chained, chain, pi_values, state_values)
+    bad = apply_scan_test(
+        chained, chain, pi_values, state_values, forced=forced
+    )
+    if good.po_values != bad.po_values:
+        return True
+    return good.captured_state != bad.captured_state

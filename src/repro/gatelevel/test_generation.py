@@ -1,0 +1,109 @@
+"""Deterministic test-set generation: PODEM with fault dropping.
+
+The driver the surveyed flows assume exists downstream: generate a
+compact stuck-at test set for a (scan-equipped) netlist by alternating
+targeted PODEM with parallel fault simulation so each generated vector
+drops every other fault it happens to detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.gatelevel.atpg import combinational_atpg
+from repro.gatelevel.faults import Fault, all_faults
+from repro.gatelevel.fault_sim import fault_simulate
+from repro.gatelevel.gates import Netlist
+
+
+@dataclass
+class TestSet:
+    """A generated test set and its bookkeeping."""
+
+    netlist_name: str
+    vectors: list[dict[str, int]] = field(default_factory=list)
+    #: the PODEM assignments before free inputs were zero-filled --
+    #: these carry only what each test *requires*
+    partial_vectors: list[dict[str, int]] = field(default_factory=list)
+    detected: set[Fault] = field(default_factory=set)
+    untestable: list[Fault] = field(default_factory=list)
+    aborted: list[Fault] = field(default_factory=list)
+    total_faults: int = 0
+
+    @property
+    def coverage(self) -> float:
+        if not self.total_faults:
+            return 1.0
+        return len(self.detected) / self.total_faults
+
+    @property
+    def test_efficiency(self) -> float:
+        if not self.total_faults:
+            return 1.0
+        return (
+            len(self.detected) + len(self.untestable)
+        ) / self.total_faults
+
+
+def _complete_vector(netlist: Netlist, partial: dict[str, int],
+                     fill: int = 0) -> dict[str, int]:
+    """PODEM leaves unassigned inputs free; pin them for simulation."""
+    vec = {pi: fill for pi in netlist.inputs()}
+    for g in netlist.scan_dffs():
+        vec.setdefault(g.name, fill)
+    vec.update(partial)
+    return vec
+
+
+def generate_tests(
+    netlist: Netlist,
+    faults: Sequence[Fault] | None = None,
+    backtrack_limit: int = 600,
+) -> TestSet:
+    """Generate a fault-dropping test set for the full-scan view.
+
+    Scan flip-flop values in each vector are part of the test (loaded
+    through the chain by :mod:`repro.gatelevel.scan_chain`).
+    """
+    if faults is None:
+        faults = all_faults(netlist)
+    result = TestSet(netlist.name, total_faults=len(faults))
+    remaining = list(faults)
+    scan_names = {g.name for g in netlist.scan_dffs()}
+
+    while remaining:
+        target = remaining[0]
+        res = combinational_atpg(
+            netlist, target, backtrack_limit=backtrack_limit
+        )
+        if not res.detected:
+            remaining.pop(0)
+            (result.aborted if res.aborted else result.untestable).append(
+                target
+            )
+            continue
+        vec = _complete_vector(netlist, res.test)
+        result.vectors.append(vec)
+        result.partial_vectors.append(dict(res.test))
+        # Fault-drop: one capture cycle with the vector's PI and scan
+        # state applied; scan FFs observe.
+        piv = {k: v for k, v in vec.items() if k not in scan_names}
+        state = {k: v for k, v in vec.items() if k in scan_names}
+        dropped = fault_simulate(
+            netlist, remaining, [piv], width=1, initial_state=state
+        )
+        survivors = []
+        for f in remaining:
+            if dropped.get(f):
+                result.detected.add(f)
+            else:
+                survivors.append(f)
+        if target not in result.detected:
+            # Defensive: PODEM said detected but the completed vector
+            # missed it (free-input fill interaction); drop explicitly
+            # to guarantee termination and flag via coverage.
+            survivors = [f for f in survivors if f != target]
+            result.aborted.append(target)
+        remaining = survivors
+    return result

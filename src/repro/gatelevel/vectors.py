@@ -1,0 +1,126 @@
+"""Plain-text test-vector files.
+
+A minimal tester-interchange format for the test sets produced by
+:mod:`repro.gatelevel.test_generation`: a header naming the input and
+output columns, then one line per vector with the applied bits and the
+expected (good-machine) response.  Round-trips losslessly; expected
+responses are computed by simulation at write time so the file is
+self-checking.
+
+Format::
+
+    # repro test vectors v1
+    inputs a b scan_en ...
+    outputs po_0 po_1 ...
+    0101... -> 10...
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.gatelevel.gates import Netlist
+from repro.gatelevel.simulate import parallel_simulate
+
+_HEADER = "# repro test vectors v1"
+
+
+@dataclass(frozen=True)
+class VectorFile:
+    """Parsed contents of a vector file."""
+
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    vectors: tuple[tuple[dict[str, int], dict[str, int]], ...]
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+
+def _input_columns(netlist: Netlist) -> list[str]:
+    cols = sorted(netlist.inputs())
+    cols += sorted(g.name for g in netlist.scan_dffs())
+    return cols
+
+
+def write_vectors(
+    netlist: Netlist,
+    vectors: Sequence[Mapping[str, int]],
+) -> str:
+    """Render ``vectors`` (PI + scan-state assignments) with expected
+    responses computed by one capture cycle each."""
+    cols = _input_columns(netlist)
+    outs = list(netlist.outputs)
+    scan = {g.name for g in netlist.scan_dffs()}
+    order = netlist.topo_order()
+    buf = io.StringIO()
+    buf.write(_HEADER + "\n")
+    buf.write("inputs " + " ".join(cols) + "\n")
+    buf.write("outputs " + " ".join(outs) + "\n")
+    for vec in vectors:
+        in_bits = "".join(str(vec.get(c, 0) & 1) for c in cols)
+        out_bits = "".join(
+            str(b) for b in _capture_response(netlist, order, scan, vec)
+        )
+        buf.write(f"{in_bits} -> {out_bits}\n")
+    return buf.getvalue()
+
+
+def _capture_response(netlist, order, scan, vec) -> list[int]:
+    """Post-capture value of each output net for one vector.
+
+    Output nets that are flip-flops report their *captured* (next
+    state) value -- that is what a tester unloads through the chain.
+    """
+    piv = {k: v for k, v in vec.items() if k not in scan}
+    state = {k: v for k, v in vec.items() if k in scan}
+    vals, nxt = parallel_simulate(
+        netlist, piv, state, width=1, order=order
+    )
+    dffs = {g.name for g in netlist.dffs()}
+    return [
+        (nxt[o] if o in dffs else vals[o]) & 1 for o in netlist.outputs
+    ]
+
+
+def read_vectors(text: str) -> VectorFile:
+    """Parse a vector file; raises ValueError on malformed content."""
+    lines = [l.strip() for l in text.splitlines() if l.strip()]
+    if not lines or lines[0] != _HEADER:
+        raise ValueError("not a repro vector file (bad header)")
+    if not lines[1].startswith("inputs ") or not lines[2].startswith(
+        "outputs "
+    ):
+        raise ValueError("missing inputs/outputs declarations")
+    inputs = tuple(lines[1].split()[1:])
+    outputs = tuple(lines[2].split()[1:])
+    vectors = []
+    for line in lines[3:]:
+        try:
+            in_bits, out_bits = (s.strip() for s in line.split("->"))
+        except ValueError as exc:
+            raise ValueError(f"malformed vector line: {line!r}") from exc
+        if len(in_bits) != len(inputs) or len(out_bits) != len(outputs):
+            raise ValueError(f"bit-count mismatch in line: {line!r}")
+        vec = {c: int(b) for c, b in zip(inputs, in_bits)}
+        exp = {o: int(b) for o, b in zip(outputs, out_bits)}
+        vectors.append((vec, exp))
+    return VectorFile(inputs, outputs, tuple(vectors))
+
+
+def check_vectors(netlist: Netlist, vf: VectorFile) -> list[int]:
+    """Re-simulate a parsed file; returns indices of failing vectors
+    (empty when the netlist matches the recorded responses)."""
+    scan = {g.name for g in netlist.scan_dffs()}
+    order = netlist.topo_order()
+    failing = []
+    for i, (vec, exp) in enumerate(vf.vectors):
+        got = _capture_response(netlist, order, scan, vec)
+        if any(
+            got[k] != exp[o] for k, o in enumerate(netlist.outputs)
+            if o in exp
+        ):
+            failing.append(i)
+    return failing

@@ -1,0 +1,200 @@
+"""Structural Verilog export.
+
+The survey (section 2) emphasises that "most HDL descriptions use
+Verilog, VHDL or C" and that test synthesis tools interoperate through
+netlists; this module lets the library hand its artifacts to external
+tools:
+
+* :func:`netlist_to_verilog` -- a gate-level :class:`Netlist` as a flat
+  structural module (primitive gates + behavioral DFFs).
+* :func:`datapath_to_verilog` -- a bound :class:`Datapath` as an RTL
+  module: registers, word-level operators, and the control interface
+  (load enables and mux selects as input ports), matching the expansion
+  semantics of :mod:`repro.gatelevel.expand`.
+
+Both outputs are plain IEEE-1364 subsets (no vendor extensions).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.gatelevel.gates import Netlist
+from repro.hls.datapath import Datapath
+
+_GATE_PRIMS = {
+    "and": "and", "or": "or", "nand": "nand", "nor": "nor",
+    "xor": "xor", "xnor": "xnor", "not": "not", "buf": "buf",
+}
+
+
+def _ident(name: str) -> str:
+    """Verilog-legal identifier (escape anything exotic)."""
+    ok = all(c.isalnum() or c == "_" for c in name) and not name[0].isdigit()
+    return name if ok else f"\\{name} "
+
+
+def netlist_to_verilog(netlist: Netlist, module_name: str | None = None) -> str:
+    """Render a gate-level netlist as structural Verilog."""
+    name = module_name or netlist.name.replace(":", "_").replace("+", "_")
+    buf = io.StringIO()
+    inputs = netlist.inputs()
+    outputs = list(netlist.outputs)
+    ports = [_ident(p) for p in inputs] + ["clk"] + [
+        f"po_{i}" for i in range(len(outputs))
+    ]
+    buf.write(f"module {_ident(name)} (\n")
+    buf.write(",\n".join(f"  {p}" for p in ports))
+    buf.write("\n);\n")
+    for pi in inputs:
+        buf.write(f"  input {_ident(pi)};\n")
+    buf.write("  input clk;\n")
+    for i in range(len(outputs)):
+        buf.write(f"  output po_{i};\n")
+    dffs = netlist.dffs()
+    for g in netlist:
+        if g.kind == "input":
+            continue
+        decl = "reg" if g.kind == "dff" else "wire"
+        buf.write(f"  {decl} {_ident(g.name)};\n")
+    buf.write("\n")
+    for i, net in enumerate(outputs):
+        buf.write(f"  assign po_{i} = {_ident(net)};\n")
+    n = 0
+    for g in netlist:
+        if g.kind in _GATE_PRIMS:
+            ins = ", ".join(_ident(x) for x in g.inputs)
+            buf.write(
+                f"  {_GATE_PRIMS[g.kind]} g{n} ({_ident(g.name)}, {ins});\n"
+            )
+            n += 1
+        elif g.kind == "mux":
+            s, a, b = (_ident(x) for x in g.inputs)
+            buf.write(
+                f"  assign {_ident(g.name)} = {s} ? {a} : {b};\n"
+            )
+        elif g.kind == "const0":
+            buf.write(f"  assign {_ident(g.name)} = 1'b0;\n")
+        elif g.kind == "const1":
+            buf.write(f"  assign {_ident(g.name)} = 1'b1;\n")
+    if dffs:
+        buf.write("\n  always @(posedge clk) begin\n")
+        for g in dffs:
+            buf.write(
+                f"    {_ident(g.name)} <= {_ident(g.inputs[0])};"
+                f"{'  // scan' if g.scan else ''}\n"
+            )
+        buf.write("  end\n")
+    buf.write("endmodule\n")
+    return buf.getvalue()
+
+
+_OP_VERILOG = {
+    "+": "+", "-": "-", "*": "*", "&": "&", "|": "|", "^": "^",
+    "<": "<", ">": ">", "==": "==",
+}
+
+
+def datapath_to_verilog(
+    datapath: Datapath, module_name: str | None = None
+) -> str:
+    """Render a bound data path as an RTL Verilog module.
+
+    Control signals (register load/select, unit port/function selects)
+    become input ports, mirroring the "control fully accessible in test
+    mode" interface of :func:`repro.gatelevel.expand.expand_datapath`.
+    """
+    name = module_name or datapath.name.replace(":", "_")
+    buf = io.StringIO()
+    width = max(r.width for r in datapath.registers)
+    w = f"[{width - 1}:0]"
+
+    pis = [v.name for v in datapath.cdfg.primary_inputs()]
+    pos = [v.name for v in datapath.cdfg.primary_outputs()]
+    port_srcs = datapath.unit_input_sources()
+    reg_srcs = datapath.register_sources()
+
+    ctrl_ports: list[str] = []
+    for r in datapath.registers:
+        ctrl_ports.append(f"{r.name}_load")
+        if len(reg_srcs[r.name]) > 1:
+            ctrl_ports.append(f"{r.name}_sel")
+    for u in datapath.units:
+        for p, srcs in enumerate(port_srcs.get(u.name, [])):
+            if len(srcs) > 1:
+                ctrl_ports.append(f"{u.name}_p{p}_sel")
+        if len(u.kinds) > 1:
+            ctrl_ports.append(f"{u.name}_fn")
+
+    ports = (
+        ["clk"] + [f"pi_{p}" for p in pis] + ctrl_ports
+        + [f"po_{p}" for p in pos]
+    )
+    buf.write(f"module {_ident(name)} (\n")
+    buf.write(",\n".join(f"  {_ident(p)}" for p in ports))
+    buf.write("\n);\n")
+    buf.write("  input clk;\n")
+    for p in pis:
+        buf.write(f"  input {w} pi_{p};\n")
+    for p in ctrl_ports:
+        wdecl = "" if p.endswith("_load") else "[3:0] "
+        buf.write(f"  input {wdecl}{_ident(p)};\n")
+    for p in pos:
+        buf.write(f"  output {w} po_{p};\n")
+    for r in datapath.registers:
+        buf.write(f"  reg {w} {r.name};"
+                  f"{'  // scan' if r.scan else ''}\n")
+    for u in datapath.units:
+        buf.write(f"  wire {w} {u.name}_out;\n")
+        for p in range(len(port_srcs.get(u.name, []))):
+            buf.write(f"  wire {w} {u.name}_p{p};\n")
+    buf.write("\n")
+
+    # unit input muxes and function
+    for u in datapath.units:
+        for p, srcs in enumerate(port_srcs.get(u.name, [])):
+            ordered = sorted(srcs)
+            if len(ordered) == 1:
+                buf.write(f"  assign {u.name}_p{p} = {ordered[0]};\n")
+            else:
+                expr = ordered[-1]
+                for k in range(len(ordered) - 2, -1, -1):
+                    expr = (f"({_ident(f'{u.name}_p{p}_sel')} == {k}) ? "
+                            f"{ordered[k]} : ({expr})")
+                buf.write(f"  assign {u.name}_p{p} = {expr};\n")
+        kinds = sorted(u.kinds)
+        a, b = f"{u.name}_p0", f"{u.name}_p1"
+        if len(port_srcs.get(u.name, [])) < 2:
+            b = a
+        exprs = [f"({a} {_OP_VERILOG[k]} {b})" for k in kinds]
+        if len(exprs) == 1:
+            buf.write(f"  assign {u.name}_out = {exprs[0]};\n")
+        else:
+            expr = exprs[-1]
+            for k in range(len(exprs) - 2, -1, -1):
+                expr = (f"({_ident(f'{u.name}_fn')} == {k}) ? "
+                        f"{exprs[k]} : ({expr})")
+            buf.write(f"  assign {u.name}_out = {expr};\n")
+    buf.write("\n  always @(posedge clk) begin\n")
+    for r in datapath.registers:
+        ordered = sorted(reg_srcs[r.name])
+        def src_expr(s: str) -> str:
+            return f"pi_{s[3:]}" if s.startswith("PI:") else f"{s}_out"
+        if not ordered:
+            continue
+        if len(ordered) == 1:
+            data = src_expr(ordered[0])
+        else:
+            data = src_expr(ordered[-1])
+            for k in range(len(ordered) - 2, -1, -1):
+                data = (f"({_ident(f'{r.name}_sel')} == {k}) ? "
+                        f"{src_expr(ordered[k])} : ({data})")
+        buf.write(
+            f"    if ({r.name}_load) {r.name} <= {data};\n"
+        )
+    buf.write("  end\n\n")
+    for p in pos:
+        reg = datapath.register_of_variable(p)
+        buf.write(f"  assign po_{p} = {reg.name};\n")
+    buf.write("endmodule\n")
+    return buf.getvalue()

@@ -1,0 +1,58 @@
+"""Hierarchical test generation (survey section 6), after [7,29,37,38].
+
+A module's *test environment* is "the set of symbolic justification and
+propagation paths to and from the module": with it, precomputed module
+tests can be reused at the chip level instead of regenerating them with
+flat gate-level ATPG.
+
+* :mod:`~repro.hier.test_env` -- test environments for operations
+  (symbolic justification through identity operands, identity
+  propagation to primary outputs), verified by execution.
+* :mod:`~repro.hier.atket` -- ATKET-style extraction of per-module
+  environments and the behavioral modifications needed when a module
+  has none ([37,39]).
+* :mod:`~repro.hier.composer` -- CHEETA-style composition of module
+  test sets into chip-level tests ([38,29]).
+"""
+
+from repro.hier.test_env import (
+    TestEnvironment,
+    operation_test_environment,
+    verify_environment,
+)
+from repro.hier.atket import (
+    module_test_environments,
+    environment_aware_binding,
+    modify_for_environments,
+)
+from repro.hier.composer import (
+    ChipLevelTest,
+    compose_module_tests,
+    exhaustive_module_tests,
+    hierarchical_test_suite,
+)
+from repro.hier.system import (
+    ModuleAccess,
+    SystemDesign,
+    flatten,
+    modify_top_level,
+    module_access,
+)
+
+__all__ = [
+    "TestEnvironment",
+    "operation_test_environment",
+    "verify_environment",
+    "module_test_environments",
+    "environment_aware_binding",
+    "modify_for_environments",
+    "ChipLevelTest",
+    "compose_module_tests",
+    "exhaustive_module_tests",
+    "hierarchical_test_suite",
+    "ModuleAccess",
+    "SystemDesign",
+    "flatten",
+    "modify_top_level",
+    "module_access",
+]

@@ -1,0 +1,117 @@
+"""ATKET-style module environment extraction and behavioral
+modification ([37,39,7], survey sections 3.4 and 6).
+
+"The test environment of an operation assigned to a module can be used
+as the test environment for the module.  The assignment phase in high
+level synthesis is used to help ensure that each module has at least
+one operation which has a test environment; if that is not possible,
+test points are introduced to provide the test environment."
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.transform import insert_test_statements
+from repro.hier.test_env import TestEnvironment, operation_test_environment
+from repro.hls.allocation import Allocation, AllocationError
+from repro.hls.binding import FUBinding
+from repro.hls.scheduling import Schedule
+
+
+def module_test_environments(
+    cdfg: CDFG, binding: FUBinding
+) -> dict[str, TestEnvironment | None]:
+    """Per unit: a verified test environment from one of its operations
+    (None when no operation on the unit has one)."""
+    out: dict[str, TestEnvironment | None] = {}
+    for unit in binding.units():
+        env = None
+        for op_name in binding.operations_on(unit):
+            env = operation_test_environment(cdfg, op_name)
+            if env is not None:
+                break
+        out[unit] = env
+    return out
+
+
+def environment_aware_binding(
+    cdfg: CDFG, schedule: Schedule, allocation: Allocation
+) -> FUBinding:
+    """Bind operations so every unit gets an environment-bearing op.
+
+    The [7] assignment objective: operations with test environments are
+    spread across the units of their class first (one per unit), then
+    the rest are bound first-fit.
+    """
+    allocation.validate_for(cdfg)
+    has_env = {
+        op.name: operation_test_environment(cdfg, op.name) is not None
+        for op in cdfg
+    }
+    busy: set[tuple[str, int]] = set()
+    assignment: dict[str, str] = {}
+    units_satisfied: set[str] = set()
+
+    def place(op, unit) -> bool:
+        s = schedule.step_of(op.name)
+        slots = [(unit, s + d) for d in range(op.delay)]
+        if any(x in busy for x in slots):
+            return False
+        busy.update(slots)
+        assignment[op.name] = unit
+        return True
+
+    ordered = sorted(
+        cdfg,
+        key=lambda op: (
+            not has_env[op.name],  # env-bearing ops first
+            schedule.step_of(op.name),
+            op.name,
+        ),
+    )
+    for op in ordered:
+        cls = allocation.unit_class(op.kind)
+        names = allocation.unit_names(cls)
+        if has_env[op.name]:
+            # Prefer a unit of this class not yet satisfied.
+            names = sorted(
+                names, key=lambda u: (u in units_satisfied, u)
+            )
+        if not any(place(op, u) for u in names):
+            raise AllocationError(
+                f"environment-aware binding: no unit free for {op.name!r}"
+            )
+        if has_env[op.name]:
+            units_satisfied.add(assignment[op.name])
+    binding = FUBinding(assignment)
+    binding.verify(cdfg, schedule)
+    return binding
+
+
+def modify_for_environments(
+    cdfg: CDFG, binding: FUBinding
+) -> tuple[CDFG, list[str]]:
+    """Add test statements so environment-less units gain one ([39]).
+
+    For each unit with no environment, the inputs and output of one of
+    its operations get control/observe test points; returns the
+    modified behavior and the units that needed modification.
+    """
+    envs = module_test_environments(cdfg, binding)
+    needy = sorted(u for u, e in envs.items() if e is None)
+    if not needy:
+        return cdfg, []
+    control_vars: list[str] = []
+    observe_vars: list[str] = []
+    for unit in needy:
+        op = cdfg.operation(binding.operations_on(unit)[0])
+        for v in op.inputs:
+            var = cdfg.variable(v)
+            if not var.is_input and v not in control_vars:
+                control_vars.append(v)
+        if not cdfg.variable(op.output).is_output:
+            observe_vars.append(op.output)
+    modified = insert_test_statements(
+        cdfg, control_vars=control_vars, observe_vars=observe_vars
+    )
+    return modified, needy

@@ -1,0 +1,100 @@
+"""Composition of module tests into chip-level tests ([38,29]).
+
+"Precomputed test sets of the modules can be used to generate tests for
+the complete design, provided the test environment for each module is
+known."  Here a module's precomputed tests are operand pairs for its
+operation kind; the composer maps each pair through the module's
+verified test environment into a full primary-input assignment, and
+confirms by execution that the expected result is observed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.interpret import run_iteration
+from repro.hier.test_env import TestEnvironment
+
+
+@dataclass(frozen=True)
+class ChipLevelTest:
+    """One composed test: apply ``inputs``, expect ``expected`` at
+    ``observe``."""
+
+    unit: str
+    operation: str
+    inputs: dict[str, int]
+    observe: str
+    expected: int
+
+
+def exhaustive_module_tests(
+    width: int, budget: int = 32, seed: int = 3
+) -> list[tuple[int, int]]:
+    """Precomputed operand pairs for a module: corner values plus
+    pseudorandom fill, ``budget`` pairs total."""
+    mask = (1 << width) - 1
+    corners = [0, 1, mask, mask >> 1, 1 << (width - 1)]
+    pairs = [(a, b) for a in corners for b in corners]
+    rng = random.Random(seed)
+    while len(pairs) < budget:
+        pairs.append((rng.randrange(mask + 1), rng.randrange(mask + 1)))
+    return pairs[:budget]
+
+
+def compose_module_tests(
+    cdfg: CDFG,
+    env: TestEnvironment,
+    unit: str,
+    module_tests: list[tuple[int, int]],
+) -> list[ChipLevelTest]:
+    """Map precomputed module tests through ``env`` to chip level.
+
+    Every composed test is verified by execution; a test environment
+    that fails to deliver some operand pair raises AssertionError
+    (environments are verified at extraction, so this indicates a bug,
+    not a design property).
+    """
+    op = cdfg.operation(env.operation)
+    out: list[ChipLevelTest] = []
+    for a, b in module_tests:
+        inputs = env.chip_inputs(cdfg, (a, b))
+        values = run_iteration(cdfg, inputs)
+        if values[op.inputs[0]] != a or values[op.inputs[1]] != b:
+            raise AssertionError(
+                f"environment for {env.operation!r} failed to justify "
+                f"({a}, {b})"
+            )
+        out.append(
+            ChipLevelTest(
+                unit=unit,
+                operation=env.operation,
+                inputs=inputs,
+                observe=env.observe,
+                expected=values[env.observe],
+            )
+        )
+    return out
+
+
+def hierarchical_test_suite(
+    cdfg: CDFG,
+    envs: dict[str, TestEnvironment | None],
+    width: int,
+    budget_per_module: int = 32,
+) -> tuple[list[ChipLevelTest], list[str]]:
+    """Compose tests for every module with an environment.
+
+    Returns (tests, uncovered units).
+    """
+    tests: list[ChipLevelTest] = []
+    uncovered: list[str] = []
+    for unit, env in sorted(envs.items()):
+        if env is None:
+            uncovered.append(unit)
+            continue
+        pairs = exhaustive_module_tests(width, budget_per_module)
+        tests.extend(compose_module_tests(cdfg, env, unit, pairs))
+    return tests, uncovered

@@ -1,0 +1,260 @@
+"""Hierarchical designs: several behavioral modules, global test modes.
+
+Survey section 3.4 (after [37,39]): "In hierarchical designs consisting
+of several modules, the top level design constrains the controllability
+and observability of its modules' I/O.  A technique has been developed
+to generate top level test modes and constraints required to realize a
+module's local test modes.  The process ... may reveal that some
+constraints cannot be satisfied, in which case, either the top level
+description, or the description of an individual module, must be
+modified."
+
+A :class:`SystemDesign` wires CDFG modules together; :func:`flatten`
+produces the single executable CDFG; :func:`module_access` extracts the
+*global test mode* for one module -- verified symbolic justification of
+each module input from system primary inputs and propagation of a
+module output to a system primary output, through the surrounding
+modules; :func:`modify_top_level` applies the AMBIANT-style fix where
+access is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cdfg.graph import CDFG, CDFGError, Operation, Variable
+from repro.cdfg.transform import insert_test_statements
+from repro.hier.test_env import _justify, _propagate
+from repro.cdfg.interpret import run_iteration
+
+
+@dataclass
+class SystemDesign:
+    """Named module instances plus inter-module connections.
+
+    ``connections`` maps a (module, input-variable) pair to the
+    (module, output-variable) pair driving it.  Unconnected module
+    inputs become system primary inputs (named ``<mod>.<var>``);
+    unconnected module outputs become system primary outputs.
+    """
+
+    name: str
+    modules: dict[str, CDFG] = field(default_factory=dict)
+    connections: dict[tuple[str, str], tuple[str, str]] = field(
+        default_factory=dict
+    )
+
+    def add_module(self, instance: str, cdfg: CDFG) -> None:
+        if instance in self.modules:
+            raise CDFGError(f"duplicate module instance {instance!r}")
+        self.modules[instance] = cdfg
+
+    def connect(self, src: tuple[str, str], dst: tuple[str, str]) -> None:
+        """Drive module input ``dst`` from module output ``src``."""
+        sm, sv = src
+        dm, dv = dst
+        if not self.modules[sm].variable(sv).is_output:
+            raise CDFGError(f"{sm}.{sv} is not a module output")
+        if not self.modules[dm].variable(dv).is_input:
+            raise CDFGError(f"{dm}.{dv} is not a module input")
+        if dst in self.connections:
+            raise CDFGError(f"{dm}.{dv} already driven")
+        self.connections[dst] = src
+
+
+def _qual(instance: str, var: str) -> str:
+    return f"{instance}.{var}"
+
+
+def flatten(system: SystemDesign) -> CDFG:
+    """Compose the system into one CDFG with namespaced variables.
+
+    A connected module input aliases its driver: consumers read the
+    driver's qualified name directly, so no glue operations are added.
+    """
+    out = CDFG(system.name)
+    alias: dict[str, str] = {}
+    for inst, mod in system.modules.items():
+        for (dm, dv), (sm, sv) in system.connections.items():
+            if dm == inst:
+                alias[_qual(dm, dv)] = _qual(sm, sv)
+
+    # An output only becomes internal when its consumer module really
+    # reads the connected input; a connection into an unused port would
+    # otherwise leave the driver's value dangling.
+    driven_outputs = {
+        _qual(sm, sv)
+        for (dm, dv), (sm, sv) in system.connections.items()
+        if system.modules[dm].consumers_of(dv)
+    }
+    for inst, mod in system.modules.items():
+        for v in mod.variables.values():
+            q = _qual(inst, v.name)
+            if q in alias:
+                continue  # replaced by its driver
+            is_input = v.is_input
+            is_output = v.is_output and q not in driven_outputs
+            # A driven output stays an ordinary (internal) variable.
+            out.add_variable(
+                Variable(q, v.width, is_input=is_input,
+                         is_output=is_output)
+            )
+    for inst, mod in system.modules.items():
+        for op in mod.operations.values():
+            inputs = tuple(
+                alias.get(_qual(inst, x), _qual(inst, x))
+                for x in op.inputs
+            )
+            carried = frozenset(
+                alias.get(_qual(inst, x), _qual(inst, x))
+                for x in op.carried
+            )
+            out.add_operation(
+                Operation(
+                    _qual(inst, op.name), op.kind, inputs,
+                    _qual(inst, op.output), carried=carried,
+                    delay=op.delay,
+                )
+            )
+    out.validate()
+    return out
+
+
+@dataclass(frozen=True)
+class ModuleAccess:
+    """A verified global test mode for one module instance."""
+
+    module: str
+    #: effective module input variable -> carrying system primary input
+    input_carriers: Mapping[str, str]
+    #: effective module input variable -> its flattened variable name
+    flat_inputs: Mapping[str, str]
+    #: system primary inputs pinned to constants
+    pins: Mapping[str, int]
+    #: (module output variable, system primary output observing it)
+    observe: tuple[str, str]
+
+
+def module_access(
+    system: SystemDesign, instance: str, flat: CDFG | None = None
+) -> ModuleAccess | None:
+    """Extract and verify a global test mode for ``instance``.
+
+    Every primary input of the module must be symbolically justifiable
+    from system primary inputs, and at least one module output must
+    propagate to a system primary output, simultaneously (shared pins
+    must agree).  Returns None when the surrounding modules block
+    access -- the situation [39] fixes by modification.
+    """
+    flat = flat if flat is not None else flatten(system)
+    mod = system.modules[instance]
+    pins: dict[str, int] = {}
+    used: set[str] = set()
+    carriers: dict[str, str] = {}
+    flat_inputs: dict[str, str] = {}
+    for v in mod.primary_inputs():
+        if v.name == "tmode" or v.name.startswith("tin_"):
+            continue  # test plumbing, not functional ports
+        # A test-mode select may shadow the raw input: the module's
+        # internal logic reads <v>_t, which is what needs justifying.
+        effective = v.name
+        vt = f"{v.name}_t"
+        if vt in mod.variables:
+            producer = mod.producer_of(vt)
+            if producer is not None and producer.kind == "select":
+                effective = vt
+        q = _qual(instance, effective)
+        # The qualified name may alias to a driver output.
+        target = q if q in flat.variables else None
+        if target is None:
+            for (dm, dv), (sm, sv) in system.connections.items():
+                if dm == instance and dv == effective:
+                    target = _qual(sm, sv)
+                    break
+        if target is None:
+            return None
+        carrier = _justify(flat, target, pins, used)
+        if carrier is None:
+            return None
+        carriers[effective] = carrier
+        flat_inputs[effective] = target
+    observe = None
+    for v in mod.primary_outputs():
+        q = _qual(instance, v.name)
+        if q not in flat.variables:
+            continue
+        po = _propagate(flat, q, pins, used)
+        if po is not None:
+            observe = (v.name, po)
+            break
+    if observe is None:
+        return None
+    access = ModuleAccess(
+        instance, carriers, dict(flat_inputs), dict(pins), observe
+    )
+    if _verify_access(system, flat, access):
+        return access
+    return None
+
+
+def _verify_access(
+    system: SystemDesign, flat: CDFG, access: ModuleAccess, trials: int = 3
+) -> bool:
+    """Execute the flat design and confirm the carriers really steer the
+    module's effective inputs and the observed output really reaches
+    the primary output unchanged."""
+    import random
+
+    rng = random.Random(11)
+    mod = system.modules[access.module]
+    for _ in range(trials):
+        inputs = {v.name: 0 for v in flat.primary_inputs()}
+        inputs.update(access.pins)
+        injected: dict[str, int] = {}
+        for mv, pi in access.input_carriers.items():
+            width = mod.variable(mv).width
+            injected[mv] = rng.randrange(1 << width)
+            inputs[pi] = injected[mv]
+        values = run_iteration(flat, inputs)
+        for mv, flat_name in access.flat_inputs.items():
+            if values[flat_name] != injected[mv]:
+                return False
+        out_var, po = access.observe
+        if values[po] != values[_qual(access.module, out_var)]:
+            return False
+    return True
+
+
+def modify_top_level(
+    system: SystemDesign, instance: str
+) -> tuple[SystemDesign, list[str]]:
+    """AMBIANT-style fix: give a blocked module direct test access.
+
+    The blocked module itself is modified (the survey's "the
+    description of an individual module must be modified"): every
+    connected input gets a test-mode select (loadable from a fresh
+    test input, which flattening exposes as a system primary input)
+    and every driven output gets an observe point.  Returns the
+    modified system and the changed instances.
+    """
+    mod = system.modules[instance]
+    connected_inputs = [
+        dv for (dm, dv) in system.connections if dm == instance
+    ]
+    driven_outputs = [
+        sv for (sm, sv) in system.connections.values() if sm == instance
+    ]
+    if not connected_inputs and not driven_outputs:
+        return system, []
+    modified = insert_test_statements(
+        mod,
+        control_vars=sorted(set(connected_inputs)),
+        observe_vars=sorted(set(driven_outputs)),
+    )
+    new_modules = dict(system.modules)
+    new_modules[instance] = modified
+    new = SystemDesign(
+        system.name + "+mod", new_modules, dict(system.connections)
+    )
+    return new, [instance]

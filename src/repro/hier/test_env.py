@@ -1,0 +1,212 @@
+"""Test environments for operations ([7], survey section 6).
+
+A test environment for operation ``o`` consists of
+
+* a *justification* path per input: a chain of identity-preserving
+  operations (``x+0``, ``x-0``, ``x*1``, ``x|0``, ``x^0``, ``x & mask``)
+  from a primary input to the operand, with every side operand pinned
+  to its identity value at a primary input;
+* a *propagation* path: an identity-preserving chain from the
+  operation's output to a primary output.
+
+Environments found structurally are then *verified by execution* with
+random symbolic values (the CDFG interpreter), so every returned
+environment is guaranteed sound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.interpret import run_iteration
+
+
+@dataclass(frozen=True)
+class TestEnvironment:
+    """A verified symbolic access path for one operation."""
+
+    operation: str
+    #: Primary input carrying each operand symbolically, per port.
+    carriers: tuple[str, ...]
+    #: Primary inputs pinned to constants (identity values).
+    pins: Mapping[str, int]
+    #: Primary output at which the operation's result appears.
+    observe: str
+
+    def chip_inputs(
+        self, cdfg: CDFG, operand_values: tuple[int, ...], fill: int = 0
+    ) -> dict[str, int]:
+        """A full primary-input assignment applying a module test."""
+        inputs = {v.name: fill for v in cdfg.primary_inputs()}
+        inputs.update(self.pins)
+        for pi, val in zip(self.carriers, operand_values):
+            inputs[pi] = val
+        return inputs
+
+
+def _identity_for(kind: str, port: int, width: int) -> int | None:
+    """Identity value of the *other* operand for pass-through on ``port``."""
+    if kind in ("+", "|", "^"):
+        return 0
+    if kind == "-" and port == 0:
+        return 0  # x - 0 == x; 0 - x is not identity
+    if kind == "*":
+        return 1
+    if kind == "&":
+        return (1 << width) - 1
+    return None
+
+
+def _justify(
+    cdfg: CDFG, var: str, pins: dict[str, int], used: set[str]
+) -> str | None:
+    """Find a PI carrying ``var`` symbolically; fills ``pins``.
+
+    Returns the carrier PI name or None.  Only single-use (non-fanout
+    constrained) paths through identity operations are considered.
+    """
+    v = cdfg.variable(var)
+    if v.is_input:
+        if var in pins or var in used:
+            return None
+        used.add(var)
+        return var
+    op = cdfg.producer_of(var)
+    if op is None:
+        return None
+    width = v.width
+    if op.kind == "select" and len(op.inputs) == 3:
+        cond = op.inputs[0]
+        for port, cond_val in ((1, 1), (2, 0)):
+            if not _pin(cdfg, cond, cond_val, pins, used):
+                continue
+            carrier = _justify(cdfg, op.inputs[port], pins, used)
+            if carrier is not None:
+                return carrier
+            _unpin(cdfg, cond, pins)
+        return None
+    for port, operand in enumerate(op.inputs):
+        other_port = 1 - port
+        if len(op.inputs) != 2:
+            break
+        ident = _identity_for(op.kind, port, width)
+        if ident is None:
+            continue
+        other = op.inputs[other_port]
+        if not _pin(cdfg, other, ident, pins, used):
+            continue
+        carrier = _justify(cdfg, operand, pins, used)
+        if carrier is not None:
+            return carrier
+        _unpin(cdfg, other, pins)
+    return None
+
+
+def _pin(
+    cdfg: CDFG, var: str, value: int, pins: dict[str, int], used: set[str]
+) -> bool:
+    """Pin ``var`` to a constant by assigning a PI directly."""
+    v = cdfg.variable(var)
+    if v.is_input:
+        if var in used:
+            return False
+        if var in pins:
+            return pins[var] == value
+        pins[var] = value
+        return True
+    return False
+
+
+def _unpin(cdfg: CDFG, var: str, pins: dict[str, int]) -> None:
+    pins.pop(var, None)
+
+
+def _propagate(
+    cdfg: CDFG, var: str, pins: dict[str, int], used: set[str]
+) -> str | None:
+    """Find a PO observing ``var`` through identity operations."""
+    v = cdfg.variable(var)
+    if v.is_output:
+        return var
+    for consumer in cdfg.consumers_of(var):
+        if var in consumer.carried:
+            continue
+        if consumer.kind == "select" and len(consumer.inputs) == 3:
+            cond = consumer.inputs[0]
+            for port, cond_val in ((1, 1), (2, 0)):
+                if consumer.inputs[port] != var or cond == var:
+                    continue
+                if not _pin(cdfg, cond, cond_val, pins, used):
+                    continue
+                po = _propagate(cdfg, consumer.output, pins, used)
+                if po is not None:
+                    return po
+                _unpin(cdfg, cond, pins)
+            continue
+        if len(consumer.inputs) != 2:
+            continue
+        try:
+            port = consumer.inputs.index(var)
+        except ValueError:
+            continue
+        ident = _identity_for(consumer.kind, port, v.width)
+        if ident is None:
+            continue
+        other = consumer.inputs[1 - port]
+        if other == var:
+            continue
+        if not _pin(cdfg, other, ident, pins, used):
+            continue
+        po = _propagate(cdfg, consumer.output, pins, used)
+        if po is not None:
+            return po
+        _unpin(cdfg, other, pins)
+    return None
+
+
+def operation_test_environment(
+    cdfg: CDFG, op_name: str, verify_trials: int = 4, seed: int = 7
+) -> TestEnvironment | None:
+    """Search for and verify a test environment for ``op_name``."""
+    op = cdfg.operation(op_name)
+    if len(op.inputs) != 2 or op.carried:
+        return None
+    pins: dict[str, int] = {}
+    used: set[str] = set()
+    carrier_a = _justify(cdfg, op.inputs[0], pins, used)
+    if carrier_a is None:
+        return None
+    carrier_b = _justify(cdfg, op.inputs[1], pins, used)
+    if carrier_b is None:
+        return None
+    observe = _propagate(cdfg, op.output, pins, used)
+    if observe is None:
+        return None
+    env = TestEnvironment(
+        op_name, (carrier_a, carrier_b), dict(pins), observe
+    )
+    if verify_environment(cdfg, env, trials=verify_trials, seed=seed):
+        return env
+    return None
+
+
+def verify_environment(
+    cdfg: CDFG, env: TestEnvironment, trials: int = 4, seed: int = 7
+) -> bool:
+    """Execute the environment with random operand values and check the
+    operands arrive unchanged and the result reaches the PO unchanged."""
+    rng = random.Random(seed)
+    op = cdfg.operation(env.operation)
+    for _ in range(trials):
+        a = rng.randrange(1 << cdfg.variable(op.inputs[0]).width)
+        b = rng.randrange(1 << cdfg.variable(op.inputs[1]).width)
+        inputs = env.chip_inputs(cdfg, (a, b))
+        values = run_iteration(cdfg, inputs)
+        if values[op.inputs[0]] != a or values[op.inputs[1]] != b:
+            return False
+        if values[env.observe] != values[op.output]:
+            return False
+    return True

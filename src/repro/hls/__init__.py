@@ -1,0 +1,70 @@
+"""High-level synthesis core.
+
+Implements the three fundamental behavioral synthesis tasks named in
+section 1.1 of the survey -- allocation, scheduling, and assignment
+(binding) -- plus data-path construction and controller generation.
+
+Typical flow::
+
+    from repro.cdfg import suite
+    from repro import hls
+
+    cdfg = suite.diffeq()
+    alloc = hls.Allocation({"*": 2, "+": 1, "-": 1, "<": 1})
+    sched = hls.list_schedule(cdfg, alloc)
+    fubind = hls.bind_functional_units(cdfg, sched, alloc)
+    regs = hls.assign_registers_left_edge(cdfg, sched)
+    dp = hls.build_datapath(cdfg, sched, fubind, regs)
+    ctrl = hls.build_controller(dp)
+"""
+
+from repro.hls.allocation import Allocation, minimal_allocation, allocate_for_latency
+from repro.hls.scheduling import (
+    Schedule,
+    asap,
+    alap,
+    list_schedule,
+    force_directed_schedule,
+    mobility_path_schedule,
+)
+from repro.hls.conflict import conflict_graph, color_conflict_graph
+from repro.hls.binding import (
+    FUBinding,
+    RegisterAssignment,
+    bind_functional_units,
+    assign_registers_left_edge,
+    assign_registers_coloring,
+)
+from repro.hls.datapath import Datapath, Register, FunctionalUnit, build_datapath
+from repro.hls.controller import Controller, build_controller
+from repro.hls.estimate import area_estimate, AREA_MODEL
+from repro.hls.verify import VerificationResult, verify_datapath
+
+__all__ = [
+    "Allocation",
+    "minimal_allocation",
+    "allocate_for_latency",
+    "Schedule",
+    "asap",
+    "alap",
+    "list_schedule",
+    "force_directed_schedule",
+    "mobility_path_schedule",
+    "conflict_graph",
+    "color_conflict_graph",
+    "FUBinding",
+    "RegisterAssignment",
+    "bind_functional_units",
+    "assign_registers_left_edge",
+    "assign_registers_coloring",
+    "Datapath",
+    "Register",
+    "FunctionalUnit",
+    "build_datapath",
+    "Controller",
+    "build_controller",
+    "area_estimate",
+    "AREA_MODEL",
+    "VerificationResult",
+    "verify_datapath",
+]

@@ -1,0 +1,105 @@
+"""Resource allocation: deciding the type and number of hardware units.
+
+Allocation "decides the type and number of hardware resources that will
+be used to implement the behavioral description" (survey, section 1.1).
+ALU-style sharing across compatible kinds is supported through
+*unit classes*: by default adders and subtractors share one ALU class
+while multipliers get their own, matching the module libraries of the
+surveyed papers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.analysis import critical_path_length
+
+#: Default grouping of operation kinds onto shareable unit classes.
+DEFAULT_UNIT_CLASSES: Mapping[str, str] = {
+    "+": "alu",
+    "-": "alu",
+    "&": "alu",
+    "|": "alu",
+    "^": "alu",
+    "<": "alu",
+    ">": "alu",
+    "==": "alu",
+    "<<": "alu",
+    ">>": "alu",
+    "*": "mult",
+    "select": "mux",
+}
+
+
+class AllocationError(ValueError):
+    """Raised when an allocation cannot support a behavior."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Number of functional units available per unit class.
+
+    ``units`` maps a unit class name (``"alu"``, ``"mult"``) to a count.
+    ``classes`` maps operation kinds to unit classes; kinds absent from
+    the map each get a dedicated class named after the kind.
+    """
+
+    units: Mapping[str, int]
+    classes: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_UNIT_CLASSES)
+    )
+
+    def unit_class(self, kind: str) -> str:
+        return self.classes.get(kind, kind)
+
+    def count(self, unit_class: str) -> int:
+        return self.units.get(unit_class, 0)
+
+    def unit_names(self, unit_class: str) -> list[str]:
+        """Stable instance names, e.g. ``["alu0", "alu1"]``."""
+        return [f"{unit_class}{i}" for i in range(self.count(unit_class))]
+
+    def validate_for(self, cdfg: CDFG) -> None:
+        """Raise :class:`AllocationError` if some kind has no unit."""
+        for kind in cdfg.kinds():
+            if self.count(self.unit_class(kind)) < 1:
+                raise AllocationError(
+                    f"no unit allocated for operation kind {kind!r} "
+                    f"(class {self.unit_class(kind)!r})"
+                )
+
+
+def minimal_allocation(cdfg: CDFG) -> Allocation:
+    """One unit per unit class used by ``cdfg`` (minimum-area allocation)."""
+    units: dict[str, int] = {}
+    classes = dict(DEFAULT_UNIT_CLASSES)
+    for kind in cdfg.kinds():
+        units[classes.get(kind, kind)] = 1
+    return Allocation(units, classes)
+
+
+def allocate_for_latency(cdfg: CDFG, num_steps: int) -> Allocation:
+    """Smallest per-class unit counts that *may* meet ``num_steps``.
+
+    Uses the classic lower bound: for each class, total occupied
+    unit-steps divided by the latency, rounded up.  The bound is then
+    verified/raised by the list scheduler (which may need one extra unit
+    on pathological dependence structures).
+    """
+    cpl = critical_path_length(cdfg)
+    if num_steps < cpl:
+        raise AllocationError(
+            f"latency {num_steps} below critical path {cpl}"
+        )
+    classes = dict(DEFAULT_UNIT_CLASSES)
+    work: dict[str, int] = {}
+    for op in cdfg:
+        cls = classes.get(op.kind, op.kind)
+        work[cls] = work.get(cls, 0) + op.delay
+    units = {
+        cls: max(1, math.ceil(total / num_steps)) for cls, total in work.items()
+    }
+    return Allocation(units, classes)

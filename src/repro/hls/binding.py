@@ -1,0 +1,187 @@
+"""Assignment (binding): operations to functional units, variables to
+registers.
+
+"Assignment refers to the binding of each variable/operation to one of
+the allocated registers/functional units" (survey, section 1.1).  The
+conventional binders here are the baselines every testability-oriented
+binder in :mod:`repro.scan` and :mod:`repro.bist` is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.cdfg.graph import CDFG, CDFGError
+from repro.cdfg.lifetimes import Lifetime, variable_lifetimes
+from repro.hls.allocation import Allocation, AllocationError
+from repro.hls.conflict import conflict_graph, color_conflict_graph
+from repro.hls.scheduling import Schedule
+
+
+@dataclass(frozen=True)
+class FUBinding:
+    """Mapping from operation name to functional-unit instance name."""
+
+    assignment: Mapping[str, str]
+
+    def unit_of(self, op_name: str) -> str:
+        return self.assignment[op_name]
+
+    def operations_on(self, unit: str) -> list[str]:
+        return sorted(o for o, u in self.assignment.items() if u == unit)
+
+    def units(self) -> list[str]:
+        return sorted(set(self.assignment.values()))
+
+    def verify(self, cdfg: CDFG, schedule: Schedule) -> None:
+        """No two ops may occupy the same unit in the same step."""
+        occupancy: dict[tuple[str, int], str] = {}
+        for op in cdfg:
+            unit = self.assignment.get(op.name)
+            if unit is None:
+                raise CDFGError(f"operation {op.name!r} not bound")
+            s = schedule.step_of(op.name)
+            for d in range(op.delay):
+                key = (unit, s + d)
+                if key in occupancy:
+                    raise AllocationError(
+                        f"unit {unit!r} double-booked at step {s + d}: "
+                        f"{occupancy[key]!r} and {op.name!r}"
+                    )
+                occupancy[key] = op.name
+
+
+@dataclass(frozen=True)
+class RegisterAssignment:
+    """Mapping from variable name to register index."""
+
+    register_of: Mapping[str, int]
+
+    @property
+    def num_registers(self) -> int:
+        return 1 + max(self.register_of.values()) if self.register_of else 0
+
+    def variables_in(self, register: int) -> list[str]:
+        return sorted(v for v, r in self.register_of.items() if r == register)
+
+    def registers(self) -> list[list[str]]:
+        return [self.variables_in(r) for r in range(self.num_registers)]
+
+    def verify(self, lifetimes: Mapping[str, Lifetime]) -> None:
+        """No two co-resident variables may have overlapping lifetimes."""
+        for reg in range(self.num_registers):
+            vs = self.variables_in(reg)
+            for i, a in enumerate(vs):
+                for b in vs[i + 1:]:
+                    if lifetimes[a].overlaps(lifetimes[b]):
+                        raise CDFGError(
+                            f"register {reg}: variables {a!r} and {b!r} "
+                            "overlap in lifetime"
+                        )
+
+
+def bind_functional_units(
+    cdfg: CDFG,
+    schedule: Schedule,
+    allocation: Allocation,
+    prefer: Mapping[str, str] | None = None,
+) -> FUBinding:
+    """Bind each operation to a unit instance of its class.
+
+    Deterministic first-fit in (step, name) order.  ``prefer`` pins
+    specific operations to specific unit instances (used by the Figure 1
+    reproduction and the testability-aware binder).
+    """
+    allocation.validate_for(cdfg)
+    busy: dict[tuple[str, int], str] = {}  # (unit, step) -> op
+    assignment: dict[str, str] = {}
+
+    def try_place(op, unit) -> bool:
+        s = schedule.step_of(op.name)
+        slots = [(unit, s + d) for d in range(op.delay)]
+        if any(slot in busy for slot in slots):
+            return False
+        for slot in slots:
+            busy[slot] = op.name
+        assignment[op.name] = unit
+        return True
+
+    ordered = sorted(cdfg, key=lambda op: (schedule.step_of(op.name), op.name))
+    for op in ordered:
+        cls = allocation.unit_class(op.kind)
+        candidates = allocation.unit_names(cls)
+        if prefer and op.name in prefer:
+            candidates = [prefer[op.name]] + [
+                u for u in candidates if u != prefer[op.name]
+            ]
+        if not any(try_place(op, unit) for unit in candidates):
+            raise AllocationError(
+                f"cannot bind {op.name!r}: all {cls!r} units busy at "
+                f"step {schedule.step_of(op.name)}"
+            )
+    binding = FUBinding(assignment)
+    binding.verify(cdfg, schedule)
+    return binding
+
+
+def assign_registers_left_edge(
+    cdfg: CDFG,
+    schedule: Schedule,
+    extra_conflicts: Iterable[tuple[str, str]] = (),
+) -> RegisterAssignment:
+    """Left-edge register assignment (minimum registers on intervals).
+
+    Variables are sorted by birth time and packed first-fit into
+    registers whose current contents they do not overlap.  With
+    ``extra_conflicts`` the named pairs are additionally kept apart
+    (hook for the testability-driven assigners).
+    """
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    forbidden: dict[str, set[str]] = {}
+    for a, b in extra_conflicts:
+        forbidden.setdefault(a, set()).add(b)
+        forbidden.setdefault(b, set()).add(a)
+    order = sorted(lifetimes.values(), key=lambda lt: (lt.birth, lt.variable))
+    registers: list[list[Lifetime]] = []
+    register_of: dict[str, int] = {}
+    for lt in order:
+        placed = False
+        for idx, contents in enumerate(registers):
+            bad = forbidden.get(lt.variable, set())
+            if any(
+                lt.overlaps(other) or other.variable in bad
+                for other in contents
+            ):
+                continue
+            contents.append(lt)
+            register_of[lt.variable] = idx
+            placed = True
+            break
+        if not placed:
+            registers.append([lt])
+            register_of[lt.variable] = len(registers) - 1
+    result = RegisterAssignment(register_of)
+    result.verify(lifetimes)
+    return result
+
+
+def assign_registers_coloring(
+    cdfg: CDFG,
+    schedule: Schedule,
+    extra_conflicts: Iterable[tuple[str, str]] = (),
+    preferred_order: Iterable[str] | None = None,
+) -> RegisterAssignment:
+    """Conflict-graph-coloring register assignment.
+
+    The general formulation (section 5.1); ``extra_conflicts`` carries
+    the augmentation edges of the BIST assigner [3], and
+    ``preferred_order`` lets callers seed the coloring with I/O
+    variables as in [25].
+    """
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    g = conflict_graph(lifetimes, extra_edges=extra_conflicts)
+    colors = color_conflict_graph(g, preferred_order=preferred_order)
+    result = RegisterAssignment(colors)
+    result.verify(lifetimes)
+    return result

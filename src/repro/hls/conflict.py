@@ -1,0 +1,82 @@
+"""Conflict graphs and coloring for register assignment.
+
+"A conventional method of assigning a set of variables to the minimum
+number of registers is to color a conflict graph with the minimum
+number of colors" (survey, section 5.1).  Nodes are variables; an edge
+joins two variables whose lifetimes overlap.  The BIST assigner of [3]
+adds *extra* conflict edges (same-module I/O pairs); that augmentation
+lives in :mod:`repro.bist.self_adjacent` and reuses this machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import Lifetime
+
+
+def conflict_graph(
+    lifetimes: Mapping[str, Lifetime],
+    extra_edges: Iterable[tuple[str, str]] = (),
+) -> nx.Graph:
+    """Build the variable conflict graph.
+
+    ``extra_edges`` allows callers (e.g. the BIST assigner of [3]) to
+    forbid additional sharings beyond lifetime overlap.
+    """
+    g = nx.Graph()
+    names = sorted(lifetimes)
+    g.add_nodes_from(names)
+    for i, a in enumerate(names):
+        la = lifetimes[a]
+        for b in names[i + 1:]:
+            if la.overlaps(lifetimes[b]):
+                g.add_edge(a, b)
+    for a, b in extra_edges:
+        if a != b and a in g and b in g:
+            g.add_edge(a, b)
+    return g
+
+
+def color_conflict_graph(
+    graph: nx.Graph,
+    preferred_order: Iterable[str] | None = None,
+) -> dict[str, int]:
+    """Greedy coloring; colors are register indices.
+
+    With ``preferred_order`` the vertices are colored in that sequence
+    (callers use it to seed I/O variables first, as in [25]); otherwise
+    the largest-degree-first strategy is used, which is optimal on the
+    interval-graph-like conflict graphs produced by acyclic schedules.
+    """
+    if preferred_order is not None:
+        order = list(preferred_order)
+        missing = [n for n in graph.nodes if n not in set(order)]
+        order += sorted(missing, key=lambda n: -graph.degree(n))
+        colors: dict[str, int] = {}
+        for node in order:
+            taken = {colors[n] for n in graph.neighbors(node) if n in colors}
+            c = 0
+            while c in taken:
+                c += 1
+            colors[node] = c
+        return colors
+    return nx.coloring.greedy_color(graph, strategy="largest_first")
+
+
+def chromatic_lower_bound(graph: nx.Graph) -> int:
+    """A cheap lower bound on the number of registers: max clique found
+    greedily over the neighborhoods (exact on interval graphs)."""
+    best = 1 if graph.number_of_nodes() else 0
+    for node in graph.nodes:
+        clique = {node}
+        for cand in sorted(
+            graph.neighbors(node), key=lambda n: -graph.degree(n)
+        ):
+            if all(graph.has_edge(cand, m) for m in clique):
+                clique.add(cand)
+        best = max(best, len(clique))
+    return best

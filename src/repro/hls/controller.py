@@ -1,0 +1,100 @@
+"""Controller generation.
+
+Builds the microcoded FSM that sequences a data path: one control word
+per control step, carrying the multiplexer selects, register load
+enables, and unit function codes.  Section 3.5 of the survey discusses
+why this controller matters for testability: implications *between*
+control signals constrain what sequential ATPG can justify in the data
+path.  The conflict analysis and redesign live in
+:mod:`repro.controller_dft`; this module only constructs the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.hls.datapath import Datapath
+
+
+@dataclass(frozen=True)
+class ControlWord:
+    """The values asserted during one control step.
+
+    ``signals`` maps signal names to symbolic values:
+
+    * ``"<unit>.sel<k>"``  -> source register name for input port k
+    * ``"<unit>.fn"``      -> operation kind executed
+    * ``"<reg>.load"``     -> 1 when the register captures this step
+    * ``"<reg>.sel"``      -> source unit (or ``"PI:<var>"``) captured
+    """
+
+    step: int
+    signals: Mapping[str, object]
+
+    def value(self, signal: str, default=0):
+        return self.signals.get(signal, default)
+
+
+class Controller:
+    """A microcode controller: one :class:`ControlWord` per step."""
+
+    def __init__(self, datapath: Datapath, words: list[ControlWord]) -> None:
+        self.datapath = datapath
+        self.words = words
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.words)
+
+    def signal_names(self) -> list[str]:
+        names: set[str] = set()
+        for w in self.words:
+            names.update(w.signals)
+        return sorted(names)
+
+    def column(self, signal: str) -> list[object]:
+        """The per-step value sequence of one control signal."""
+        return [w.value(signal) for w in self.words]
+
+    def load_steps(self, register: str) -> list[int]:
+        """Steps at which ``register`` is loaded."""
+        return [
+            w.step for w in self.words if w.value(f"{register}.load") == 1
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Controller({self.datapath.name!r}, steps={self.num_steps}, "
+            f"signals={len(self.signal_names())})"
+        )
+
+
+def build_controller(datapath: Datapath) -> Controller:
+    """Derive the control words from the data path's transfers."""
+    n_steps = datapath.schedule.length_with_delays(datapath.cdfg)
+    per_step: list[dict[str, object]] = [dict() for _ in range(n_steps + 1)]
+    for t in datapath.transfers:
+        op = datapath.cdfg.operation(t.operation)
+        # Multicycle units are combinational in the expansion, so their
+        # function and input selects must be held through every cycle
+        # of the operation, not only the start cycle.
+        for step in range(t.step, t.finish_step + 1):
+            word = per_step[step]
+            word[f"{t.unit}.fn"] = op.kind
+            for i, src in enumerate(t.source_registers):
+                word[f"{t.unit}.sel{i}"] = src
+        finish = per_step[t.finish_step]
+        finish[f"{t.dest_register}.load"] = 1
+        finish[f"{t.dest_register}.sel"] = t.unit
+    # Primary-input loads happen in a step-0 prologue word.
+    prologue: dict[str, object] = {}
+    for var in datapath.cdfg.primary_inputs():
+        reg = datapath.register_of_variable(var.name)
+        prologue[f"{reg.name}.load"] = 1
+        prologue[f"{reg.name}.sel"] = f"PI:{var.name}"
+    words = [ControlWord(0, prologue)]
+    words += [
+        ControlWord(step, per_step[step]) for step in range(1, n_steps + 1)
+    ]
+    return Controller(datapath, words)

@@ -1,0 +1,245 @@
+"""RTL data-path construction from schedule + binding.
+
+The data path is the structure all testability analyses operate on:
+registers (possibly shared by several variables), functional units
+(possibly shared by several operations), and the multiplexer
+interconnect implied by that sharing.  The S-graph of section 3.1 is a
+projection of this structure (see :mod:`repro.sgraph.build`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import variable_lifetimes
+from repro.hls.binding import FUBinding, RegisterAssignment
+from repro.hls.scheduling import Schedule
+
+
+@dataclass
+class Register:
+    """A data-path register holding one or more variables.
+
+    ``scan``/``test_role`` are testability annotations filled in by the
+    scan and BIST passes (``test_role`` is one of None, "TPGR", "SR",
+    "BILBO", "CBILBO").
+    """
+
+    name: str
+    index: int
+    variables: tuple[str, ...]
+    width: int
+    is_input_register: bool
+    is_output_register: bool
+    scan: bool = False
+    transparent_scan: bool = False
+    test_role: str | None = None
+
+    @property
+    def is_io_register(self) -> bool:
+        return self.is_input_register or self.is_output_register
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """A shared functional unit executing one or more operations."""
+
+    name: str
+    unit_class: str
+    kinds: frozenset[str]
+    operations: tuple[str, ...]
+    width: int
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One register transfer: ``dest <= unit(src_regs...)`` at a step."""
+
+    operation: str
+    unit: str
+    step: int
+    finish_step: int
+    source_registers: tuple[str, ...]
+    dest_register: str
+
+
+class Datapath:
+    """A bound RTL data path.
+
+    Construct with :func:`build_datapath`.  Exposes registers, units,
+    and the per-operation register transfers; all testability passes
+    (S-graph, scan marking, BIST roles, gate expansion, controller
+    generation) consume this object.
+    """
+
+    def __init__(
+        self,
+        cdfg: CDFG,
+        schedule: Schedule,
+        fu_binding: FUBinding,
+        registers: list[Register],
+        units: list[FunctionalUnit],
+        transfers: list[Transfer],
+        register_of: Mapping[str, int],
+    ) -> None:
+        self.cdfg = cdfg
+        self.schedule = schedule
+        self.fu_binding = fu_binding
+        self.registers = registers
+        self.units = units
+        self.transfers = transfers
+        self._register_of = dict(register_of)
+        self._by_name = {r.name: r for r in registers}
+        self._by_index = {r.index: r for r in registers}
+        self._unit_by_name = {u.name: u for u in units}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.cdfg.name
+
+    def register(self, name: str) -> Register:
+        return self._by_name[name]
+
+    def unit(self, name: str) -> FunctionalUnit:
+        return self._unit_by_name[name]
+
+    def register_of_variable(self, variable: str) -> Register:
+        return self._by_index[self._register_of[variable]]
+
+    def input_registers(self) -> list[Register]:
+        return [r for r in self.registers if r.is_input_register]
+
+    def output_registers(self) -> list[Register]:
+        return [r for r in self.registers if r.is_output_register]
+
+    def io_registers(self) -> list[Register]:
+        return [r for r in self.registers if r.is_io_register]
+
+    def scan_registers(self) -> list[Register]:
+        return [r for r in self.registers if r.scan]
+
+    def mark_scan(self, *register_names: str) -> None:
+        """Flag registers as scan registers (partial-scan insertion)."""
+        for n in register_names:
+            self._by_name[n].scan = True
+
+    # ------------------------------------------------------------------
+    # interconnect structure
+
+    def unit_input_sources(self) -> dict[str, list[set[str]]]:
+        """Per unit, per input port: the set of source register names.
+
+        The size of each set is the fan-in of that port's multiplexer.
+        """
+        out: dict[str, list[set[str]]] = {}
+        for t in self.transfers:
+            ports = out.setdefault(
+                t.unit, [set() for _ in range(len(t.source_registers))]
+            )
+            while len(ports) < len(t.source_registers):
+                ports.append(set())
+            for i, src in enumerate(t.source_registers):
+                ports[i].add(src)
+        return out
+
+    def register_sources(self) -> dict[str, set[str]]:
+        """Per register: the set of sources (unit names and PI markers)."""
+        out: dict[str, set[str]] = {r.name: set() for r in self.registers}
+        for t in self.transfers:
+            out[t.dest_register].add(t.unit)
+        for var in self.cdfg.primary_inputs():
+            reg = self.register_of_variable(var.name)
+            out[reg.name].add(f"PI:{var.name}")
+        return out
+
+    def mux_count(self) -> int:
+        """Total 2:1-equivalent multiplexer legs in the interconnect."""
+        legs = 0
+        for ports in self.unit_input_sources().values():
+            for srcs in ports:
+                legs += max(0, len(srcs) - 1)
+        for srcs in self.register_sources().values():
+            legs += max(0, len(srcs) - 1)
+        return legs
+
+    def __repr__(self) -> str:
+        return (
+            f"Datapath({self.name!r}, regs={len(self.registers)}, "
+            f"units={len(self.units)}, transfers={len(self.transfers)})"
+        )
+
+
+def build_datapath(
+    cdfg: CDFG,
+    schedule: Schedule,
+    fu_binding: FUBinding,
+    reg_assignment: RegisterAssignment,
+) -> Datapath:
+    """Assemble the data path implied by a schedule and binding.
+
+    Verifies the schedule and both bindings before construction.
+    """
+    schedule.verify(cdfg)
+    fu_binding.verify(cdfg, schedule)
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    reg_assignment.verify(lifetimes)
+
+    registers: list[Register] = []
+    for idx in range(reg_assignment.num_registers):
+        vs = tuple(reg_assignment.variables_in(idx))
+        if not vs:
+            continue
+        width = max(cdfg.variable(v).width for v in vs)
+        registers.append(
+            Register(
+                name=f"R{idx}",
+                index=idx,
+                variables=vs,
+                width=width,
+                is_input_register=any(cdfg.variable(v).is_input for v in vs),
+                is_output_register=any(cdfg.variable(v).is_output for v in vs),
+            )
+        )
+    index_map = {r.index: r for r in registers}
+
+    unit_ops: dict[str, list[str]] = {}
+    for op in cdfg:
+        unit_ops.setdefault(fu_binding.unit_of(op.name), []).append(op.name)
+    units = []
+    for uname, ops in sorted(unit_ops.items()):
+        kinds = frozenset(cdfg.operation(o).kind for o in ops)
+        width = max(
+            cdfg.variable(v).width
+            for o in ops
+            for v in cdfg.operation(o).inputs + (cdfg.operation(o).output,)
+        )
+        cls = uname.rstrip("0123456789")
+        units.append(
+            FunctionalUnit(uname, cls, kinds, tuple(sorted(ops)), width)
+        )
+
+    register_of = dict(reg_assignment.register_of)
+    transfers = []
+    for op in sorted(cdfg, key=lambda o: (schedule.step_of(o.name), o.name)):
+        srcs = tuple(
+            index_map[register_of[v]].name for v in op.inputs
+        )
+        dest = index_map[register_of[op.output]].name
+        s = schedule.step_of(op.name)
+        transfers.append(
+            Transfer(
+                operation=op.name,
+                unit=fu_binding.unit_of(op.name),
+                step=s,
+                finish_step=s + op.delay - 1,
+                source_registers=srcs,
+                dest_register=dest,
+            )
+        )
+    return Datapath(
+        cdfg, schedule, fu_binding, registers, units, transfers, register_of
+    )

@@ -1,0 +1,95 @@
+"""Area and overhead estimation.
+
+A gate-equivalent area model in the spirit of the estimators the
+surveyed papers use to report "modest area overhead".  Absolute numbers
+are arbitrary units; only ratios (overhead percentages, technique A vs
+technique B) are meaningful, which is all the reproduction needs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.hls.datapath import Datapath
+
+#: Gate-equivalents per structural element.  ``*_bit`` entries scale
+#: with register/unit width; ``mult_bit2`` scales with width squared.
+AREA_MODEL: Mapping[str, float] = {
+    "register_bit": 6.0,       # plain D flip-flop + clocking
+    "scan_bit": 8.0,           # mux-D scan flip-flop
+    "transparent_scan_bit": 7.0,
+    "tpgr_bit": 10.0,          # LFSR stage (XOR feedback + mux)
+    "sr_bit": 10.0,            # MISR stage
+    "bilbo_bit": 12.0,         # combined TPGR/SR modes
+    "cbilbo_bit": 22.0,        # concurrent BILBO: two register ranks
+    "mux2_bit": 3.0,           # one 2:1 mux leg
+    "alu_bit": 12.0,           # adder/subtractor/logic slice
+    "mult_bit2": 4.0,          # array multiplier cell (width^2 term)
+    "cmp_bit": 4.0,
+    "test_point_bit": 5.0,     # register-file/constant test point [15]
+    "control_vector": 6.0,     # one extra controller output vector [14]
+}
+
+#: Register area keyed by the ``test_role`` annotation.
+_ROLE_KEY = {
+    None: "register_bit",
+    "TPGR": "tpgr_bit",
+    "SR": "sr_bit",
+    "BILBO": "bilbo_bit",
+    "CBILBO": "cbilbo_bit",
+}
+
+
+def register_area(width: int, role: str | None = None,
+                  scan: bool = False, transparent: bool = False) -> float:
+    """Area of one register given its test configuration."""
+    if role is not None:
+        key = _ROLE_KEY[role]
+    elif transparent:
+        key = "transparent_scan_bit"
+    elif scan:
+        key = "scan_bit"
+    else:
+        key = "register_bit"
+    return AREA_MODEL[key] * width
+
+
+def unit_area(unit_class: str, width: int) -> float:
+    """Area of one functional unit instance."""
+    if unit_class.startswith("mult"):
+        return AREA_MODEL["mult_bit2"] * width * width
+    if unit_class.startswith("cmp"):
+        return AREA_MODEL["cmp_bit"] * width
+    return AREA_MODEL["alu_bit"] * width
+
+
+def area_estimate(datapath: Datapath) -> dict[str, float]:
+    """Break down the data-path area into registers, units, and muxes.
+
+    Honors the testability annotations on registers, so calling this
+    before and after a DFT pass yields the pass's area overhead.
+    """
+    reg_area = sum(
+        register_area(
+            r.width, role=r.test_role, scan=r.scan,
+            transparent=r.transparent_scan,
+        )
+        for r in datapath.registers
+    )
+    fu_area = sum(unit_area(u.unit_class, u.width) for u in datapath.units)
+    width = max((r.width for r in datapath.registers), default=8)
+    mux_area = AREA_MODEL["mux2_bit"] * width * datapath.mux_count()
+    total = reg_area + fu_area + mux_area
+    return {
+        "registers": reg_area,
+        "units": fu_area,
+        "muxes": mux_area,
+        "total": total,
+    }
+
+
+def overhead_percent(before: float, after: float) -> float:
+    """Relative overhead of ``after`` versus ``before``, in percent."""
+    if before <= 0:
+        raise ValueError("baseline area must be positive")
+    return 100.0 * (after - before) / before

@@ -1,0 +1,348 @@
+"""Operation scheduling.
+
+Implements the schedulers used by the surveyed synthesis-for-test
+flows:
+
+* :func:`asap` / :func:`alap` -- unconstrained bounds.
+* :func:`list_schedule` -- resource-constrained list scheduling with a
+  mobility-based priority (the conventional baseline scheduler).
+* :func:`force_directed_schedule` -- latency-constrained force-directed
+  scheduling (Paulin & Knight), the scheduler most of the cited papers
+  build on.
+* :func:`mobility_path_schedule` -- the testability-oriented scheduler
+  of [26] (Lee/Wolf/Jha ICCAD'92): places operations within their
+  mobility window so that intermediate-variable lifetimes avoid
+  overlapping I/O-variable lifetimes (enabling I/O register sharing)
+  and register-to-register sequential depth is reduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import networkx as nx
+
+from repro.cdfg.analysis import (
+    alap_schedule,
+    asap_schedule,
+    critical_path_length,
+)
+from repro.cdfg.graph import CDFG, CDFGError
+from repro.hls.allocation import Allocation, AllocationError
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An assignment of operations to control steps (1-based)."""
+
+    steps: Mapping[str, int]
+
+    @property
+    def length(self) -> int:
+        return max(self.steps.values()) if self.steps else 0
+
+    def length_with_delays(self, cdfg: CDFG) -> int:
+        if not self.steps:
+            return 0
+        return max(
+            self.steps[o] + cdfg.operation(o).delay - 1 for o in self.steps
+        )
+
+    def step_of(self, op_name: str) -> int:
+        return self.steps[op_name]
+
+    def operations_in_step(self, cdfg: CDFG, step: int) -> list[str]:
+        """Operations *active* (occupying a unit) during ``step``."""
+        return [
+            o
+            for o, s in self.steps.items()
+            if s <= step <= s + cdfg.operation(o).delay - 1
+        ]
+
+    def verify(self, cdfg: CDFG, allocation: Allocation | None = None) -> None:
+        """Raise on dependency or resource violations."""
+        for op in cdfg:
+            if op.name not in self.steps:
+                raise CDFGError(f"operation {op.name!r} not scheduled")
+            for var in op.sequencing_inputs():
+                producer = cdfg.producer_of(var)
+                if producer is None:
+                    continue
+                avail = self.steps[producer.name] + producer.delay
+                if self.steps[op.name] < avail:
+                    raise CDFGError(
+                        f"{op.name!r} at step {self.steps[op.name]} reads "
+                        f"{var!r} available at step {avail}"
+                    )
+        if allocation is None:
+            return
+        allocation.validate_for(cdfg)
+        for step in range(1, self.length_with_delays(cdfg) + 1):
+            used: dict[str, int] = {}
+            for name in self.operations_in_step(cdfg, step):
+                cls = allocation.unit_class(cdfg.operation(name).kind)
+                used[cls] = used.get(cls, 0) + 1
+            for cls, n in used.items():
+                if n > allocation.count(cls):
+                    raise AllocationError(
+                        f"step {step}: {n} ops of class {cls!r} but only "
+                        f"{allocation.count(cls)} units"
+                    )
+
+
+def asap(cdfg: CDFG) -> Schedule:
+    """As-soon-as-possible schedule (unlimited resources)."""
+    return Schedule(asap_schedule(cdfg))
+
+
+def alap(cdfg: CDFG, num_steps: int | None = None) -> Schedule:
+    """As-late-as-possible schedule under a latency constraint."""
+    return Schedule(alap_schedule(cdfg, num_steps))
+
+
+def list_schedule(
+    cdfg: CDFG,
+    allocation: Allocation,
+    priority: Callable[[str], float] | None = None,
+) -> Schedule:
+    """Resource-constrained list scheduling.
+
+    Ready operations are started in priority order (default: least
+    mobility first, i.e. most critical first) whenever a unit of their
+    class is free.  Multi-cycle operations occupy their unit for
+    ``delay`` consecutive steps.
+    """
+    allocation.validate_for(cdfg)
+    asap_steps = asap_schedule(cdfg)
+    cpl = critical_path_length(cdfg)
+    alap_steps = alap_schedule(cdfg, cpl)
+    if priority is None:
+        mobility = {o: alap_steps[o] - asap_steps[o] for o in asap_steps}
+
+        def priority(op_name: str) -> float:
+            return mobility[op_name]
+
+    dag = cdfg.op_graph(include_carried=False)
+    remaining_preds = {o: dag.in_degree(o) for o in dag}
+    ready = sorted(
+        (o for o, d in remaining_preds.items() if d == 0), key=priority
+    )
+    finish: dict[str, int] = {}
+    steps: dict[str, int] = {}
+    busy_until: dict[str, list[int]] = {}  # class -> finish step per unit
+    step = 1
+    scheduled = 0
+    # Safety bound: every op needs at most (n_ops * max_delay) steps.
+    max_steps = sum(op.delay for op in cdfg) + cpl + 1
+    while scheduled < len(cdfg.operations):
+        if step > max_steps:
+            raise AllocationError("list scheduling failed to converge")
+        for op_name in list(ready):
+            op = cdfg.operation(op_name)
+            # Dependencies must have *finished* before this step.
+            if any(
+                finish.get(cdfg.producer_of(v).name, 10**9) >= step
+                for v in op.sequencing_inputs()
+                if cdfg.producer_of(v) is not None
+            ):
+                continue
+            cls = allocation.unit_class(op.kind)
+            units = busy_until.setdefault(cls, [0] * allocation.count(cls))
+            free = next((i for i, f in enumerate(units) if f < step), None)
+            if free is None:
+                continue
+            units[free] = step + op.delay - 1
+            steps[op_name] = step
+            finish[op_name] = step + op.delay - 1
+            ready.remove(op_name)
+            scheduled += 1
+            for succ in dag.successors(op_name):
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    ready.append(succ)
+            ready.sort(key=priority)
+        step += 1
+    schedule = Schedule(steps)
+    schedule.verify(cdfg, allocation)
+    return schedule
+
+
+def force_directed_schedule(cdfg: CDFG, num_steps: int | None = None) -> Schedule:
+    """Latency-constrained force-directed scheduling (Paulin & Knight).
+
+    Minimises the peak of the per-class distribution graphs, which in
+    turn minimises the number of units the binder needs.  This is the
+    classic O(n^2) formulation with self-force only (no
+    predecessor/successor force), which is sufficient for the benchmark
+    sizes in this repository.
+    """
+    if num_steps is None:
+        num_steps = critical_path_length(cdfg)
+    asap_steps = asap_schedule(cdfg)
+    alap_steps = alap_schedule(cdfg, num_steps)
+    window = {o: (asap_steps[o], alap_steps[o]) for o in asap_steps}
+    fixed: dict[str, int] = {}
+    from repro.hls.allocation import DEFAULT_UNIT_CLASSES
+
+    classes = dict(DEFAULT_UNIT_CLASSES)
+
+    def distributions() -> dict[str, list[float]]:
+        dist: dict[str, list[float]] = {}
+        for o, (lo, hi) in window.items():
+            op = cdfg.operation(o)
+            cls = classes.get(op.kind, op.kind)
+            row = dist.setdefault(cls, [0.0] * (num_steps + 2))
+            if o in fixed:
+                s = fixed[o]
+                for d in range(op.delay):
+                    row[min(s + d, num_steps + 1)] += 1.0
+            else:
+                p = 1.0 / (hi - lo + 1)
+                for s in range(lo, hi + 1):
+                    for d in range(op.delay):
+                        row[min(s + d, num_steps + 1)] += p
+        return dist
+
+    unfixed = [o for o, (lo, hi) in window.items() if lo != hi]
+    for o, (lo, hi) in window.items():
+        if lo == hi:
+            fixed[o] = lo
+    while unfixed:
+        dist = distributions()
+        best: tuple[float, str, int] | None = None
+        for o in unfixed:
+            op = cdfg.operation(o)
+            cls = classes.get(op.kind, op.kind)
+            lo, hi = window[o]
+            p = 1.0 / (hi - lo + 1)
+            for s in range(lo, hi + 1):
+                force = 0.0
+                for d in range(op.delay):
+                    t = min(s + d, num_steps + 1)
+                    avg = sum(
+                        dist[cls][min(s2 + d, num_steps + 1)] * p
+                        for s2 in range(lo, hi + 1)
+                    )
+                    force += dist[cls][t] - avg
+                key = (force, o, s)
+                if best is None or key < best:
+                    best = key
+        _, chosen, chosen_step = best
+        fixed[chosen] = chosen_step
+        unfixed.remove(chosen)
+        _tighten_windows(cdfg, window, fixed, num_steps)
+    schedule = Schedule(fixed)
+    schedule.verify(cdfg)
+    return schedule
+
+
+def _tighten_windows(
+    cdfg: CDFG,
+    window: dict[str, tuple[int, int]],
+    fixed: Mapping[str, int],
+    num_steps: int,
+) -> None:
+    """Propagate fixed placements through the dependence DAG."""
+    dag = cdfg.op_graph(include_carried=False)
+    changed = True
+    while changed:
+        changed = False
+        for o in window:
+            lo, hi = window[o]
+            if o in fixed:
+                lo = hi = fixed[o]
+            op = cdfg.operation(o)
+            for pred in dag.predecessors(o):
+                p = cdfg.operation(pred)
+                plo = (fixed[pred] if pred in fixed else window[pred][0])
+                lo = max(lo, plo + p.delay)
+            for succ in dag.successors(o):
+                shi = (fixed[succ] if succ in fixed else window[succ][1])
+                hi = min(hi, shi - op.delay)
+            if (lo, hi) != window[o]:
+                if lo > hi:
+                    raise CDFGError(
+                        f"force-directed window collapsed for {o!r}"
+                    )
+                window[o] = (lo, hi)
+                changed = True
+
+
+def mobility_path_schedule(
+    cdfg: CDFG,
+    num_steps: int | None = None,
+    allocation: Allocation | None = None,
+) -> Schedule:
+    """The testability-driven scheduler of [26].
+
+    Operations are placed inside their mobility window so that the
+    lifetime of each *intermediate* variable overlaps as few *I/O*
+    variable lifetimes as possible (maximising the chance the register
+    assigner can fold intermediates into I/O registers, section 3.2)
+    and so that produced values are consumed as soon as possible
+    (minimising register-to-register sequential depth).
+    """
+    if num_steps is None:
+        num_steps = critical_path_length(cdfg)
+    asap_steps = asap_schedule(cdfg)
+    alap_steps = alap_schedule(cdfg, num_steps)
+    dag = cdfg.op_graph(include_carried=False)
+
+    io_vars = {
+        v.name for v in cdfg.variables.values() if v.is_input or v.is_output
+    }
+    placed: dict[str, int] = {}
+    busy: dict[str, dict[int, int]] = {}  # class -> step -> used count
+
+    for o in nx.topological_sort(dag):
+        op = cdfg.operation(o)
+        lo = asap_steps[o]
+        for pred in dag.predecessors(o):
+            if pred in placed:
+                lo = max(lo, placed[pred] + cdfg.operation(pred).delay)
+        hi = max(lo, alap_steps[o])
+        best: tuple[float, int] | None = None
+        for s in range(lo, hi + 1):
+            if allocation is not None and not _unit_free(
+                cdfg, allocation, busy, op, s
+            ):
+                continue
+            # Late placement shortens the producer-side lifetime of the
+            # output; but consuming inputs early shortens input
+            # lifetimes.  [26] balances both: prefer the step that
+            # minimises (distance from inputs' births) + (slack left to
+            # consumers), approximated here by s - lo plus the number of
+            # I/O-busy steps the output's lifetime will newly span.
+            birth = s + op.delay
+            out_is_io = op.output in io_vars
+            overlap_penalty = 0 if out_is_io else max(0, num_steps - birth + 1)
+            cost = (s - lo) + 0.25 * overlap_penalty
+            if best is None or (cost, s) < best:
+                best = (cost, s)
+        if best is None:
+            raise AllocationError(
+                f"mobility-path scheduling: no feasible step for {o!r}"
+            )
+        s = best[1]
+        placed[o] = s
+        if allocation is not None:
+            _occupy(cdfg, allocation, busy, op, s)
+    schedule = Schedule(placed)
+    schedule.verify(cdfg, allocation)
+    return schedule
+
+
+def _unit_free(cdfg, allocation, busy, op, step) -> bool:
+    cls = allocation.unit_class(op.kind)
+    row = busy.setdefault(cls, {})
+    return all(
+        row.get(step + d, 0) < allocation.count(cls) for d in range(op.delay)
+    )
+
+
+def _occupy(cdfg, allocation, busy, op, step) -> None:
+    cls = allocation.unit_class(op.kind)
+    row = busy.setdefault(cls, {})
+    for d in range(op.delay):
+        row[step + d] = row.get(step + d, 0) + 1

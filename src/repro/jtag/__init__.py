@@ -1,0 +1,28 @@
+"""IEEE 1149.1 boundary scan (survey section 4.2).
+
+"Testability structures, such as an IEEE 1149.1 boundary scan cell,
+can be directly synthesized."  This package provides the synthesis
+target: a behavioral-but-cycle-accurate TAP controller
+(:mod:`~repro.jtag.tap`), boundary-scan cells and register
+(:mod:`~repro.jtag.bscan`), and a wrapper that puts a gate-level core
+behind a 4-wire test access port with BYPASS / IDCODE /
+SAMPLE-PRELOAD / EXTEST / INTEST instructions
+(:mod:`~repro.jtag.wrapper`).
+
+The wrapper's :meth:`~repro.jtag.wrapper.JTAGWrapper.run_intest` drives
+the *actual protocol* -- TMS/TDI sequences through the 16-state TAP
+FSM -- so tests exercise the same access mechanism a tester would.
+"""
+
+from repro.jtag.tap import TAPController, TAPState
+from repro.jtag.bscan import BoundaryCell, BoundaryRegister
+from repro.jtag.wrapper import Instruction, JTAGWrapper
+
+__all__ = [
+    "TAPController",
+    "TAPState",
+    "BoundaryCell",
+    "BoundaryRegister",
+    "Instruction",
+    "JTAGWrapper",
+]

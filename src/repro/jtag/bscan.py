@@ -1,0 +1,90 @@
+"""Boundary-scan cells and the boundary register.
+
+Each cell follows the standard BC_1 structure: a capture/shift
+flip-flop on the scan path and an update latch that drives the cell's
+output in test mode.  Input cells sit between a package pin and the
+core; output cells between the core and the pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BoundaryCell:
+    """One BC_1-style boundary-scan cell.
+
+    ``kind`` is ``"input"`` (pin -> core) or ``"output"`` (core -> pin).
+    """
+
+    name: str
+    kind: str
+    shift_ff: int = 0
+    update_latch: int = 0
+
+    def capture(self, value: int) -> None:
+        """Capture-DR: sample the functional value into the shift FF."""
+        self.shift_ff = value & 1
+
+    def shift(self, scan_in: int) -> int:
+        """Shift-DR: returns the bit shifted out."""
+        out = self.shift_ff
+        self.shift_ff = scan_in & 1
+        return out
+
+    def update(self) -> None:
+        """Update-DR: move the shifted value to the output latch."""
+        self.update_latch = self.shift_ff
+
+    def drive(self, functional: int, test_mode: bool) -> int:
+        """The value presented downstream of the cell."""
+        return self.update_latch if test_mode else (functional & 1)
+
+
+class BoundaryRegister:
+    """The chain of boundary cells around a core.
+
+    Cell order is scan-in-first.  ``capture_all``/``shift``/
+    ``update_all`` mirror the TAP's DR actions when the boundary
+    register is selected.
+    """
+
+    def __init__(self, cells: list[BoundaryCell]) -> None:
+        self.cells = cells
+        self._by_name = {c.name: c for c in cells}
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell(self, name: str) -> BoundaryCell:
+        return self._by_name[name]
+
+    def capture_all(self, functional: dict[str, int]) -> None:
+        for c in self.cells:
+            c.capture(functional.get(c.name, 0))
+
+    def shift(self, tdi: int) -> int:
+        """One shift cycle through the whole chain; returns TDO."""
+        bit = tdi & 1
+        for c in self.cells:
+            bit = c.shift(bit)
+        return bit
+
+    def update_all(self) -> None:
+        for c in self.cells:
+            c.update()
+
+    def preload(self, values: dict[str, int]) -> list[int]:
+        """TDI bit sequence that loads ``values`` into the shift FFs.
+
+        Bits are returned in the order they must be presented at TDI
+        (the bit for the *last* cell in the chain goes first).
+        """
+        return [
+            values.get(c.name, 0) & 1 for c in reversed(self.cells)
+        ]
+
+    def snapshot(self) -> dict[str, int]:
+        """Shift-FF contents per cell (what a full shift-out reveals)."""
+        return {c.name: c.shift_ff for c in self.cells}

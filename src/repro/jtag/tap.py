@@ -1,0 +1,129 @@
+"""The IEEE 1149.1 TAP controller state machine.
+
+The standard 16-state FSM, advanced on each TCK rising edge by the TMS
+value.  State names follow the standard; the controller exposes the
+per-state actions the data/instruction registers need (capture, shift,
+update) as predicates.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TAPState(enum.Enum):
+    """The sixteen controller states of IEEE 1149.1."""
+
+    TEST_LOGIC_RESET = "Test-Logic-Reset"
+    RUN_TEST_IDLE = "Run-Test/Idle"
+    SELECT_DR_SCAN = "Select-DR-Scan"
+    CAPTURE_DR = "Capture-DR"
+    SHIFT_DR = "Shift-DR"
+    EXIT1_DR = "Exit1-DR"
+    PAUSE_DR = "Pause-DR"
+    EXIT2_DR = "Exit2-DR"
+    UPDATE_DR = "Update-DR"
+    SELECT_IR_SCAN = "Select-IR-Scan"
+    CAPTURE_IR = "Capture-IR"
+    SHIFT_IR = "Shift-IR"
+    EXIT1_IR = "Exit1-IR"
+    PAUSE_IR = "Pause-IR"
+    EXIT2_IR = "Exit2-IR"
+    UPDATE_IR = "Update-IR"
+
+
+#: (state, tms) -> next state, straight from the standard's figure.
+_NEXT: dict[tuple[TAPState, int], TAPState] = {
+    (TAPState.TEST_LOGIC_RESET, 0): TAPState.RUN_TEST_IDLE,
+    (TAPState.TEST_LOGIC_RESET, 1): TAPState.TEST_LOGIC_RESET,
+    (TAPState.RUN_TEST_IDLE, 0): TAPState.RUN_TEST_IDLE,
+    (TAPState.RUN_TEST_IDLE, 1): TAPState.SELECT_DR_SCAN,
+    (TAPState.SELECT_DR_SCAN, 0): TAPState.CAPTURE_DR,
+    (TAPState.SELECT_DR_SCAN, 1): TAPState.SELECT_IR_SCAN,
+    (TAPState.CAPTURE_DR, 0): TAPState.SHIFT_DR,
+    (TAPState.CAPTURE_DR, 1): TAPState.EXIT1_DR,
+    (TAPState.SHIFT_DR, 0): TAPState.SHIFT_DR,
+    (TAPState.SHIFT_DR, 1): TAPState.EXIT1_DR,
+    (TAPState.EXIT1_DR, 0): TAPState.PAUSE_DR,
+    (TAPState.EXIT1_DR, 1): TAPState.UPDATE_DR,
+    (TAPState.PAUSE_DR, 0): TAPState.PAUSE_DR,
+    (TAPState.PAUSE_DR, 1): TAPState.EXIT2_DR,
+    (TAPState.EXIT2_DR, 0): TAPState.SHIFT_DR,
+    (TAPState.EXIT2_DR, 1): TAPState.UPDATE_DR,
+    (TAPState.UPDATE_DR, 0): TAPState.RUN_TEST_IDLE,
+    (TAPState.UPDATE_DR, 1): TAPState.SELECT_DR_SCAN,
+    (TAPState.SELECT_IR_SCAN, 0): TAPState.CAPTURE_IR,
+    (TAPState.SELECT_IR_SCAN, 1): TAPState.TEST_LOGIC_RESET,
+    (TAPState.CAPTURE_IR, 0): TAPState.SHIFT_IR,
+    (TAPState.CAPTURE_IR, 1): TAPState.EXIT1_IR,
+    (TAPState.SHIFT_IR, 0): TAPState.SHIFT_IR,
+    (TAPState.SHIFT_IR, 1): TAPState.EXIT1_IR,
+    (TAPState.EXIT1_IR, 0): TAPState.PAUSE_IR,
+    (TAPState.EXIT1_IR, 1): TAPState.UPDATE_IR,
+    (TAPState.PAUSE_IR, 0): TAPState.PAUSE_IR,
+    (TAPState.PAUSE_IR, 1): TAPState.EXIT2_IR,
+    (TAPState.EXIT2_IR, 0): TAPState.SHIFT_IR,
+    (TAPState.EXIT2_IR, 1): TAPState.UPDATE_IR,
+    (TAPState.UPDATE_IR, 0): TAPState.RUN_TEST_IDLE,
+    (TAPState.UPDATE_IR, 1): TAPState.SELECT_DR_SCAN,
+}
+
+
+class TAPController:
+    """Cycle-accurate TAP FSM."""
+
+    def __init__(self) -> None:
+        self.state = TAPState.TEST_LOGIC_RESET
+
+    def step(self, tms: int) -> TAPState:
+        """One TCK rising edge; returns the new state."""
+        self.state = _NEXT[(self.state, 1 if tms else 0)]
+        return self.state
+
+    # -- per-state action predicates -----------------------------------
+
+    @property
+    def capture_dr(self) -> bool:
+        return self.state is TAPState.CAPTURE_DR
+
+    @property
+    def shift_dr(self) -> bool:
+        return self.state is TAPState.SHIFT_DR
+
+    @property
+    def update_dr(self) -> bool:
+        return self.state is TAPState.UPDATE_DR
+
+    @property
+    def capture_ir(self) -> bool:
+        return self.state is TAPState.CAPTURE_IR
+
+    @property
+    def shift_ir(self) -> bool:
+        return self.state is TAPState.SHIFT_IR
+
+    @property
+    def update_ir(self) -> bool:
+        return self.state is TAPState.UPDATE_IR
+
+    @property
+    def reset(self) -> bool:
+        return self.state is TAPState.TEST_LOGIC_RESET
+
+
+def tms_path_to(start: TAPState, goal: TAPState) -> list[int]:
+    """Shortest TMS sequence from ``start`` to ``goal`` (BFS)."""
+    if start is goal:
+        return []
+    frontier: list[tuple[TAPState, list[int]]] = [(start, [])]
+    seen = {start}
+    while frontier:
+        state, path = frontier.pop(0)
+        for tms in (0, 1):
+            nxt = _NEXT[(state, tms)]
+            if nxt is goal:
+                return path + [tms]
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append((nxt, path + [tms]))
+    raise RuntimeError("TAP FSM is strongly connected; unreachable")

@@ -1,0 +1,256 @@
+"""A gate-level core behind an IEEE 1149.1 test access port.
+
+:class:`JTAGWrapper` surrounds a :class:`~repro.gatelevel.gates.Netlist`
+with boundary-scan cells (one input cell per primary input, one output
+cell per primary output), a bypass register, a device-ID register, and
+an instruction register, all sequenced by the
+:class:`~repro.jtag.tap.TAPController`.
+
+Everything is driven through :meth:`tick` -- one TCK rising edge with
+given TMS/TDI, returning TDO -- so the higher-level helpers
+(:meth:`load_instruction`, :meth:`run_intest`, :meth:`sample_pins`)
+exercise the genuine serial protocol.  Edge semantics follow the
+standard: capture and shift actions occur on rising edges *while in*
+Capture-/Shift- states (i.e. keyed to the state before the edge);
+update actions occur on entering the Update- states; under INTEST the
+core is single-stepped by rising edges spent in Run-Test/Idle.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+from repro.gatelevel.gates import Netlist
+from repro.gatelevel.simulate import parallel_simulate
+from repro.jtag.bscan import BoundaryCell, BoundaryRegister
+from repro.jtag.tap import TAPController, TAPState, tms_path_to
+
+
+class Instruction(enum.Enum):
+    """Instruction opcodes (3-bit IR; EXTEST all-zeros and BYPASS
+    all-ones per the standard)."""
+
+    EXTEST = 0b000
+    IDCODE = 0b001
+    SAMPLE = 0b010
+    INTEST = 0b100
+    BYPASS = 0b111
+
+
+_BOUNDARY_INSTRUCTIONS = (
+    Instruction.SAMPLE, Instruction.INTEST, Instruction.EXTEST
+)
+
+
+class JTAGWrapper:
+    """Boundary-scan wrapper around a sequential gate-level core."""
+
+    IR_WIDTH = 3
+    #: Capture-IR loads this fixed pattern (LSBs 01 per the standard).
+    IR_CAPTURE = 0b001
+
+    def __init__(self, core: Netlist, idcode: int = 0x1996_0C0D) -> None:
+        self.core = core
+        self._order = core.topo_order()
+        self.idcode = idcode & 0xFFFFFFFF
+        cells = [
+            BoundaryCell(pi, "input") for pi in sorted(core.inputs())
+        ] + [
+            BoundaryCell(po, "output") for po in core.outputs
+        ]
+        self.boundary = BoundaryRegister(cells)
+        self.tap = TAPController()
+        self.ir_shift = 0
+        self.instruction = Instruction.IDCODE  # selected at reset
+        self.bypass_ff = 0
+        self.id_shift = 0
+        self.core_state: dict[str, int] = {}
+        self.pin_values: dict[str, int] = {}  # externally applied pins
+
+    # ------------------------------------------------------------------
+    # core evaluation
+
+    def _core_inputs(self) -> dict[str, int]:
+        values = {}
+        for cell in self.boundary.cells:
+            if cell.kind != "input":
+                continue
+            functional = self.pin_values.get(cell.name, 0)
+            values[cell.name] = cell.drive(
+                functional,
+                test_mode=self.instruction is Instruction.INTEST,
+            )
+        return values
+
+    def _core_eval(self, advance: bool) -> dict[str, int]:
+        vals, nxt = parallel_simulate(
+            self.core, self._core_inputs(), self.core_state,
+            width=1, order=self._order,
+        )
+        if advance:
+            self.core_state = nxt
+        return vals
+
+    # ------------------------------------------------------------------
+    # the 4-wire interface
+
+    def tick(self, tms: int, tdi: int = 0) -> int:
+        """One TCK rising edge.  Returns TDO."""
+        prev = self.tap.state
+        tdo = 0
+        # Actions clocked by this edge, keyed to the state it occurs in.
+        if prev is TAPState.CAPTURE_DR:
+            self._capture_dr()
+        elif prev is TAPState.SHIFT_DR:
+            tdo = self._shift_dr(tdi)
+        elif prev is TAPState.CAPTURE_IR:
+            self.ir_shift = self.IR_CAPTURE
+        elif prev is TAPState.SHIFT_IR:
+            tdo = self.ir_shift & 1
+            self.ir_shift = (self.ir_shift >> 1) | (
+                (tdi & 1) << (self.IR_WIDTH - 1)
+            )
+        elif prev is TAPState.RUN_TEST_IDLE:
+            if self.instruction is Instruction.INTEST:
+                self._core_eval(advance=True)  # single-step the core
+
+        state = self.tap.step(tms)
+        # Entry actions.
+        if state is TAPState.TEST_LOGIC_RESET:
+            self.instruction = Instruction.IDCODE
+        elif state is TAPState.UPDATE_IR:
+            try:
+                self.instruction = Instruction(self.ir_shift)
+            except ValueError:
+                self.instruction = Instruction.BYPASS  # unused opcodes
+        elif state is TAPState.UPDATE_DR:
+            if self.instruction in (Instruction.INTEST, Instruction.EXTEST):
+                self.boundary.update_all()
+        return tdo
+
+    def _capture_dr(self) -> None:
+        if self.instruction in _BOUNDARY_INSTRUCTIONS:
+            vals = self._core_eval(advance=False)
+            functional: dict[str, int] = {}
+            core_ins = self._core_inputs()
+            for cell in self.boundary.cells:
+                if cell.kind == "output":
+                    functional[cell.name] = vals[cell.name]
+                elif self.instruction is Instruction.INTEST:
+                    functional[cell.name] = core_ins.get(cell.name, 0)
+                else:
+                    functional[cell.name] = self.pin_values.get(
+                        cell.name, 0
+                    )
+            self.boundary.capture_all(functional)
+        elif self.instruction is Instruction.IDCODE:
+            self.id_shift = self.idcode
+        else:
+            self.bypass_ff = 0
+
+    def _shift_dr(self, tdi: int) -> int:
+        if self.instruction in _BOUNDARY_INSTRUCTIONS:
+            return self.boundary.shift(tdi)
+        if self.instruction is Instruction.IDCODE:
+            tdo = self.id_shift & 1
+            self.id_shift = (self.id_shift >> 1) | ((tdi & 1) << 31)
+            return tdo
+        tdo = self.bypass_ff
+        self.bypass_ff = tdi & 1
+        return tdo
+
+    # ------------------------------------------------------------------
+    # protocol helpers (all built on tick())
+
+    def _goto(self, goal: TAPState) -> None:
+        for tms in tms_path_to(self.tap.state, goal):
+            self.tick(tms)
+
+    def reset(self) -> None:
+        """Five TMS=1 edges reach Test-Logic-Reset from anywhere."""
+        for _ in range(5):
+            self.tick(1)
+        assert self.tap.reset
+
+    def load_instruction(self, instr: Instruction) -> None:
+        """Shift an opcode into the IR (LSB first) and update."""
+        self._goto(TAPState.SHIFT_IR)
+        for k in range(self.IR_WIDTH):
+            last = k == self.IR_WIDTH - 1
+            self.tick(1 if last else 0, (instr.value >> k) & 1)
+        self._goto(TAPState.UPDATE_IR)
+        assert self.instruction is instr
+
+    def shift_dr_bits(self, bits: list[int]) -> list[int]:
+        """Capture-DR, shift ``bits`` through, Update-DR.
+
+        Returns the TDO bits (first returned bit = first shifted out).
+        Ends in Update-DR, avoiding Run-Test/Idle so INTEST does not
+        clock the core as a navigation side effect.
+        """
+        self._goto(TAPState.SHIFT_DR)
+        out = []
+        for i, b in enumerate(bits):
+            last = i == len(bits) - 1
+            out.append(self.tick(1 if last else 0, b))
+        self._goto(TAPState.UPDATE_DR)
+        return out
+
+    def idle(self, cycles: int) -> None:
+        """Spend ``cycles`` rising edges in Run-Test/Idle (under INTEST
+        each one single-steps the core)."""
+        self._goto(TAPState.RUN_TEST_IDLE)
+        for _ in range(cycles):
+            self.tick(0)
+
+    def read_idcode(self) -> int:
+        self.reset()  # IDCODE is selected at reset
+        bits = self.shift_dr_bits([0] * 32)
+        value = 0
+        for i, b in enumerate(bits):
+            value |= b << i
+        return value
+
+    def sample_pins(self, pin_values: Mapping[str, int]) -> dict[str, int]:
+        """SAMPLE/PRELOAD: snapshot core pins during normal operation."""
+        self.pin_values = dict(pin_values)
+        self.load_instruction(Instruction.SAMPLE)
+        bits = self.shift_dr_bits([0] * len(self.boundary))
+        return self._parse_boundary_bits(bits)
+
+    def run_intest(
+        self,
+        core_inputs: Mapping[str, int],
+        run_cycles: int = 1,
+    ) -> dict[str, int]:
+        """Apply a vector to the core through the boundary register.
+
+        Loads INTEST, preloads the input cells, runs exactly
+        ``run_cycles`` core clocks (>= 1), captures, and shifts the
+        response out.  Returns the captured core-output values.
+
+        Note the edge *leaving* Run-Test/Idle also clocks the core
+        (it occurs while the controller is still in that state), so
+        ``idle(run_cycles - 1)`` plus the departure edge gives exactly
+        ``run_cycles`` steps.
+        """
+        if run_cycles < 1:
+            raise ValueError("run_cycles must be >= 1")
+        self.load_instruction(Instruction.INTEST)
+        preload = self.boundary.preload(dict(core_inputs))
+        self.shift_dr_bits(preload)  # Update-DR drives the core inputs
+        self.idle(run_cycles - 1)
+        bits = self.shift_dr_bits([0] * len(self.boundary))
+        return {
+            name: bit
+            for name, bit in self._parse_boundary_bits(bits).items()
+            if self.boundary.cell(name).kind == "output"
+        }
+
+    def _parse_boundary_bits(self, bits: list[int]) -> dict[str, int]:
+        """TDO bits emerge last-cell-first."""
+        out = {}
+        for i, cell in enumerate(reversed(self.boundary.cells)):
+            out[cell.name] = bits[i]
+        return out

@@ -1,0 +1,189 @@
+"""Command-line testability report.
+
+Usage::
+
+    python -m repro.report iir2            # one suite design
+    python -m repro.report --list          # available designs
+    python -m repro.report iir2 --latency-slack 2.0 --width 4
+
+Prints the full testability picture for a behavior: CDFG structure,
+conventional synthesis result, S-graph analysis, the cost of every DFT
+strategy the library implements (gate-level partial scan, loop-aware
+[33], boundary [24], RTL mixed scan, k-level test points, BIST roles
+and sessions), so a user can compare options on their design in one
+shot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import cdfg_loops, critical_path_length
+from repro import bist, hls, rtl, scan, sgraph
+from repro.bist.sessions import path_based_sessions
+from repro.hls.estimate import area_estimate
+
+
+def _conventional(cdfg, slack):
+    latency = max(
+        critical_path_length(cdfg),
+        int(slack * critical_path_length(cdfg)),
+    )
+    alloc = hls.allocate_for_latency(cdfg, latency)
+    sched = hls.list_schedule(cdfg, alloc)
+    fub = hls.bind_functional_units(cdfg, sched, alloc)
+    regs = hls.assign_registers_left_edge(cdfg, sched)
+    return hls.build_datapath(cdfg, sched, fub, regs), alloc, latency
+
+
+def report(name: str, slack: float = 1.5, width: int = 8,
+           out=None) -> None:
+    if out is None:
+        out = sys.stdout  # bound at call time so capture tools work
+    designs = suite.standard_suite(width=width)
+    if name not in designs:
+        raise SystemExit(
+            f"unknown design {name!r}; use --list to see options"
+        )
+    cdfg = designs[name]
+    w = out.write
+
+    w(f"testability report: {name} ({width}-bit)\n")
+    w("=" * 60 + "\n")
+    loops = cdfg_loops(cdfg, bound=500)
+    w(f"behavior: {len(cdfg)} operations, {len(cdfg.variables)} "
+      f"variables, kinds {sorted(cdfg.kinds())}\n")
+    w(f"critical path: {critical_path_length(cdfg)} steps; "
+      f"CDFG loops: {len(loops)}\n")
+
+    dp, alloc, latency = _conventional(cdfg, slack)
+    g = sgraph.build_sgraph(dp)
+    cost = sgraph.estimate_cost(g)
+    w(f"\nconventional synthesis @ latency {latency}: "
+      f"{len(dp.registers)} registers, {len(dp.units)} units, "
+      f"area {area_estimate(dp)['total']:.0f}\n")
+    w(f"S-graph: {cost}\n")
+
+    w("\nDFT options\n" + "-" * 60 + "\n")
+
+    dp1, *_ = _conventional(cdfg, slack)
+    rep = scan.gate_level_partial_scan(dp1)
+    w(f"gate-level MFVS:      {rep.scan_registers} scan regs "
+      f"({rep.scan_bits} bits), area +{rep.area_overhead_percent:.1f}%\n")
+
+    if loops:
+        dp2, _plan = scan.loop_aware_synthesis(
+            cdfg, alloc, num_steps=latency
+        )
+        bits = sum(r.width for r in dp2.scan_registers())
+        w(f"loop-aware [33]:      {len(dp2.scan_registers())} scan regs "
+          f"({bits} bits)\n")
+    else:
+        w("loop-aware [33]:      0 scan regs (behavior is loop-free)\n")
+
+    dp3, *_ = _conventional(cdfg, slack)
+    mixed = scan.rtl_partial_scan(dp3)
+    w(f"RTL mixed scan [35]:  {len(mixed.scanned_registers)} regs + "
+      f"{len(mixed.transparent_units)} transparent units "
+      f"({mixed.scan_bits} bits)\n")
+
+    dp4, *_ = _conventional(cdfg, slack)
+    for k in (0, 1):
+        tps = rtl.insert_k_level_test_points(dp4, k=k)
+        w(f"test points k={k} [15]: {len(tps)} insertions\n")
+
+    dp5, alloc5, _ = _conventional(cdfg, slack)
+    cfg, envs = bist.assign_test_roles(dp5)
+    sessions = bist.schedule_sessions(envs)
+    paths = path_based_sessions(dp5)
+    w(f"BIST roles [32]:      {cfg.converted_registers} converted "
+      f"registers, {cfg.count(bist.TestRole.CBILBO)} CBILBOs\n")
+    w(f"BIST sessions:        per-module {len(sessions)}, "
+      f"path-based [20] {len(paths)}\n")
+
+
+def export_artifacts(
+    name: str,
+    slack: float,
+    width: int,
+    verilog_path: str | None,
+    dot_path: str | None,
+) -> None:
+    """Write Verilog / DOT renderings of the conventional data path."""
+    from repro.cdfg.dot import datapath_to_dot
+    from repro.gatelevel import datapath_to_verilog
+
+    cdfg = suite.standard_suite(width=width)[name]
+    dp, _alloc, _lat = _conventional(cdfg, slack)
+    if verilog_path:
+        with open(verilog_path, "w") as fh:
+            fh.write(datapath_to_verilog(dp))
+        print(f"wrote {verilog_path}")
+    if dot_path:
+        with open(dot_path, "w") as fh:
+            fh.write(datapath_to_dot(dp))
+        print(f"wrote {dot_path}")
+
+
+def export_test_vectors(
+    name: str, slack: float, width: int, vectors_path: str
+) -> None:
+    """Generate a full-scan ATPG test set and write it as a vector file."""
+    from repro.gatelevel import (
+        expand_datapath,
+        generate_tests,
+        write_vectors,
+    )
+
+    cdfg = suite.standard_suite(width=width)[name]
+    dp, _alloc, _lat = _conventional(cdfg, slack)
+    dp.mark_scan(*[r.name for r in dp.registers])
+    nl, _ = expand_datapath(dp)
+    ts = generate_tests(nl)
+    with open(vectors_path, "w") as fh:
+        fh.write(write_vectors(nl, ts.vectors))
+    print(
+        f"wrote {vectors_path}: {len(ts.vectors)} vectors, "
+        f"coverage {ts.coverage:.3f}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="Print a testability report for a suite design.",
+    )
+    parser.add_argument("design", nargs="?", help="suite design name")
+    parser.add_argument("--list", action="store_true",
+                        help="list available designs")
+    parser.add_argument("--latency-slack", type=float, default=1.5)
+    parser.add_argument("--width", type=int, default=8)
+    parser.add_argument("--verilog", metavar="FILE",
+                        help="also export the data path as RTL Verilog")
+    parser.add_argument("--dot", metavar="FILE",
+                        help="also export the data path as Graphviz DOT")
+    parser.add_argument("--vectors", metavar="FILE",
+                        help="also run full-scan ATPG and export the "
+                             "test vectors")
+    args = parser.parse_args(argv)
+    if args.list or not args.design:
+        for name in sorted(suite.standard_suite()):
+            print(name)
+        return 0
+    report(args.design, slack=args.latency_slack, width=args.width)
+    if args.verilog or args.dot:
+        export_artifacts(
+            args.design, args.latency_slack, args.width,
+            args.verilog, args.dot,
+        )
+    if args.vectors:
+        export_test_vectors(
+            args.design, args.latency_slack, args.width, args.vectors
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

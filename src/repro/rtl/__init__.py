@@ -1,0 +1,38 @@
+"""RTL synthesis for testability (survey section 4).
+
+* :mod:`~repro.rtl.testability` -- RTL testability analysis: the
+  minimum/maximum clock cycles needed to control and observe each
+  register node ([11,12], section 4.1).
+* :mod:`~repro.rtl.test_points` -- non-scan DFT via k-level
+  controllable/observable test points ([15], section 4.2).
+* :mod:`~repro.rtl.transformations` -- full-scan restructuring report
+  ([8], section 4.1): with every register scanned, the remaining
+  combinational logic is fully stuck-at testable.
+"""
+
+from repro.rtl.testability import (
+    ControlAwareTestability,
+    NodeTestability,
+    control_aware_testability,
+    hard_registers,
+    rtl_testability,
+)
+from repro.rtl.test_points import (
+    TestPoint,
+    insert_k_level_test_points,
+    k_level_coverage,
+)
+from repro.rtl.transformations import fullscan_report, FullScanReport
+
+__all__ = [
+    "ControlAwareTestability",
+    "NodeTestability",
+    "control_aware_testability",
+    "rtl_testability",
+    "hard_registers",
+    "TestPoint",
+    "insert_k_level_test_points",
+    "k_level_coverage",
+    "fullscan_report",
+    "FullScanReport",
+]

@@ -1,0 +1,134 @@
+"""Non-scan DFT via k-level test points, after [15]
+(Dey & Potkonjak, ICCAD'94 -- survey section 4.2).
+
+"Instead of conventional techniques of breaking loops by making FFs
+scannable, functional units are 'broken' by inserting test points,
+implemented using register files and constants.  It is shown that it
+suffices to make all the loops k-level (k>0) controllable and
+observable to achieve very high test efficiency.  This new testability
+measure eliminates the need ... to make one or more registers in each
+loop directly (k=0) accessible, significantly reducing the number of
+test points needed while maintaining high fault coverage."
+
+A loop is *k-level controllable/observable* when some register on it is
+within k register-transfer hops of a directly controllable node and
+within k hops of a directly observable one.  With k=0 every loop needs
+a directly accessible register (classic partial scan); with k>0 most
+loops are already covered by their distance to I/O registers, and only
+the remainder needs test points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.hls.datapath import Datapath
+from repro.hls.estimate import AREA_MODEL
+from repro.sgraph.build import build_sgraph
+from repro.sgraph.cycles import nontrivial_cycles
+
+
+@dataclass(frozen=True)
+class TestPoint:
+    """A register-file/constant test point at a unit boundary.
+
+    ``register`` names the S-graph node made directly accessible; the
+    implementation cost is one test-point word at that node.
+    """
+
+    register: str
+    width: int
+
+    @property
+    def area(self) -> float:
+        return AREA_MODEL["test_point_bit"] * self.width
+
+
+def _distances(g: nx.DiGraph) -> tuple[dict[str, int], dict[str, int]]:
+    controllable = [
+        n for n, d in g.nodes(data=True)
+        if d.get("is_input") or d.get("scan")
+    ]
+    observable = [
+        n for n, d in g.nodes(data=True)
+        if d.get("is_output") or d.get("scan")
+    ]
+    cdist = (
+        nx.multi_source_dijkstra_path_length(g, controllable, weight=None)
+        if controllable else {}
+    )
+    odist = (
+        nx.multi_source_dijkstra_path_length(
+            g.reverse(copy=False), observable, weight=None
+        )
+        if observable else {}
+    )
+    return cdist, odist
+
+
+def _loop_covered(
+    loop: list[str], cdist, odist, extra: set[str], k: int
+) -> bool:
+    for n in loop:
+        c = 0 if n in extra else cdist.get(n)
+        o = 0 if n in extra else odist.get(n)
+        if c is not None and o is not None and c <= k and o <= k:
+            return True
+    return False
+
+
+def insert_k_level_test_points(
+    datapath: Datapath, k: int, cycle_bound: int = 2000
+) -> list[TestPoint]:
+    """Greedy test-point insertion until every loop is k-level covered.
+
+    With ``k=0`` this degenerates to the conventional requirement (a
+    directly accessible register per loop) and the test-point count
+    matches a feedback-set size; with ``k>0`` loops already within k
+    hops of I/O need nothing, which is the [15] saving.
+    """
+    g = build_sgraph(datapath)
+    cdist, odist = _distances(g)
+    loops = nontrivial_cycles(g, bound=cycle_bound)
+    chosen: set[str] = set()
+    remaining = [
+        l for l in loops if not _loop_covered(l, cdist, odist, chosen, k)
+    ]
+    while remaining:
+        counts: dict[str, int] = {}
+        for loop in remaining:
+            for n in loop:
+                counts[n] = counts.get(n, 0) + 1
+        best = max(sorted(counts), key=lambda n: counts[n])
+        chosen.add(best)
+        # A test point makes the node directly accessible, which also
+        # shortens distances of its neighbours; recompute conservatively
+        # by treating chosen nodes as distance-0 sources.
+        g2 = g.copy()
+        for n in chosen:
+            g2.nodes[n]["is_input"] = True
+            g2.nodes[n]["is_output"] = True
+        cdist, odist = _distances(g2)
+        remaining = [
+            l for l in loops if not _loop_covered(l, cdist, odist, chosen, k)
+        ]
+    return [
+        TestPoint(n, g.nodes[n].get("width", 8)) for n in sorted(chosen)
+    ]
+
+
+def k_level_coverage(
+    datapath: Datapath, k: int, cycle_bound: int = 2000
+) -> float:
+    """Fraction of S-graph loops already k-level covered (no insertion)."""
+    g = build_sgraph(datapath)
+    cdist, odist = _distances(g)
+    loops = nontrivial_cycles(g, bound=cycle_bound)
+    if not loops:
+        return 1.0
+    covered = sum(
+        1 for l in loops if _loop_covered(l, cdist, odist, set(), k)
+    )
+    return covered / len(loops)

@@ -1,0 +1,169 @@
+"""RTL testability analysis, after [11,12] (survey section 4.1).
+
+"An RTL description can be used to identify the hard-to-test areas of
+a design, by analyzing testability ranges and the minimum and maximum
+number of clock cycles needed to control and observe an RTL node."
+
+On a bound data path the RTL nodes are registers; the control distance
+of a register is the number of register-transfer hops from a directly
+controllable node (primary-input register or scan register), the
+observe distance the hops to a directly observable one.  Registers on
+loops get an unbounded maximum (the ATPG may have to iterate the loop),
+which is what makes them the hard areas partial scan targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.hls.datapath import Datapath
+from repro.sgraph.build import build_sgraph
+
+
+@dataclass(frozen=True)
+class NodeTestability:
+    """Clock-cycle ranges to control and observe one register."""
+
+    register: str
+    min_control: int | None  # None: uncontrollable through the S-graph
+    max_control: int | None  # None: unbounded (on a loop)
+    min_observe: int | None
+    max_observe: int | None
+    on_loop: bool
+
+    def score(self) -> float:
+        """Hardness: big when far from I/O or on a loop."""
+        c = self.min_control if self.min_control is not None else 99
+        o = self.min_observe if self.min_observe is not None else 99
+        return c + o + (10 if self.on_loop else 0)
+
+
+def rtl_testability(datapath: Datapath) -> dict[str, NodeTestability]:
+    """Per-register testability ranges of ``datapath``."""
+    g = build_sgraph(datapath)
+    controllable = [
+        n for n, d in g.nodes(data=True)
+        if d.get("is_input") or d.get("scan")
+    ]
+    observable = [
+        n for n, d in g.nodes(data=True)
+        if d.get("is_output") or d.get("scan")
+    ]
+    loop_nodes: set[str] = set()
+    h = g.copy()
+    h.remove_edges_from([(n, n) for n in g if g.has_edge(n, n)])
+    for scc in nx.strongly_connected_components(h):
+        if len(scc) >= 2:
+            loop_nodes.update(scc)
+
+    cmin = (
+        nx.multi_source_dijkstra_path_length(g, controllable, weight=None)
+        if controllable else {}
+    )
+    rev = g.reverse(copy=False)
+    omin = (
+        nx.multi_source_dijkstra_path_length(rev, observable, weight=None)
+        if observable else {}
+    )
+
+    # Max cycles: longest acyclic distance; unbounded on loops.
+    out: dict[str, NodeTestability] = {}
+    dag_ok = nx.is_directed_acyclic_graph(h)
+    cmax: dict[str, int] = {}
+    omax: dict[str, int] = {}
+    if dag_ok:
+        for n in nx.topological_sort(h):
+            preds = [
+                cmax[p] + 1 for p in h.predecessors(n) if p in cmax
+            ]
+            if n in set(controllable):
+                cmax[n] = max(preds, default=0)
+            elif preds:
+                cmax[n] = max(preds)
+        for n in reversed(list(nx.topological_sort(h))):
+            succs = [omax[s] + 1 for s in h.successors(n) if s in omax]
+            if n in set(observable):
+                omax[n] = max(succs, default=0)
+            elif succs:
+                omax[n] = max(succs)
+    for r in datapath.registers:
+        n = r.name
+        on_loop = n in loop_nodes
+        out[n] = NodeTestability(
+            register=n,
+            min_control=cmin.get(n),
+            max_control=None if (on_loop or not dag_ok) else cmax.get(n),
+            min_observe=omin.get(n),
+            max_observe=None if (on_loop or not dag_ok) else omax.get(n),
+            on_loop=on_loop,
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ControlAwareTestability:
+    """[18]-style record: structural ranges *plus* control reachability.
+
+    "Testability is measured not only based on sequential depth and
+    testability characteristics of data path modules, but also the
+    testability of registers is determined by analyzing the control
+    logic used to control the loading of the registers."
+    """
+
+    register: str
+    structural: NodeTestability
+    #: control steps in which the controller asserts this register's load
+    load_states: tuple[int, ...]
+    #: fraction of control states that load the register
+    load_frequency: float
+
+    def score(self) -> float:
+        """Hardness combining structure and control reachability.
+
+        A register that the controller loads in only one state needs
+        that exact state justified before any value can be set -- the
+        control term adds the expected wait (1/frequency) in cycles.
+        """
+        control_penalty = (
+            (1.0 / self.load_frequency - 1.0)
+            if self.load_frequency > 0 else 50.0
+        )
+        return self.structural.score() + control_penalty
+
+
+def control_aware_testability(
+    datapath: Datapath, controller
+) -> dict[str, ControlAwareTestability]:
+    """Per-register testability including the controller's load logic.
+
+    ``controller`` is a :class:`repro.hls.controller.Controller`; its
+    words define when each register can actually capture.
+    """
+    structural = rtl_testability(datapath)
+    n_words = max(1, controller.num_steps)
+    out: dict[str, ControlAwareTestability] = {}
+    for r in datapath.registers:
+        loads = tuple(controller.load_steps(r.name))
+        out[r.name] = ControlAwareTestability(
+            register=r.name,
+            structural=structural[r.name],
+            load_states=loads,
+            load_frequency=len(loads) / n_words,
+        )
+    return out
+
+
+def hard_registers(datapath: Datapath, count: int) -> list[str]:
+    """The ``count`` hardest registers by RTL testability score.
+
+    This is the RTL-aware partial-scan candidate ordering of [11]: it
+    uses register-transfer structure (loops, distances) invisible to a
+    purely gate-level selector.
+    """
+    records = rtl_testability(datapath)
+    ranked = sorted(
+        records.values(), key=lambda r: (-r.score(), r.register)
+    )
+    return [r.register for r in ranked[:count]]

@@ -1,0 +1,74 @@
+"""Full-scan restructuring report, after [8] (survey section 4.1).
+
+[8] restructures RTL control-data paths using don't-care conditions so
+the full-scan design is 100% single-stuck-at testable.  In this
+reproduction the restructuring target is demonstrated directly: with
+every register scanned, the remaining combinational logic of our
+expanded data paths is fully exercised by combinational ATPG, and the
+report records the achieved coverage and any aborted faults (which
+would be the redundancies [8] removes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gatelevel.atpg import combinational_atpg
+from repro.gatelevel.expand import expand_datapath
+from repro.gatelevel.faults import all_faults
+from repro.hls.datapath import Datapath
+
+
+@dataclass(frozen=True)
+class FullScanReport:
+    """Combinational testability of a full-scan data path."""
+
+    design: str
+    total_faults: int
+    detected: int
+    aborted: int
+    untestable: int
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / self.total_faults if self.total_faults else 1.0
+
+    @property
+    def test_efficiency(self) -> float:
+        """Detected-or-proven-untestable fraction (the [8] metric)."""
+        if not self.total_faults:
+            return 1.0
+        return (self.detected + self.untestable) / self.total_faults
+
+
+def fullscan_report(
+    datapath: Datapath,
+    backtrack_limit: int = 300,
+    max_faults: int | None = None,
+) -> FullScanReport:
+    """Scan every register, expand, and run combinational ATPG.
+
+    ``max_faults`` caps the fault sample for large designs (faults are
+    taken in sorted order, deterministic).
+    """
+    datapath.mark_scan(*[r.name for r in datapath.registers])
+    netlist, _ctrl = expand_datapath(datapath)
+    faults = all_faults(netlist)
+    if max_faults is not None:
+        faults = faults[:max_faults]
+    detected = aborted = untestable = 0
+    for f in faults:
+        res = combinational_atpg(netlist, f, backtrack_limit=backtrack_limit)
+        if res.detected:
+            detected += 1
+        elif res.aborted:
+            aborted += 1
+        else:
+            untestable += 1
+    return FullScanReport(
+        design=datapath.name,
+        total_faults=len(faults),
+        detected=detected,
+        aborted=aborted,
+        untestable=untestable,
+    )

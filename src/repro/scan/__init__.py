@@ -1,0 +1,41 @@
+"""Partial-scan synthesis for sequential ATPG (survey sections 3-4).
+
+The package implements both sides of the comparison the survey draws:
+
+* the conventional flow -- synthesize without regard for testability,
+  then break S-graph loops with gate-level partial scan
+  (:mod:`repro.scan.gate_level`);
+* the high-level flows -- scan-variable selection on the CDFG
+  (:mod:`repro.scan.scan_select`, after [33]), boundary-variable
+  selection (:mod:`repro.scan.boundary`, after [24]), I/O-register
+  maximizing assignment (:mod:`repro.scan.io_registers`, after [25]),
+  loop-avoiding simultaneous scheduling and binding
+  (:mod:`repro.scan.simultaneous`, after [33]), and RTL partial scan
+  with transparent scan registers (:mod:`repro.scan.rtl_partial_scan`,
+  after [35,37]).
+"""
+
+from repro.scan.report import ScanPlan, ScanReport, apply_scan_plan, scan_report
+from repro.scan.gate_level import gate_level_partial_scan
+from repro.scan.scan_select import select_scan_variables
+from repro.scan.boundary import select_boundary_variables
+from repro.scan.io_registers import assign_registers_io_first, io_register_stats
+from repro.scan.simultaneous import loop_aware_synthesis
+from repro.scan.rtl_partial_scan import rtl_partial_scan
+from repro.scan.deflect import DeflectionResult, deflect_for_scan_sharing
+
+__all__ = [
+    "ScanPlan",
+    "ScanReport",
+    "apply_scan_plan",
+    "scan_report",
+    "gate_level_partial_scan",
+    "select_scan_variables",
+    "select_boundary_variables",
+    "assign_registers_io_first",
+    "io_register_stats",
+    "loop_aware_synthesis",
+    "rtl_partial_scan",
+    "DeflectionResult",
+    "deflect_for_scan_sharing",
+]

@@ -1,0 +1,70 @@
+"""Boundary-variable scan selection, after [24]
+(Lee/Jha/Wolf, DAC'93).
+
+"At first, a set of boundary variables, which determine the boundary of
+loops, are selected to be assigned to the available scan registers,
+thereby breaking the loops corresponding to each boundary variable.
+Though the boundary variables cannot share the same register because
+they are alive simultaneously, other intermediate variables of the CDFG
+can share the registers with boundary variables.  To facilitate maximal
+sharing, boundary variables with shorter lifetimes are preferred."
+
+A *boundary variable* here is a variable carried across the iteration
+boundary (read loop-carried by some consumer): every CDFG loop crosses
+the boundary, so covering all loops with boundary variables is always
+possible.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.analysis import cdfg_loops, unbroken_loops
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import variable_lifetimes
+from repro.hls.scheduling import Schedule, asap
+from repro.scan.report import ScanPlan
+
+
+def boundary_variables(cdfg: CDFG) -> set[str]:
+    """Variables read loop-carried by at least one operation."""
+    out: set[str] = set()
+    for op in cdfg:
+        out.update(op.carried)
+    return out
+
+
+def select_boundary_variables(
+    cdfg: CDFG,
+    schedule: Schedule | None = None,
+    loop_bound: int = 2000,
+) -> ScanPlan:
+    """Greedy cover of the CDFG loops by boundary variables.
+
+    Shorter-lived boundary variables are preferred (they leave more
+    room for intermediate variables to share the scan registers); each
+    selected boundary variable opens its own scan register, per [24].
+    """
+    if schedule is None:
+        schedule = asap(cdfg)
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    loops = cdfg_loops(cdfg, bound=loop_bound)
+    candidates = boundary_variables(cdfg)
+    chosen: list[str] = []
+    remaining = list(loops)
+    while remaining:
+        on_loops = {v for loop in remaining for v in loop} & candidates
+        if not on_loops:
+            # Defensive: a loop with no boundary variable cannot occur
+            # in a valid CDFG (it would be an intra-iteration cycle).
+            raise ValueError(
+                f"loops without boundary variables: {remaining[:3]}"
+            )
+        best = max(
+            sorted(on_loops),
+            key=lambda v: (
+                sum(1 for loop in remaining if v in loop),
+                -lifetimes[v].length,
+            ),
+        )
+        chosen.append(best)
+        remaining = unbroken_loops(remaining, chosen)
+    return ScanPlan(tuple((v,) for v in chosen))

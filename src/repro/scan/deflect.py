@@ -1,0 +1,95 @@
+"""Deflection-driven scan-register minimisation, after [16]
+(Dey & Potkonjak ITC'94 -- survey section 3.4).
+
+"Deflection operations ... are added to eliminate resource sharing
+bottlenecks, like overlapping lifetimes, such that more of the selected
+scan variables can share the same scan registers, thereby reducing the
+number of scan registers needed to break the CDFG loops."
+
+The pass iterates: select scan variables, and for each selected
+variable with several consumers try rerouting its *late* consumers
+through a deflection operation -- the scan variable's lifetime then
+ends at its earliest consumer, unlocking sharing with other groups.  A
+transformation is kept only when it strictly reduces the scan-register
+count (so area/performance are never hurt gratuitously, matching the
+paper's "only when the performance and area of the design is not
+adversely affected").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.transform import deflect_variable
+from repro.hls.scheduling import asap
+from repro.scan.report import ScanPlan
+from repro.scan.scan_select import select_scan_variables
+
+
+@dataclass(frozen=True)
+class DeflectionResult:
+    """Outcome of the [16] pass."""
+
+    original: CDFG
+    transformed: CDFG
+    plan_before: ScanPlan
+    plan_after: ScanPlan
+    deflections: int
+
+    @property
+    def scan_registers_saved(self) -> int:
+        return (
+            self.plan_before.num_scan_registers
+            - self.plan_after.num_scan_registers
+        )
+
+    @property
+    def extra_operations(self) -> int:
+        return len(self.transformed) - len(self.original)
+
+
+def deflect_for_scan_sharing(
+    cdfg: CDFG, max_rounds: int = 6
+) -> DeflectionResult:
+    """Greedy improvement loop; see module docstring."""
+    plan_before = select_scan_variables(cdfg)
+    best = cdfg
+    best_plan = plan_before
+    deflections = 0
+    for _ in range(max_rounds):
+        candidate = _try_one_deflection(best, best_plan)
+        if candidate is None:
+            break
+        best, best_plan = candidate
+        deflections += 1
+    return DeflectionResult(
+        original=cdfg,
+        transformed=best,
+        plan_before=plan_before,
+        plan_after=best_plan,
+        deflections=deflections,
+    )
+
+
+def _try_one_deflection(
+    cdfg: CDFG, plan: ScanPlan
+) -> tuple[CDFG, ScanPlan] | None:
+    """One strictly-improving deflection, or None."""
+    schedule = asap(cdfg)
+    for v in sorted(plan.variables):
+        consumers = [
+            c for c in cdfg.consumers_of(v) if v not in c.carried
+        ]
+        if len(consumers) < 2:
+            continue
+        consumers.sort(key=lambda c: (schedule.step_of(c.name), c.name))
+        late = [c.name for c in consumers[1:]]
+        try:
+            transformed = deflect_variable(cdfg, v, late, kind="+")
+        except Exception:
+            continue
+        new_plan = select_scan_variables(transformed)
+        if new_plan.num_scan_registers < plan.num_scan_registers:
+            return transformed, new_plan
+    return None

@@ -1,0 +1,31 @@
+"""Conventional gate-level partial scan (the baseline of section 3.3).
+
+"In conventional gate-level partial scan, the designer synthesizes the
+module or chip without regard for testability, and then uses gate-level
+partial-scan techniques to break loops enabling efficient sequential
+ATPG."  Here: take an already-bound data path, build its S-graph,
+select a minimum feedback vertex set, and scan those registers.
+"""
+
+from __future__ import annotations
+
+from repro.hls.datapath import Datapath
+from repro.hls.estimate import area_estimate
+from repro.scan.report import ScanReport, scan_report
+from repro.sgraph.build import build_sgraph
+from repro.sgraph.atpg_cost import estimate_cost
+from repro.sgraph.mfvs import minimum_feedback_vertex_set
+
+
+def gate_level_partial_scan(datapath: Datapath) -> ScanReport:
+    """Apply MFVS-based partial scan to ``datapath`` (mutates it).
+
+    Every nontrivial S-graph cycle ends up broken by a scanned
+    register; self-loops are tolerated, per gate-level practice.
+    """
+    g = build_sgraph(datapath)
+    cost_before = estimate_cost(g, respect_scan=False)
+    area_before = area_estimate(datapath)["total"]
+    mfvs = minimum_feedback_vertex_set(g)
+    datapath.mark_scan(*mfvs)
+    return scan_report(area_before, datapath, "gate-level MFVS", cost_before)

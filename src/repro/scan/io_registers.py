@@ -1,0 +1,140 @@
+"""I/O-register-maximising register assignment, after [25]
+(Lee/Wolf/Jha/Acken, ICCD'92 -- survey section 3.2).
+
+"The approach assigns each primary output to an output register, and
+then assigns as many intermediate variables as possible to the output
+registers.  Next, it assigns each primary input to an input register,
+and as many of the remaining intermediate variables as possible to the
+input registers.  Then the input and output registers are merged if
+possible to minimize the total number of registers.  Finally,
+unassigned intermediate variables are assigned to extra registers."
+
+Registers connected to primary I/O are directly controllable (input
+registers) or observable (output registers), so maximising the number
+of I/O registers -- and the share of variables living in them --
+improves data-path testability at zero scan cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import Lifetime, variable_lifetimes
+from repro.hls.binding import RegisterAssignment
+from repro.hls.datapath import Datapath
+from repro.hls.scheduling import Schedule
+
+
+def assign_registers_io_first(
+    cdfg: CDFG, schedule: Schedule
+) -> RegisterAssignment:
+    """The four-phase I/O-first assignment of [25]."""
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+
+    output_regs: list[list[str]] = [
+        [v.name] for v in sorted(cdfg.primary_outputs(), key=lambda v: v.name)
+    ]
+    input_regs: list[list[str]] = [
+        [v.name] for v in sorted(cdfg.primary_inputs(), key=lambda v: v.name)
+    ]
+    unassigned = sorted(
+        (v.name for v in cdfg.intermediate_variables()),
+        key=lambda v: (lifetimes[v].birth, v),
+    )
+
+    # Phase 1: intermediates into output registers.
+    unassigned = _pack(unassigned, output_regs, lifetimes)
+    # Phase 2: remaining intermediates into input registers.
+    unassigned = _pack(unassigned, input_regs, lifetimes)
+    # Phase 3: merge input registers into output registers when disjoint.
+    merged_inputs: list[list[str]] = []
+    for ireg in input_regs:
+        target = _find_compatible(ireg, output_regs, lifetimes)
+        if target is not None:
+            target.extend(ireg)
+        else:
+            merged_inputs.append(ireg)
+    # Phase 4: leftovers into extra registers (left-edge).
+    extra_regs: list[list[str]] = []
+    leftovers = _pack(unassigned, extra_regs, lifetimes, open_new=True)
+    assert not leftovers
+
+    register_of: dict[str, int] = {}
+    for idx, reg in enumerate(output_regs + merged_inputs + extra_regs):
+        for v in reg:
+            register_of[v] = idx
+    result = RegisterAssignment(register_of)
+    result.verify(lifetimes)
+    return result
+
+
+def _pack(
+    variables: list[str],
+    registers: list[list[str]],
+    lifetimes: Mapping[str, Lifetime],
+    open_new: bool = False,
+) -> list[str]:
+    """First-fit variables into ``registers``; return the ones that did
+    not fit (empty when ``open_new``)."""
+    left: list[str] = []
+    for v in variables:
+        lt = lifetimes[v]
+        for reg in registers:
+            if all(not lt.overlaps(lifetimes[m]) for m in reg):
+                reg.append(v)
+                break
+        else:
+            if open_new:
+                registers.append([v])
+            else:
+                left.append(v)
+    return left
+
+
+def _find_compatible(
+    group: list[str],
+    registers: list[list[str]],
+    lifetimes: Mapping[str, Lifetime],
+) -> list[str] | None:
+    for reg in registers:
+        if all(
+            not lifetimes[a].overlaps(lifetimes[b])
+            for a in group
+            for b in reg
+        ):
+            return reg
+    return None
+
+
+@dataclass(frozen=True)
+class IORegisterStats:
+    """Testability-relevant register census of a data path."""
+
+    total_registers: int
+    io_registers: int
+    input_registers: int
+    output_registers: int
+    variables_in_io_registers: int
+    total_variables: int
+
+    @property
+    def io_fraction(self) -> float:
+        return self.io_registers / self.total_registers
+
+
+def io_register_stats(datapath: Datapath) -> IORegisterStats:
+    """Count I/O registers and the variables living in them."""
+    io_vars = 0
+    for r in datapath.registers:
+        if r.is_io_register:
+            io_vars += len(r.variables)
+    return IORegisterStats(
+        total_registers=len(datapath.registers),
+        io_registers=len(datapath.io_registers()),
+        input_registers=len(datapath.input_registers()),
+        output_registers=len(datapath.output_registers()),
+        variables_in_io_registers=io_vars,
+        total_variables=len(datapath.cdfg.variables),
+    )

@@ -1,0 +1,136 @@
+"""Scan plans and reporting.
+
+A :class:`ScanPlan` is the output of the CDFG-level selection
+algorithms: the chosen scan *variables*, grouped so that each group can
+share one scan *register* ("the selected scan variables of a CDFG can
+share scan registers" -- survey section 3.3.1; this sharing is exactly
+why the high-level techniques beat gate-level MFVS on scan cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import variable_lifetimes
+from repro.hls.datapath import Datapath
+from repro.hls.estimate import area_estimate
+from repro.sgraph.build import build_sgraph, sgraph_without_scan
+from repro.sgraph.atpg_cost import TestabilityCost, estimate_cost
+from repro.sgraph.cycles import is_loop_free
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """Scan variables grouped by target scan register."""
+
+    groups: tuple[tuple[str, ...], ...]
+
+    @property
+    def variables(self) -> set[str]:
+        return {v for g in self.groups for v in g}
+
+    @property
+    def num_scan_registers(self) -> int:
+        return len(self.groups)
+
+    def verify(self, cdfg: CDFG, schedule) -> None:
+        """Groups must be pairwise lifetime-disjoint under ``schedule``."""
+        lifetimes = variable_lifetimes(cdfg, schedule.steps)
+        for group in self.groups:
+            for i, a in enumerate(group):
+                for b in group[i + 1:]:
+                    if lifetimes[a].overlaps(lifetimes[b]):
+                        raise ValueError(
+                            f"scan group {group}: {a!r} and {b!r} overlap"
+                        )
+
+
+@dataclass(frozen=True)
+class ScanReport:
+    """Before/after summary of a scan insertion on a data path."""
+
+    design: str
+    technique: str
+    scan_registers: int
+    scan_bits: int
+    loop_free: bool
+    cost_before: TestabilityCost
+    cost_after: TestabilityCost
+    area_before: float
+    area_after: float
+
+    @property
+    def area_overhead_percent(self) -> float:
+        return 100.0 * (self.area_after - self.area_before) / self.area_before
+
+    def row(self) -> str:
+        return (
+            f"{self.design:14s} {self.technique:18s} "
+            f"scan regs={self.scan_registers:2d} bits={self.scan_bits:3d} "
+            f"loop-free={str(self.loop_free):5s} "
+            f"score {self.cost_before.score:12.1f} -> {self.cost_after.score:10.1f} "
+            f"area +{self.area_overhead_percent:4.1f}%"
+        )
+
+
+def apply_scan_plan(datapath: Datapath, plan: ScanPlan) -> list[str]:
+    """Mark the registers holding the plan's variables as scan registers.
+
+    Returns the scanned register names.  Note: when the register
+    assignment did not honor the plan's grouping, more registers than
+    ``plan.num_scan_registers`` may be scanned -- callers that want the
+    minimum must use a plan-aware register assignment (see
+    :func:`repro.scan.scan_select.assign_registers_with_plan`).
+    """
+    names: list[str] = []
+    for var in sorted(plan.variables):
+        reg = datapath.register_of_variable(var)
+        if reg.name not in names:
+            names.append(reg.name)
+    datapath.mark_scan(*names)
+    return names
+
+
+def minimize_scan_registers(datapath: Datapath) -> list[str]:
+    """Drop scan marks that are no longer needed for loop-freeness.
+
+    Register sharing often merges several planned scan variables into
+    one register, or breaks a loop as a side effect; this post-pass
+    greedily unmarks scanned registers (widest first) while the S-graph
+    stays loop-free, and returns the registers still scanned.
+    """
+    scanned = sorted(
+        datapath.scan_registers(), key=lambda r: (-r.width, r.name)
+    )
+    g = build_sgraph(datapath)
+    if not is_loop_free(sgraph_without_scan(g)):
+        return [r.name for r in datapath.scan_registers()]
+    for reg in scanned:
+        reg.scan = False
+        g = build_sgraph(datapath)
+        if not is_loop_free(sgraph_without_scan(g)):
+            reg.scan = True
+    return [r.name for r in datapath.scan_registers()]
+
+
+def scan_report(
+    datapath_before_area: float,
+    datapath: Datapath,
+    technique: str,
+    cost_before: TestabilityCost,
+) -> ScanReport:
+    """Assemble a :class:`ScanReport` from an already-marked data path."""
+    g = build_sgraph(datapath)
+    scanned = datapath.scan_registers()
+    return ScanReport(
+        design=datapath.name,
+        technique=technique,
+        scan_registers=len(scanned),
+        scan_bits=sum(r.width for r in scanned),
+        loop_free=is_loop_free(sgraph_without_scan(g)),
+        cost_before=cost_before,
+        cost_after=estimate_cost(g),
+        area_before=datapath_before_area,
+        area_after=area_estimate(datapath)["total"],
+    )

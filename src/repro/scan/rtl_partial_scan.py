@@ -1,0 +1,118 @@
+"""RTL partial scan with transparent scan registers, after [35,37]
+(survey section 4.1).
+
+"Both register nodes as well as non-register nodes are considered for
+breaking, with register nodes replaced by scan registers, and
+transparent scan registers placed on non-register nodes, thereby
+significantly reducing the number of scan registers needed."
+
+The non-register nodes of a bound data path are the functional-unit
+outputs: one transparent scan register on a unit's output breaks
+*every* loop through that unit, which is cheaper than scanning each of
+the registers those loops pass through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.hls.datapath import Datapath
+from repro.hls.estimate import AREA_MODEL, area_estimate
+
+
+@dataclass(frozen=True)
+class RTLScanResult:
+    """Outcome of the mixed register/non-register loop breaking."""
+
+    design: str
+    scanned_registers: tuple[str, ...]
+    transparent_units: tuple[str, ...]
+    scan_bits: int
+    loop_free: bool
+    area_overhead: float
+
+    @property
+    def insertions(self) -> int:
+        return len(self.scanned_registers) + len(self.transparent_units)
+
+
+def _extended_graph(datapath: Datapath) -> nx.DiGraph:
+    """Bipartite-ish graph over registers and unit-output nodes."""
+    g = nx.DiGraph()
+    for r in datapath.registers:
+        g.add_node(r.name, kind="register", width=r.width, scan=r.scan)
+    for u in datapath.units:
+        g.add_node(u.name, kind="unit", width=u.width)
+    for t in datapath.transfers:
+        for src in set(t.source_registers):
+            g.add_edge(src, t.unit)
+        g.add_edge(t.unit, t.dest_register)
+    g.remove_nodes_from(
+        [r.name for r in datapath.registers if r.scan or r.transparent_scan]
+    )
+    return g
+
+
+def _breakable_cycles(g: nx.DiGraph, bound: int = 4000) -> list[list[str]]:
+    """Cycles with >= 2 register nodes (1-register cycles are the
+    tolerated self-loops)."""
+    out = []
+    for cyc in nx.simple_cycles(g):
+        regs = [n for n in cyc if g.nodes[n]["kind"] == "register"]
+        if len(regs) >= 2:
+            out.append(list(cyc))
+        if len(out) >= bound:
+            break
+    return out
+
+
+def rtl_partial_scan(datapath: Datapath) -> RTLScanResult:
+    """Greedy weighted cover of the breakable cycles (mutates ``datapath``
+    by marking scanned registers).
+
+    Node weight is its scan-bit cost; units and registers compete, and
+    the node covering the most cycles per bit wins each round.
+    """
+    area_before = area_estimate(datapath)["total"]
+    g = _extended_graph(datapath)
+    cycles = _breakable_cycles(g)
+    chosen_regs: list[str] = []
+    chosen_units: list[str] = []
+    remaining = list(cycles)
+    while remaining:
+        counts: dict[str, int] = {}
+        for cyc in remaining:
+            for n in cyc:
+                counts[n] = counts.get(n, 0) + 1
+        best = max(
+            sorted(counts),
+            key=lambda n: counts[n] / g.nodes[n]["width"],
+        )
+        if g.nodes[best]["kind"] == "register":
+            chosen_regs.append(best)
+        else:
+            chosen_units.append(best)
+        remaining = [c for c in remaining if best not in c]
+    datapath.mark_scan(*chosen_regs)
+    # Transparent scan registers on unit outputs are not Datapath
+    # registers; they are carried in the result and priced separately.
+    scan_bits = sum(g.nodes[r]["width"] for r in chosen_regs) + sum(
+        g.nodes[u]["width"] for u in chosen_units
+    )
+    g2 = _extended_graph(datapath)
+    g2.remove_nodes_from(chosen_units)
+    loop_free = not _breakable_cycles(g2, bound=1)
+    area_after = area_estimate(datapath)["total"] + sum(
+        AREA_MODEL["transparent_scan_bit"] * g.nodes[u]["width"]
+        for u in chosen_units
+    )
+    return RTLScanResult(
+        design=datapath.name,
+        scanned_registers=tuple(chosen_regs),
+        transparent_units=tuple(chosen_units),
+        scan_bits=scan_bits,
+        loop_free=loop_free,
+        area_overhead=area_after - area_before,
+    )

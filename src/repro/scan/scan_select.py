@@ -1,0 +1,146 @@
+"""CDFG-level scan-variable selection, after [33]
+(Potkonjak/Dey/Roy, IEEE TCAD 14(9), 1995).
+
+Selects a set of scan variables such that every CDFG loop contains one,
+using the two measures the survey names:
+
+* **loop cutting effectiveness** -- how many still-unbroken loops the
+  candidate lies on (normalised by loop length: cutting a short loop is
+  worth more, short loops are the expensive ones for ATPG);
+* **hardware sharing effectiveness** -- whether the candidate can share
+  an already-committed scan register (lifetime-disjoint with some
+  existing group), and how little lifetime it would add (short-lived
+  variables keep future sharing open).
+
+Unlike gate-level MFVS, where each selected vertex costs one scan FF,
+selected scan variables can share scan registers -- the reason the
+high-level technique needs fewer scan registers (section 3.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.cdfg.analysis import cdfg_loops, unbroken_loops
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import Lifetime, variable_lifetimes
+from repro.hls.binding import RegisterAssignment
+from repro.hls.scheduling import Schedule, asap
+from repro.scan.report import ScanPlan
+
+#: Relative weight of the sharing term against the loop-cutting term.
+SHARING_WEIGHT = 0.6
+
+
+def select_scan_variables(
+    cdfg: CDFG,
+    schedule: Schedule | None = None,
+    loop_bound: int = 2000,
+) -> ScanPlan:
+    """Choose scan variables breaking every CDFG loop, maximising sharing.
+
+    ``schedule`` provides the lifetimes used for sharing decisions; when
+    omitted, ASAP lifetimes are used as the estimate (selection happens
+    before final scheduling in the [33] flow).
+    """
+    if schedule is None:
+        schedule = asap(cdfg)
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    loops = cdfg_loops(cdfg, bound=loop_bound)
+    groups: list[list[str]] = []
+    chosen: set[str] = set()
+    remaining = list(loops)
+    while remaining:
+        candidates = {v for loop in remaining for v in loop}
+        best = max(
+            sorted(candidates),
+            key=lambda v: _gain(v, remaining, lifetimes, groups),
+        )
+        chosen.add(best)
+        _place_in_group(best, lifetimes, groups)
+        remaining = unbroken_loops(remaining, chosen)
+    return ScanPlan(tuple(tuple(g) for g in groups))
+
+
+def _gain(
+    variable: str,
+    remaining: list[list[str]],
+    lifetimes: Mapping[str, Lifetime],
+    groups: list[list[str]],
+) -> float:
+    cut = sum(
+        1.0 / len(loop) for loop in remaining if variable in loop
+    )
+    lt = lifetimes[variable]
+    shareable = any(
+        all(not lt.overlaps(lifetimes[m]) for m in g) for g in groups
+    )
+    horizon = max((l.death for l in lifetimes.values()), default=1) or 1
+    shortness = 1.0 - lt.length / (horizon + 1)
+    sharing = (1.0 if shareable or not groups else 0.0) + shortness
+    return cut + SHARING_WEIGHT * sharing
+
+
+def _place_in_group(
+    variable: str,
+    lifetimes: Mapping[str, Lifetime],
+    groups: list[list[str]],
+) -> None:
+    lt = lifetimes[variable]
+    for g in groups:
+        if all(not lt.overlaps(lifetimes[m]) for m in g):
+            g.append(variable)
+            return
+    groups.append([variable])
+
+
+def assign_registers_with_plan(
+    cdfg: CDFG,
+    schedule: Schedule,
+    plan: ScanPlan,
+) -> RegisterAssignment:
+    """Register assignment honoring a scan plan's grouping.
+
+    Each scan group is seeded into its own register; the remaining
+    variables are packed left-edge into existing registers (scan or
+    not) before new ones are opened, so the plan's scan registers also
+    serve ordinary storage ("other intermediate variables of the CDFG
+    can share the registers", section 3.3.1).
+    """
+    plan.verify(cdfg, schedule)
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    register_of: dict[str, int] = {}
+    contents: list[list[str]] = []
+    for group in plan.groups:
+        idx = len(contents)
+        contents.append(list(group))
+        for v in group:
+            register_of[v] = idx
+    rest = sorted(
+        (lt for v, lt in lifetimes.items() if v not in register_of),
+        key=lambda lt: (lt.birth, lt.variable),
+    )
+    for lt in rest:
+        placed = False
+        for idx, regvars in enumerate(contents):
+            if all(not lt.overlaps(lifetimes[m]) for m in regvars):
+                regvars.append(lt.variable)
+                register_of[lt.variable] = idx
+                placed = True
+                break
+        if not placed:
+            contents.append([lt.variable])
+            register_of[lt.variable] = len(contents) - 1
+    result = RegisterAssignment(register_of)
+    result.verify(lifetimes)
+    return result
+
+
+def scan_register_names(
+    plan: ScanPlan, assignment: RegisterAssignment
+) -> list[str]:
+    """Register names (``R<i>``) holding the plan's groups."""
+    names = sorted(
+        {f"R{assignment.register_of[v]}" for v in plan.variables}
+    )
+    return names

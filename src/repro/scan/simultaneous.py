@@ -1,0 +1,376 @@
+"""Simultaneous loop-aware scheduling and assignment, after [33]
+(Potkonjak/Dey/Roy, IEEE TCAD 1995 -- survey section 3.3.2).
+
+"At each iteration of the algorithm, from the operations that have not
+yet been scheduled and assigned, an operation op_i with least slack is
+selected.  The set of (module, control step) pairs to which the
+operation can be assigned or scheduled are identified.  For each pair,
+the cost in terms of testability, resource utilization and flexibility
+... is computed.  Subsequently, a pair with the smallest cost is
+selected.  A testability cost function is used to evaluate the costs
+associated with each type of loop formed and the scan registers
+necessary to break the loops."
+
+The testability cost term prices module-level loops (which become
+assignment loops in the data path) at ``LOOP_BASE ** length``;
+self-loops are tolerated at a small weight, reproducing the Figure 1
+outcome: chains stay on one module (self-loops) instead of ping-ponging
+between modules (2-cycles).
+
+Register assignment is then done cycle-aware: a variable placement that
+would close a new nontrivial register-level cycle is avoided whenever a
+cycle-free placement (possibly a fresh register) exists, reusing the
+scan registers selected at the CDFG level to absorb unavoidable loops.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.cdfg.analysis import (
+    alap_schedule,
+    asap_schedule,
+    cdfg_loops,
+    critical_path_length,
+)
+from repro.cdfg.graph import CDFG
+from repro.cdfg.lifetimes import variable_lifetimes
+from repro.hls.allocation import Allocation, AllocationError
+from repro.hls.binding import (
+    FUBinding,
+    RegisterAssignment,
+    assign_registers_left_edge,
+)
+from repro.hls.datapath import Datapath, build_datapath
+from repro.hls.scheduling import Schedule, list_schedule
+from repro.scan.report import ScanPlan, minimize_scan_registers
+from repro.scan.scan_select import select_scan_variables
+from repro.sgraph.atpg_cost import LOOP_BASE, SELF_LOOP_WEIGHT
+from repro.sgraph.build import build_sgraph, sgraph_without_scan
+from repro.sgraph.mfvs import minimum_feedback_vertex_set
+
+#: Cost weights: testability dominates, then utilization balance, then
+#: flexibility, then earliness.  The utilization term mimics the
+#: load-balancing every conventional binder applies; with
+#: ``testability_weight=0`` it is what drives the ping-pong sharing that
+#: creates the assignment loops of Figure 1(b).
+W_TEST = 1.0
+W_UTIL = 0.2
+W_FLEX = 0.05
+W_STEP = 0.01
+
+
+def loop_aware_synthesis(
+    cdfg: CDFG,
+    allocation: Allocation,
+    num_steps: int | None = None,
+    testability_weight: float = W_TEST,
+    max_latency_slack: int = 8,
+    cycle_aware_registers: bool | None = None,
+) -> tuple[Datapath, ScanPlan]:
+    """Synthesize a data path minimising loop formation.
+
+    Returns the data path (scan registers already marked per the CDFG
+    scan plan) and the plan itself.  With ``testability_weight=0`` the
+    algorithm degenerates to a cost-blind, load-balancing binder with
+    plain left-edge register assignment -- the ablation knob for
+    experiment E-3.3.2 (override via ``cycle_aware_registers``).
+    """
+    if cycle_aware_registers is None:
+        cycle_aware_registers = testability_weight > 0
+    allocation.validate_for(cdfg)
+    if num_steps is None:
+        num_steps = list_schedule(cdfg, allocation).length_with_delays(cdfg)
+    last_error: Exception | None = None
+    for latency in range(num_steps, num_steps + max_latency_slack + 1):
+        try:
+            schedule, binding = _schedule_and_bind(
+                cdfg, allocation, latency, testability_weight
+            )
+            break
+        except AllocationError as exc:
+            last_error = exc
+    else:
+        raise AllocationError(
+            f"loop-aware synthesis infeasible up to latency "
+            f"{num_steps + max_latency_slack}: {last_error}"
+        )
+    # Scan-variable selection uses the lifetimes of the *final* schedule
+    # so the plan's sharing groups are exact, not ASAP estimates.
+    plan = (
+        select_scan_variables(cdfg, schedule)
+        if cdfg_loops(cdfg, bound=1)
+        else ScanPlan(())
+    )
+    if cycle_aware_registers:
+        regs = assign_registers_cycle_aware(cdfg, schedule, binding, plan)
+    else:
+        regs = assign_registers_left_edge(cdfg, schedule)
+    dp = build_datapath(cdfg, schedule, binding, regs)
+    scanned = sorted(
+        {dp.register_of_variable(v).name for v in plan.variables}
+    )
+    dp.mark_scan(*scanned)
+    ensure_loop_free(dp)
+    minimize_scan_registers(dp)
+    return dp, plan
+
+
+def ensure_loop_free(datapath: Datapath) -> None:
+    """Scan whatever else is needed to break residual assignment loops.
+
+    The CDFG plan breaks behavioral loops; sharing can still close
+    assignment loops the cycle-aware assigner could not avoid under the
+    given constraints ("registers selected to break the CDFG loops can
+    be reused" -- and when that fails, more scan is the fallback).
+    """
+    g = build_sgraph(datapath)
+    residual = minimum_feedback_vertex_set(sgraph_without_scan(g))
+    if residual:
+        datapath.mark_scan(*residual)
+
+
+def _schedule_and_bind(
+    cdfg: CDFG,
+    allocation: Allocation,
+    num_steps: int,
+    testability_weight: float,
+) -> tuple[Schedule, FUBinding]:
+    asap_s = asap_schedule(cdfg)
+    cpl = critical_path_length(cdfg)
+    if num_steps < cpl:
+        raise AllocationError(f"latency {num_steps} < critical path {cpl}")
+    alap_s = alap_schedule(cdfg, num_steps)
+    dag = cdfg.op_graph(include_carried=False)
+
+    placed_step: dict[str, int] = {}
+    placed_unit: dict[str, str] = {}
+    busy: set[tuple[str, int]] = set()
+    module_graph = nx.DiGraph()
+    for cls in {allocation.unit_class(k) for k in cdfg.kinds()}:
+        module_graph.add_nodes_from(allocation.unit_names(cls))
+
+    def window(o: str) -> tuple[int, int]:
+        op = cdfg.operation(o)
+        lo = asap_s[o]
+        hi = alap_s[o]
+        for pred in dag.predecessors(o):
+            p = cdfg.operation(pred)
+            plo = placed_step.get(pred, asap_s[pred])
+            lo = max(lo, plo + p.delay)
+        for succ in dag.successors(o):
+            shi = placed_step.get(succ, alap_s[succ])
+            hi = min(hi, shi - op.delay)
+        # Latency is soft (see the dead-end fallback below): an op whose
+        # predecessors slid past their ALAP keeps a valid window.
+        return lo, max(hi, lo)
+
+    def unit_free(unit: str, s: int, delay: int) -> bool:
+        return all((unit, s + d) not in busy for d in range(delay))
+
+    def new_module_edges(o: str, unit: str) -> set[tuple[str, str]]:
+        op = cdfg.operation(o)
+        edges: set[tuple[str, str]] = set()
+        for v in op.inputs:
+            p = cdfg.producer_of(v)
+            if p is not None and p.name in placed_unit:
+                edges.add((placed_unit[p.name], unit))
+        for c in cdfg.consumers_of(op.output):
+            if c.name in placed_unit:
+                edges.add((unit, placed_unit[c.name]))
+        return edges
+
+    def testability_cost(edges: set[tuple[str, str]]) -> float:
+        cost = 0.0
+        for a, b in edges:
+            if module_graph.has_edge(a, b):
+                continue
+            if a == b:
+                cost += SELF_LOOP_WEIGHT
+            elif nx.has_path(module_graph, b, a):
+                length = nx.shortest_path_length(module_graph, b, a) + 1
+                cost += LOOP_BASE ** length
+        return cost
+
+    unscheduled = set(cdfg.operations)
+    while unscheduled:
+        # Least-slack *ready* operation first (all predecessors placed);
+        # readiness keeps producers from being squeezed by eagerly
+        # placed consumers, ties broken by name for determinism.
+        ready = [
+            x
+            for x in unscheduled
+            if all(p in placed_step for p in dag.predecessors(x))
+        ]
+        o = min(ready, key=lambda x: (window(x)[1] - window(x)[0], x))
+        op = cdfg.operation(o)
+        lo, hi = window(o)
+        if lo > hi:
+            raise AllocationError(f"window collapsed for {o!r}")
+        cls = allocation.unit_class(op.kind)
+        best: tuple[float, int, str] | None = None
+        same_class_windows = [
+            window(x)
+            for x in unscheduled
+            if x != o and allocation.unit_class(cdfg.operation(x).kind) == cls
+        ]
+        ops_on_unit = {
+            u: sum(1 for x in placed_unit.values() if x == u)
+            for u in allocation.unit_names(cls)
+        }
+        for s in range(lo, hi + 1):
+            flex = sum(1 for wlo, whi in same_class_windows if wlo <= s <= whi)
+            for unit in allocation.unit_names(cls):
+                if not unit_free(unit, s, op.delay):
+                    continue
+                cost = (
+                    testability_weight
+                    * testability_cost(new_module_edges(o, unit))
+                    + W_UTIL * ops_on_unit[unit]
+                    + W_FLEX * flex
+                    + W_STEP * s
+                )
+                key = (cost, s, unit)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            # Greedy dead-end inside the latency window: slide past the
+            # ALAP bound (latency becomes soft, exactly like the
+            # resource-constrained list-schedule baseline).  Bounded:
+            # some unit is free once every op's worth of steps.
+            horizon = hi + 1 + sum(op2.delay for op2 in cdfg)
+            for s in range(hi + 1, horizon):
+                for unit in allocation.unit_names(cls):
+                    if unit_free(unit, s, op.delay):
+                        best = (float("inf"), s, unit)
+                        break
+                if best is not None:
+                    break
+        if best is None:
+            raise AllocationError(
+                f"no feasible (step, unit) pair for {o!r} in [{lo},{hi}]"
+            )
+        _, s, unit = best
+        placed_step[o] = s
+        placed_unit[o] = unit
+        for d in range(op.delay):
+            busy.add((unit, s + d))
+        module_graph.add_edges_from(new_module_edges(o, unit))
+        unscheduled.remove(o)
+
+    schedule = Schedule(placed_step)
+    schedule.verify(cdfg, allocation)
+    binding = FUBinding(placed_unit)
+    binding.verify(cdfg, schedule)
+    return schedule, binding
+
+
+def assign_registers_cycle_aware(
+    cdfg: CDFG,
+    schedule: Schedule,
+    binding: FUBinding,
+    plan: ScanPlan,
+) -> RegisterAssignment:
+    """Register assignment avoiding new register-level cycles.
+
+    Scan groups from ``plan`` are seeded first (their registers absorb
+    loops by design).  Each remaining variable is placed into the first
+    register where (a) lifetimes stay disjoint and (b) no new
+    nontrivial cycle through non-scan registers is closed; if no such
+    register exists, a fresh register is opened; a placement closing a
+    cycle is accepted only when every alternative also closes one.
+    """
+    lifetimes = variable_lifetimes(cdfg, schedule.steps)
+    plan.verify(cdfg, schedule)
+
+    contents: list[list[str]] = []
+    register_of: dict[str, int] = {}
+    scan_regs: set[int] = set()
+    for group in plan.groups:
+        idx = len(contents)
+        contents.append(list(group))
+        scan_regs.add(idx)
+        for v in group:
+            register_of[v] = idx
+
+    reg_graph = nx.DiGraph()  # over register indices, scan regs excluded
+
+    def placement_edges(v: str, idx: int) -> set[tuple[int, int]]:
+        edges: set[tuple[int, int]] = set()
+        p = cdfg.producer_of(v)
+        if p is not None:
+            for u in p.inputs:
+                if u in register_of:
+                    edges.add((register_of[u], idx))
+        for c in cdfg.consumers_of(v):
+            if c.output in register_of:
+                edges.add((idx, register_of[c.output]))
+        return edges
+
+    def closes_cycle(v: str, idx: int) -> bool:
+        if idx in scan_regs:
+            return False
+        edges = {
+            (a, b)
+            for a, b in placement_edges(v, idx)
+            if a not in scan_regs and b not in scan_regs and a != b
+        }
+        ins = {a for a, b in edges if b == idx}
+        outs = {b for a, b in edges if a == idx}
+        def reaches(x: int, y: int) -> bool:
+            return (
+                x in reg_graph and y in reg_graph
+                and nx.has_path(reg_graph, x, y)
+            )
+
+        # (a -> idx) plus an existing path idx -> a; or (idx -> b) plus
+        # an existing path b -> idx.
+        if any(reaches(idx, a) for a in ins):
+            return True
+        if any(reaches(b, idx) for b in outs):
+            return True
+        # A new out-edge chained to a new in-edge: idx -> b ... a -> idx.
+        for b in outs:
+            for a in ins:
+                if a == b or reaches(b, a):
+                    return True
+        # Edges not incident to idx cannot occur (all placement edges
+        # touch idx), so cycles among existing registers are impossible.
+        return False
+
+    def commit(v: str, idx: int) -> None:
+        register_of[v] = idx
+        if idx == len(contents):
+            contents.append([v])
+        else:
+            contents[idx].append(v)
+        for a, b in placement_edges(v, idx):
+            if a in scan_regs or b in scan_regs or a == b:
+                continue
+            reg_graph.add_edge(a, b)
+
+    # Edges induced by scan groups never enter reg_graph: the scan
+    # register is directly accessible, so cycles through it are broken.
+    order = sorted(
+        (lt for v, lt in lifetimes.items() if v not in register_of),
+        key=lambda lt: (lt.birth, lt.variable),
+    )
+    for lt in order:
+        v = lt.variable
+        compatible = [
+            idx
+            for idx, regvars in enumerate(contents)
+            if all(not lt.overlaps(lifetimes[m]) for m in regvars)
+        ]
+        clean = [idx for idx in compatible if not closes_cycle(v, idx)]
+        if clean:
+            commit(v, clean[0])
+        elif not closes_cycle(v, len(contents)):
+            commit(v, len(contents))  # fresh register, cycle-free
+        elif compatible:
+            commit(v, compatible[0])  # unavoidable: accept cheapest
+        else:
+            commit(v, len(contents))
+    result = RegisterAssignment(register_of)
+    result.verify(lifetimes)
+    return result

@@ -1,0 +1,44 @@
+"""S-graph analysis (survey section 3.1).
+
+"Each node in the S-graph corresponds to a FF, and there is a directed
+edge from node u to node v if there is a strictly combinational path
+from FF u to FF v."  At the RT level the nodes are data-path registers;
+a transfer ``Rd <= f(Rs...)`` contributes edges ``Rs -> Rd``.
+
+The package provides S-graph construction from a
+:class:`~repro.hls.datapath.Datapath`, cycle/self-loop/sequential-depth
+analysis, minimum-feedback-vertex-set selection (the conventional
+gate-level partial-scan criterion), and the empirical sequential-ATPG
+cost model the survey cites: effort grows *exponentially with loop
+length* and *linearly with sequential depth*.
+"""
+
+from repro.sgraph.build import build_sgraph, sgraph_without_scan
+from repro.sgraph.cycles import (
+    self_loops,
+    nontrivial_cycles,
+    sequential_depth,
+    is_loop_free,
+)
+from repro.sgraph.mfvs import (
+    exact_mfvs,
+    greedy_mfvs,
+    minimum_feedback_vertex_set,
+    weighted_mfvs,
+)
+from repro.sgraph.atpg_cost import TestabilityCost, estimate_cost
+
+__all__ = [
+    "build_sgraph",
+    "sgraph_without_scan",
+    "self_loops",
+    "nontrivial_cycles",
+    "sequential_depth",
+    "is_loop_free",
+    "greedy_mfvs",
+    "exact_mfvs",
+    "minimum_feedback_vertex_set",
+    "weighted_mfvs",
+    "TestabilityCost",
+    "estimate_cost",
+]

@@ -1,0 +1,81 @@
+"""Empirical sequential-ATPG cost model (survey section 3.1).
+
+"It has been empirically observed [10,22] that the complexity of
+generating sequential test patterns grows exponentially with the length
+of cycles in the S-graph, and linearly with the sequential depth of the
+FFs."  This module turns that observation into the scalar testability
+cost used by the loop-aware binder of [33] and calibrated against our
+own time-frame ATPG in ``benchmarks/bench_atpg_cost.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.sgraph.build import sgraph_without_scan
+from repro.sgraph.cycles import (
+    nontrivial_cycles,
+    self_loops,
+    sequential_depth,
+)
+
+#: Base of the exponential loop-length term.  Calibrated (order of
+#: magnitude) against the time-frame ATPG backtrack counts; the
+#: orderings the benches assert are insensitive to the exact value.
+LOOP_BASE = 4.0
+
+#: Weight of the linear sequential-depth term.
+DEPTH_WEIGHT = 1.0
+
+#: Weight of a tolerated self-loop (small but nonzero: a self-loop
+#: still forces multi-time-frame justification).
+SELF_LOOP_WEIGHT = 0.5
+
+
+@dataclass(frozen=True)
+class TestabilityCost:
+    """Topology summary plus the scalar ATPG-effort estimate."""
+
+    num_cycles: int
+    max_cycle_length: int
+    num_self_loops: int
+    depth: int
+    score: float
+
+    def __str__(self) -> str:
+        return (
+            f"cycles={self.num_cycles} (max len {self.max_cycle_length}), "
+            f"self-loops={self.num_self_loops}, depth={self.depth}, "
+            f"score={self.score:.1f}"
+        )
+
+
+def estimate_cost(
+    sgraph: nx.DiGraph,
+    cycle_bound: int = 2000,
+    respect_scan: bool = True,
+) -> TestabilityCost:
+    """Estimate sequential-ATPG effort for an S-graph.
+
+    ``score = sum(LOOP_BASE ** len(cycle)) + SELF_LOOP_WEIGHT * #selfloops
+    + DEPTH_WEIGHT * depth`` over the graph with scanned registers
+    removed (unless ``respect_scan`` is False).
+    """
+    g = sgraph_without_scan(sgraph) if respect_scan else sgraph
+    cycles = nontrivial_cycles(g, bound=cycle_bound)
+    selfs = self_loops(g)
+    depth = sequential_depth(g)
+    score = (
+        sum(LOOP_BASE ** len(c) for c in cycles)
+        + SELF_LOOP_WEIGHT * len(selfs)
+        + DEPTH_WEIGHT * depth
+    )
+    return TestabilityCost(
+        num_cycles=len(cycles),
+        max_cycle_length=max((len(c) for c in cycles), default=0),
+        num_self_loops=len(selfs),
+        depth=depth,
+        score=score,
+    )

@@ -1,0 +1,54 @@
+"""S-graph construction from a bound data path."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.hls.datapath import Datapath
+
+
+def build_sgraph(datapath: Datapath) -> nx.DiGraph:
+    """The register adjacency graph of ``datapath``.
+
+    Nodes are register names with attributes ``is_input``/``is_output``
+    (connection to primary I/O) and ``scan``.  Each transfer
+    ``Rd <= unit(Rs...)`` contributes edges ``Rs -> Rd`` annotated with
+    the unit and operation; parallel contributions merge, accumulating
+    operations on the edge's ``operations`` list.
+    """
+    g = nx.DiGraph(name=f"sgraph:{datapath.name}")
+    for r in datapath.registers:
+        g.add_node(
+            r.name,
+            is_input=r.is_input_register,
+            is_output=r.is_output_register,
+            scan=r.scan or r.transparent_scan,
+            width=r.width,
+        )
+    for t in datapath.transfers:
+        for src in set(t.source_registers):
+            if g.has_edge(src, t.dest_register):
+                g[src][t.dest_register]["operations"].append(t.operation)
+            else:
+                g.add_edge(
+                    src,
+                    t.dest_register,
+                    operations=[t.operation],
+                    unit=t.unit,
+                )
+    return g
+
+
+def sgraph_without_scan(sgraph: nx.DiGraph) -> nx.DiGraph:
+    """Remove scanned registers (they become pseudo primary I/O).
+
+    A scan register is directly controllable and observable via the
+    scan chain, so for ATPG-topology purposes it no longer participates
+    in loops or depth: its node is deleted, cutting every path through
+    it.
+    """
+    g = sgraph.copy()
+    g.remove_nodes_from(
+        [n for n, d in sgraph.nodes(data=True) if d.get("scan")]
+    )
+    return g

@@ -1,0 +1,97 @@
+"""Cycle and depth analysis on S-graphs.
+
+Gate-level partial-scan practice (survey section 3.1): "break all
+loops, except self-loops, and minimize sequential depth."  The helpers
+here therefore distinguish self-loops (tolerated) from nontrivial
+cycles (to be broken) and compute sequential depth on the loop-broken
+graph.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def self_loops(sgraph: nx.DiGraph) -> list[str]:
+    """Registers with a combinational path back to themselves."""
+    return sorted(n for n in sgraph.nodes if sgraph.has_edge(n, n))
+
+
+def nontrivial_cycles(
+    sgraph: nx.DiGraph, bound: int | None = None
+) -> list[list[str]]:
+    """Simple cycles of length >= 2, shortest first.
+
+    ``bound`` caps enumeration on dense graphs.
+    """
+    out: list[list[str]] = []
+    for cyc in nx.simple_cycles(sgraph):
+        if len(cyc) < 2:
+            continue
+        out.append(list(cyc))
+        if bound is not None and len(out) >= bound:
+            break
+    out.sort(key=len)
+    return out
+
+
+def is_loop_free(sgraph: nx.DiGraph, tolerate_self_loops: bool = True) -> bool:
+    """True when the S-graph has no cycles (optionally ignoring self-loops)."""
+    g = sgraph
+    if tolerate_self_loops:
+        g = sgraph.copy()
+        g.remove_edges_from([(n, n) for n in sgraph.nodes if sgraph.has_edge(n, n)])
+    return nx.is_directed_acyclic_graph(g)
+
+
+def sequential_depth(sgraph: nx.DiGraph) -> int:
+    """Length (in edges) of the longest register-to-register path.
+
+    Self-loops are ignored; on a cyclic S-graph the depth is computed on
+    the condensation (each strongly connected component contributes its
+    size, the loop's worst-case traversal before ATPG revisits state).
+    """
+    g = sgraph.copy()
+    g.remove_edges_from([(n, n) for n in sgraph.nodes if sgraph.has_edge(n, n)])
+    if g.number_of_nodes() == 0:
+        return 0
+    if nx.is_directed_acyclic_graph(g):
+        return nx.dag_longest_path_length(g)
+    cond = nx.condensation(g)
+    weights = {n: len(cond.nodes[n]["members"]) for n in cond.nodes}
+    # DP over the condensation: each SCC contributes its size - 1 edges
+    # (the worst-case traversal inside the loop).
+    best_to: dict[int, int] = {}
+    for n in nx.topological_sort(cond):
+        base = max(
+            (best_to[p] + 1 for p in cond.predecessors(n)), default=0
+        )
+        best_to[n] = base + (weights[n] - 1)
+    return max(best_to.values(), default=0)
+
+
+def input_to_output_depth(sgraph: nx.DiGraph) -> int | None:
+    """Shortest-path view of section 3.2: the worst register's distance
+    budget from an input register plus to an output register.
+
+    Returns the maximum over registers of
+    ``dist(input regs -> r) + dist(r -> output regs)``, or None when
+    some register is unreachable/unobservable through the S-graph.
+    """
+    inputs = [n for n, d in sgraph.nodes(data=True) if d.get("is_input")]
+    outputs = [n for n, d in sgraph.nodes(data=True) if d.get("is_output")]
+    if not inputs or not outputs:
+        return None
+    dist_from_in = nx.multi_source_dijkstra_path_length(
+        sgraph, inputs, weight=None
+    )
+    rev = sgraph.reverse(copy=False)
+    dist_to_out = nx.multi_source_dijkstra_path_length(
+        rev, outputs, weight=None
+    )
+    worst = 0
+    for n in sgraph.nodes:
+        if n not in dist_from_in or n not in dist_to_out:
+            return None
+        worst = max(worst, dist_from_in[n] + dist_to_out[n])
+    return worst

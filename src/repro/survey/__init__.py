@@ -1,0 +1,30 @@
+"""The survey's own exhibits: Table 1 and Figure 1.
+
+* :mod:`repro.survey.table1` -- the "Operational Level of Testability
+  Insertion" taxonomy of commercial EDA tools, as structured data plus
+  a renderer that regenerates the table verbatim.
+* :mod:`repro.survey.figure1` -- the worked assignment-loop example,
+  reconstructed as executable data paths whose S-graphs exhibit exactly
+  the loop structure the figure shows.
+* :mod:`repro.survey.taxonomy` -- the survey's technique taxonomy
+  (section -> technique -> citation -> module in this repository).
+"""
+
+from repro.survey.table1 import TABLE1, render_table1, InsertionLevel
+from repro.survey.figure1 import (
+    figure1_datapath,
+    FIGURE1_REGISTERS_B,
+    FIGURE1_REGISTERS_C,
+)
+from repro.survey.taxonomy import TAXONOMY, TechniqueEntry
+
+__all__ = [
+    "TABLE1",
+    "render_table1",
+    "InsertionLevel",
+    "figure1_datapath",
+    "FIGURE1_REGISTERS_B",
+    "FIGURE1_REGISTERS_C",
+    "TAXONOMY",
+    "TechniqueEntry",
+]

@@ -1,0 +1,80 @@
+"""Figure 1 of the survey, as executable data paths.
+
+The figure shows the 5-addition CDFG of
+:func:`repro.cdfg.suite.figure1` synthesized under a 3-control-step /
+2-adder constraint with two different schedule/assignments:
+
+* **(b)** ``{+1:(1,A1), +2:(2,A2), +3:(2,A1), +4:(3,A2), +5:(3,A1)}``
+  with a register grouping that puts ``c`` and ``g`` in one register
+  and ``e`` in another -- the data path contains the assignment loop
+  the figure draws in bold (our R0 <-> R1 corresponds to the figure's
+  RA1 -> RA2 -> RA1), so one register must be scanned.
+
+* **(c)** ``{+1:(1,A1), +2:(2,A1), +3:(1,A2), +4:(2,A2), +5:(3,A1)}``
+  keeps each chain on one adder; with chain-sharing register groups the
+  data path "contains only two self-loops" and no register needs to be
+  scanned, assuming self-loops can be tolerated.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.suite import (
+    FIGURE1_ASSIGNMENT_B,
+    FIGURE1_ASSIGNMENT_C,
+    figure1,
+)
+from repro.hls.allocation import Allocation
+from repro.hls.binding import RegisterAssignment, bind_functional_units
+from repro.hls.datapath import Datapath, build_datapath
+from repro.hls.scheduling import Schedule
+
+#: Register grouping for variant (b): c and g share R0, e lives in R1,
+#: producing the RA1 -> RA2 -> RA1 assignment loop of the figure.
+FIGURE1_REGISTERS_B: dict[str, int] = {
+    "a": 0, "c": 0, "g": 0,
+    "b": 1, "e": 1,
+    "d": 2, "r": 2, "t": 2,
+    "f": 3,
+    "p": 4,
+    "q": 5,
+    "s": 6,
+}
+
+#: Register grouping for variant (c): each addition chain shares one
+#: register, leaving only two self-loops.
+FIGURE1_REGISTERS_C: dict[str, int] = {
+    "a": 0, "c": 0, "e": 0, "g": 0,
+    "b": 1,
+    "d": 2,
+    "f": 3,
+    "p": 4, "r": 4, "t": 4,
+    "q": 5,
+    "s": 6,
+}
+
+_UNIT_OF = {"A1": "alu0", "A2": "alu1"}
+
+
+def figure1_datapath(variant: str) -> Datapath:
+    """Build the exact data path of Figure 1(b) or 1(c).
+
+    ``variant`` is ``"b"`` or ``"c"``.
+    """
+    if variant == "b":
+        assignment, grouping = FIGURE1_ASSIGNMENT_B, FIGURE1_REGISTERS_B
+    elif variant == "c":
+        assignment, grouping = FIGURE1_ASSIGNMENT_C, FIGURE1_REGISTERS_C
+    else:
+        raise ValueError(f"variant must be 'b' or 'c', got {variant!r}")
+    cdfg = figure1()
+    schedule = Schedule({op: step for op, (step, _a) in assignment.items()})
+    alloc = Allocation({"alu": 2})
+    prefer = {op: _UNIT_OF[a] for op, (_s, a) in assignment.items()}
+    binding = bind_functional_units(cdfg, schedule, alloc, prefer=prefer)
+    for op, unit in prefer.items():
+        if binding.unit_of(op) != unit:
+            raise AssertionError(
+                f"figure1 binding drifted: {op} on {binding.unit_of(op)}"
+            )
+    registers = RegisterAssignment(grouping)
+    return build_datapath(cdfg, schedule, binding, registers)

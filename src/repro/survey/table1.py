@@ -1,0 +1,87 @@
+"""Table 1 of the survey: Operational Level of Testability Insertion.
+
+The table is a taxonomy of commercial test-synthesis offerings as of
+1996, keyed by the design abstraction at which each tool inserts
+testability structures.  We reproduce it verbatim as structured data
+and map each insertion level onto the executable flow in this library
+that demonstrates it (the "completeness of solution" criterion the
+survey discusses in section 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InsertionLevel(enum.Enum):
+    """Design abstraction at which testability structures are inserted."""
+
+    HDL = "HDL"
+    TECH_INDEPENDENT = "technology-independent"
+    TECH_DEPENDENT = "technology-dependent"
+
+
+@dataclass(frozen=True)
+class ToolEntry:
+    """One row of Table 1."""
+
+    name: str
+    synthesis_base: str
+    levels: tuple[InsertionLevel, ...]
+    #: The flow in this repository exercising the same insertion level.
+    repro_flow: str
+
+
+TABLE1: tuple[ToolEntry, ...] = (
+    ToolEntry(
+        "Sunrise", "Viewlogic",
+        (InsertionLevel.TECH_DEPENDENT,),
+        "repro.scan.gate_level (post-synthesis S-graph MFVS)",
+    ),
+    ToolEntry(
+        "Mentor", "Autologic II",
+        (InsertionLevel.TECH_INDEPENDENT,),
+        "repro.scan.rtl_partial_scan (bound data path, pre-mapping)",
+    ),
+    ToolEntry(
+        "LogicVision", "Synopsys HDL & Design Compiler",
+        (InsertionLevel.HDL,),
+        "repro.cdfg.transform + repro.bist (behavioral BIST insertion)",
+    ),
+    ToolEntry(
+        "IBM", "Booledozer",
+        (InsertionLevel.TECH_INDEPENDENT, InsertionLevel.TECH_DEPENDENT),
+        "repro.scan.gate_level / repro.scan.rtl_partial_scan",
+    ),
+    ToolEntry(
+        "Synopsys", "Synopsys HDL & Design Compiler",
+        (InsertionLevel.HDL, InsertionLevel.TECH_DEPENDENT),
+        "repro.cdfg.transform + repro.scan (full flow)",
+    ),
+    ToolEntry(
+        "Compass", "ASIC Synthesizer",
+        (InsertionLevel.TECH_DEPENDENT,),
+        "repro.scan.gate_level",
+    ),
+    ToolEntry(
+        "AT&T", "Synovation",
+        (InsertionLevel.HDL, InsertionLevel.TECH_DEPENDENT),
+        "repro.scan.scan_select + repro.scan.gate_level",
+    ),
+)
+
+
+def render_table1(include_repro_column: bool = False) -> str:
+    """Regenerate Table 1 as fixed-width text."""
+    header = f"{'Name':12s} {'Synthesis Base':34s} Testability Insertion Level"
+    if include_repro_column:
+        header += "  |  repro flow"
+    lines = [header, "-" * len(header)]
+    for row in TABLE1:
+        levels = " or ".join(l.value for l in row.levels)
+        line = f"{row.name:12s} {row.synthesis_base:34s} {levels}"
+        if include_repro_column:
+            line += f"  |  {row.repro_flow}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""The survey's technique taxonomy as structured data.
+
+One entry per surveyed technique, mapping the survey section and
+citation to the module in this repository implementing it and to the
+experiment (EXPERIMENTS.md id) that reproduces its headline claim.
+Used by the documentation build and by ``examples/quickstart.py`` to
+print a live inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechniqueEntry:
+    section: str
+    technique: str
+    citations: tuple[str, ...]
+    module: str
+    experiment: str
+
+
+TAXONOMY: tuple[TechniqueEntry, ...] = (
+    TechniqueEntry(
+        "3.1", "Sequential ATPG cost measures (loops, depth)",
+        ("Cheng & Agrawal 1990", "Lee & Reddy 1990"),
+        "repro.sgraph.atpg_cost", "E-3.1",
+    ),
+    TechniqueEntry(
+        "3.2", "I/O-register-maximising register assignment",
+        ("Lee/Wolf/Jha/Acken ICCD'92",),
+        "repro.scan.io_registers", "E-3.2",
+    ),
+    TechniqueEntry(
+        "3.2", "Mobility-path scheduling",
+        ("Lee/Wolf/Jha ICCAD'92",),
+        "repro.hls.scheduling.mobility_path_schedule", "E-3.2b",
+    ),
+    TechniqueEntry(
+        "3.3.1", "CDFG scan-variable selection",
+        ("Potkonjak/Dey/Roy TCAD'95",),
+        "repro.scan.scan_select", "E-3.3.1",
+    ),
+    TechniqueEntry(
+        "3.3.1", "Boundary-variable scan selection",
+        ("Lee/Jha/Wolf DAC'93",),
+        "repro.scan.boundary", "E-3.3.1",
+    ),
+    TechniqueEntry(
+        "3.3.2", "Loop-aware simultaneous scheduling/assignment",
+        ("Potkonjak/Dey/Roy TCAD'95",),
+        "repro.scan.simultaneous", "E-3.3.2",
+    ),
+    TechniqueEntry(
+        "3.4", "Test-statement insertion",
+        ("Chen/Karnik/Saab TCAD'94",),
+        "repro.cdfg.transform.insert_test_statements", "E-3.4b",
+    ),
+    TechniqueEntry(
+        "3.4", "Deflection-operation insertion",
+        ("Dey & Potkonjak ITC'94",),
+        "repro.cdfg.transform.insert_deflection_ops", "E-3.4",
+    ),
+    TechniqueEntry(
+        "3.5", "Controller-based DFT (implication conflicts)",
+        ("Dey/Gangaram/Potkonjak ICCAD'95",),
+        "repro.controller_dft", "E-3.5",
+    ),
+    TechniqueEntry(
+        "4.1", "RTL testability analysis & partial scan",
+        ("Chickermane/Lee/Patel TCAD'94", "Steensma et al. ITC'91"),
+        "repro.rtl.testability, repro.scan.rtl_partial_scan", "E-4.1",
+    ),
+    TechniqueEntry(
+        "4.2", "k-level test-point insertion (non-scan DFT)",
+        ("Dey & Potkonjak ICCAD'94",),
+        "repro.rtl.test_points", "E-4.2",
+    ),
+    TechniqueEntry(
+        "5.1", "BIST register assignment minimising self-adjacency",
+        ("Avra ITC'91",),
+        "repro.bist.self_adjacent", "E-5.1a",
+    ),
+    TechniqueEntry(
+        "5.1", "Test function block (TFB) mapping",
+        ("Papachristou/Chiu/Harmanani DAC'91",),
+        "repro.bist.tfb", "E-5.1b",
+    ),
+    TechniqueEntry(
+        "5.1", "Extended TFB (XTFB)",
+        ("Harmanani & Papachristou ICCAD'93",),
+        "repro.bist.xtfb", "E-5.1b",
+    ),
+    TechniqueEntry(
+        "5.1", "TPGR/SR sharing with exact CBILBO conditions",
+        ("Parulkar/Gupta/Breuer DAC'95",),
+        "repro.bist.sharing", "E-5.1c",
+    ),
+    TechniqueEntry(
+        "5.2", "Test-session minimisation",
+        ("Harris & Orailoglu DAC'94",),
+        "repro.bist.sessions", "E-5.2",
+    ),
+    TechniqueEntry(
+        "5.3", "Test-behavior insertion (3-session BIST)",
+        ("Papachristou/Chiu/Harmanani DAC'91", "Papachristou & Carletta ITC'95"),
+        "repro.bist.test_behavior", "E-5.3",
+    ),
+    TechniqueEntry(
+        "5.4", "Arithmetic BIST (subspace state coverage)",
+        ("Mukherjee/Kassab/Rajski/Tyszer VTS'95",),
+        "repro.bist.arithmetic", "E-5.4",
+    ),
+    TechniqueEntry(
+        "6", "Hierarchical test generation via test environments",
+        ("Bhatia & Jha EDTC'94", "Vishakantaiah et al. DAC'92/ITC'93"),
+        "repro.hier", "E-6",
+    ),
+)

@@ -1,0 +1,58 @@
+"""Tests for the MISR aliasing analysis."""
+
+import pytest
+
+from repro.bist.aliasing import (
+    checkpointed_aliasing,
+    measure_aliasing,
+    theoretical_aliasing_probability,
+)
+
+
+class TestTheory:
+    def test_bound_halves_per_bit(self):
+        assert theoretical_aliasing_probability(8) == pytest.approx(
+            2 * theoretical_aliasing_probability(9)
+        )
+
+
+class TestEmpirical:
+    def test_tracks_theory_small_width(self):
+        est = measure_aliasing(4, trials=4000, seed=2)
+        theory = theoretical_aliasing_probability(4)  # 1/16
+        assert est.probability == pytest.approx(theory, abs=0.03)
+
+    def test_wider_misr_aliases_less(self):
+        p4 = measure_aliasing(4, trials=3000, seed=3).probability
+        p8 = measure_aliasing(8, trials=3000, seed=3).probability
+        assert p8 < p4
+
+    def test_sixteen_bit_essentially_alias_free(self):
+        est = measure_aliasing(16, trials=1500, seed=4)
+        assert est.probability < 0.005
+
+    def test_deterministic(self):
+        a = measure_aliasing(4, trials=500, seed=5)
+        b = measure_aliasing(4, trials=500, seed=5)
+        assert a == b
+
+
+class TestCheckpoints:
+    def test_checkpoints_reduce_aliasing(self):
+        single = checkpointed_aliasing(
+            4, checkpoints=1, trials=4000, seed=6
+        ).probability
+        quad = checkpointed_aliasing(
+            4, checkpoints=4, trials=4000, seed=6
+        ).probability
+        assert quad <= single
+
+    def test_quad_checkpoints_near_fourth_power_regime(self):
+        """With independent-ish checkpoints, escape needs aliasing at
+        each compare: probability drops far below the single-compare
+        rate (we assert an order of magnitude, not the exact power)."""
+        single = theoretical_aliasing_probability(4)  # 1/16
+        quad = checkpointed_aliasing(
+            4, checkpoints=4, trials=6000, seed=7
+        ).probability
+        assert quad < single / 4

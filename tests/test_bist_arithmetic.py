@@ -1,0 +1,85 @@
+"""Tests for arithmetic BIST and subspace state coverage [28]."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.bist.arithmetic import (
+    accumulator_stream,
+    coverage_guided_binding,
+    measure_operation_coverage,
+    subspace_state_coverage,
+    subspace_states,
+    unit_coverage,
+)
+from repro.hls import Allocation, bind_functional_units, list_schedule
+
+
+class TestMetric:
+    def test_full_sweep_covers_everything(self):
+        values = list(range(256))
+        assert subspace_state_coverage(values, 8, 3) == 1.0
+
+    def test_constant_covers_one_state_per_position(self):
+        cov = subspace_state_coverage([5] * 100, 8, 3)
+        assert cov == pytest.approx(6 / (6 * 8))
+
+    def test_k_wider_than_width_rejected(self):
+        with pytest.raises(ValueError):
+            subspace_state_coverage([1], 4, 5)
+
+    def test_states_are_position_tagged(self):
+        st = subspace_states([0b1111], 4, 2)
+        assert st == {(0, 3), (1, 3), (2, 3)}
+
+    def test_more_vectors_never_less_coverage(self):
+        a = accumulator_stream(8, 7, 3, 10)
+        b = accumulator_stream(8, 7, 3, 40)
+        assert subspace_state_coverage(b, 8, 4) >= subspace_state_coverage(
+            a, 8, 4
+        )
+
+
+class TestAccumulator:
+    def test_odd_increment_full_period(self):
+        s = accumulator_stream(4, increment=3, seed=0, length=16)
+        assert len(set(s)) == 16
+
+    def test_even_increment_partial(self):
+        s = accumulator_stream(4, increment=4, seed=0, length=16)
+        assert len(set(s)) == 4
+
+
+class TestCoverageGuidedBinding:
+    @pytest.fixture
+    def setup(self, diffeq):
+        cov = measure_operation_coverage(diffeq, n_vectors=20, k=6)
+        alloc = Allocation({"alu": 2, "mult": 2})
+        sched = list_schedule(diffeq, alloc)
+        return diffeq, cov, alloc, sched
+
+    def test_valid_binding(self, setup):
+        c, cov, alloc, sched = setup
+        b = coverage_guided_binding(c, sched, alloc, cov)
+        b.verify(c, sched)
+
+    def test_min_unit_coverage_not_worse(self, setup):
+        c, cov, alloc, sched = setup
+        naive = bind_functional_units(c, sched, alloc)
+        guided = coverage_guided_binding(c, sched, alloc, cov)
+        mn = min(unit_coverage(c, naive, cov).values())
+        mg = min(unit_coverage(c, guided, cov).values())
+        assert mg >= mn
+
+    def test_coverage_values_bounded(self, setup):
+        c, cov, alloc, sched = setup
+        guided = coverage_guided_binding(c, sched, alloc, cov)
+        for v in unit_coverage(c, guided, cov).values():
+            assert 0.0 < v <= 1.0
+
+    def test_degradation_through_operations(self, diffeq):
+        """[28]'s premise: patterns degrade through ops -- deep
+        operations see lower coverage than input-fed ones."""
+        cov = measure_operation_coverage(diffeq, n_vectors=20, k=6)
+        shallow = cov.coverage_of(cov.states["*1"])  # fed by PIs
+        deep = cov.coverage_of(cov.states["*4"])  # fed by products
+        assert deep <= shallow

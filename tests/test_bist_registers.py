@@ -1,0 +1,75 @@
+"""Tests for LFSR/MISR/BILBO models."""
+
+import pytest
+
+from repro.bist.registers import (
+    LFSR,
+    MISR,
+    BISTConfiguration,
+    TestRole,
+    taps_for,
+)
+
+
+class TestLFSR:
+    def test_maximal_period_8bit(self):
+        l = LFSR(8, seed=1)
+        seen = set()
+        for _ in range(255):
+            seen.add(l.step())
+        assert len(seen) == 255  # full period, zero state excluded
+
+    def test_maximal_period_4bit(self):
+        l = LFSR(4, seed=1)
+        assert len(set(l.sequence(15))) == 15
+
+    def test_never_zero(self):
+        l = LFSR(8, seed=3)
+        assert 0 not in l.sequence(300)
+
+    def test_deterministic(self):
+        assert LFSR(8, seed=5).sequence(10) == LFSR(8, seed=5).sequence(10)
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(8, seed=0)
+
+    def test_width_one_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(1)
+
+    def test_taps_fallback(self):
+        taps = taps_for(9)  # not in table
+        assert all(1 <= t <= 9 for t in taps)
+
+
+class TestMISR:
+    def test_signature_depends_on_order(self):
+        m1, m2 = MISR(8), MISR(8)
+        m1.absorb(1); m1.absorb(2)
+        m2.absorb(2); m2.absorb(1)
+        assert m1.signature != m2.signature
+
+    def test_detects_single_corruption(self):
+        stream = [17, 3, 200, 45, 99]
+        good = MISR(8)
+        for v in stream:
+            good.absorb(v)
+        bad = MISR(8)
+        for i, v in enumerate(stream):
+            bad.absorb(v ^ (4 if i == 2 else 0))
+        assert good.signature != bad.signature
+
+    def test_empty_signature_is_seed(self):
+        assert MISR(8, seed=7).signature == 7
+
+
+class TestConfiguration:
+    def test_counts(self):
+        cfg = BISTConfiguration(
+            {"R0": TestRole.TPGR, "R1": TestRole.SR, "R2": TestRole.NONE,
+             "R3": TestRole.CBILBO}
+        )
+        assert cfg.count(TestRole.TPGR) == 1
+        assert cfg.count(TestRole.CBILBO) == 1
+        assert cfg.converted_registers == 3

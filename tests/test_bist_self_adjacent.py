@@ -1,0 +1,84 @@
+"""Tests for self-adjacency-minimising BIST register assignment [3]."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import critical_path_length
+from repro.bist.self_adjacent import (
+    avra_test_overhead,
+    bist_register_assignment,
+    module_io_conflicts,
+    self_adjacent_registers,
+)
+from repro.hls import (
+    allocate_for_latency,
+    assign_registers_left_edge,
+    bind_functional_units,
+    build_datapath,
+    list_schedule,
+)
+
+
+def flows(c, slack=1.6):
+    lat = int(slack * critical_path_length(c))
+    alloc = allocate_for_latency(c, lat)
+    sched = list_schedule(c, alloc)
+    fub = bind_functional_units(c, sched, alloc)
+    conv = build_datapath(c, sched, fub, assign_registers_left_edge(c, sched))
+    avra = build_datapath(
+        c, sched, fub, bist_register_assignment(c, sched, fub)
+    )
+    return conv, avra
+
+
+class TestConflicts:
+    def test_module_io_pairs_found(self, figure1):
+        from repro.hls import Allocation
+
+        alloc = Allocation({"alu": 2})
+        sched = list_schedule(figure1, alloc)
+        fub = bind_functional_units(figure1, sched, alloc)
+        conflicts = module_io_conflicts(figure1, fub)
+        assert conflicts  # adders read and write shared variables
+        assert all(a < b for a, b in conflicts)
+
+
+class TestAssignment:
+    @pytest.mark.parametrize(
+        "name",
+        ["figure1", "diffeq", "tseng", "iir2", "ar4", "ewf", "fir8"],
+    )
+    def test_never_more_self_adjacent(self, name):
+        conv, avra = flows(suite.standard_suite()[name])
+        assert len(self_adjacent_registers(avra)) <= len(
+            self_adjacent_registers(conv)
+        )
+
+    @pytest.mark.parametrize("name", ["figure1", "diffeq", "iir2"])
+    def test_register_count_not_worse(self, name):
+        conv, avra = flows(suite.standard_suite()[name])
+        assert len(avra.registers) <= len(conv.registers)
+
+    def test_strict_improvement_somewhere(self):
+        improved = 0
+        for name in ("diffeq", "diffeq_loop", "iir3", "ar6"):
+            conv, avra = flows(suite.standard_suite()[name])
+            if len(self_adjacent_registers(avra)) < len(
+                self_adjacent_registers(conv)
+            ):
+                improved += 1
+        assert improved >= 2
+
+    def test_overhead_tracks_self_adjacency(self, diffeq):
+        conv, avra = flows(diffeq)
+        assert avra_test_overhead(avra) <= avra_test_overhead(conv)
+
+
+class TestDetection:
+    def test_self_adjacent_definition(self):
+        """A register both read and written by the same unit is listed."""
+        from repro.survey import figure1_datapath
+
+        dp = figure1_datapath("c")
+        sa = self_adjacent_registers(dp)
+        assert "R0" in sa  # the chain register of variant (c)

@@ -1,0 +1,125 @@
+"""Tests for TPGR/SR sharing [32] and test-session scheduling [20]."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import critical_path_length
+from repro.bist.registers import TestRole
+from repro.bist.sessions import (
+    module_conflict_graph,
+    path_based_sessions,
+    schedule_sessions,
+    session_aware_assignment,
+    session_aware_roles,
+)
+from repro.bist.sharing import (
+    assign_test_roles,
+    sharing_register_assignment,
+    unit_io_registers,
+)
+from repro.hls import (
+    allocate_for_latency,
+    bind_functional_units,
+    build_datapath,
+    list_schedule,
+)
+from tests.conftest import synthesize
+
+
+def share_flow(c, slack=1.6):
+    lat = int(slack * critical_path_length(c))
+    alloc = allocate_for_latency(c, lat)
+    sched = list_schedule(c, alloc)
+    fub = bind_functional_units(c, sched, alloc)
+    ra = sharing_register_assignment(c, sched, fub)
+    return build_datapath(c, sched, fub, ra)
+
+
+class TestRoles:
+    def test_every_unit_gets_environment(self, iir2):
+        dp = share_flow(iir2)
+        cfg, envs = assign_test_roles(dp)
+        assert {e.unit for e in envs} == {u.name for u in dp.units}
+        for e in envs:
+            assert e.tpgr_registers and e.sr_register
+
+    def test_roles_written_back(self, iir2):
+        dp = share_flow(iir2)
+        assign_test_roles(dp)
+        assert any(r.test_role for r in dp.registers)
+
+    def test_cbilbo_only_when_unavoidable(self, iir2):
+        dp = share_flow(iir2)
+        cfg, envs = assign_test_roles(dp)
+        io = unit_io_registers(dp)
+        for e in envs:
+            ins, outs = io[e.unit]
+            if outs - ins:
+                assert cfg.roles[e.sr_register] is not TestRole.CBILBO
+
+    def test_converted_not_more_than_total(self, iir2):
+        dp = share_flow(iir2)
+        cfg, _ = assign_test_roles(dp)
+        assert cfg.converted_registers <= len(dp.registers)
+
+
+class TestSessions:
+    def test_shared_sr_conflicts(self, iir2):
+        dp = share_flow(iir2)
+        _cfg, envs = assign_test_roles(dp)
+        g = module_conflict_graph(envs)
+        sessions = schedule_sessions(envs)
+        # chromatic number sanity: sessions <= units, >= 1
+        assert 1 <= len(sessions) <= len(envs)
+        flat = [u for s in sessions for u in s]
+        assert sorted(flat) == sorted(e.unit for e in envs)
+
+    def test_sessions_are_conflict_free(self, iir2):
+        dp = share_flow(iir2)
+        _cfg, envs = assign_test_roles(dp)
+        g = module_conflict_graph(envs)
+        for sess in schedule_sessions(envs):
+            for i, a in enumerate(sess):
+                for b in sess[i + 1:]:
+                    assert not g.has_edge(a, b)
+
+    @pytest.mark.parametrize("name", ["diffeq", "iir2", "ewf", "ar4"])
+    def test_path_based_reaches_one_session(self, name):
+        """[20]'s experimental result: one test session."""
+        dp = share_flow(suite.standard_suite()[name])
+        sessions = path_based_sessions(dp)
+        assert len(sessions) == 1
+
+    @pytest.mark.parametrize("name", ["diffeq", "iir2", "ewf"])
+    def test_path_based_not_worse_than_per_module(self, name):
+        dp = share_flow(suite.standard_suite()[name])
+        _cfg, envs = assign_test_roles(dp)
+        assert len(path_based_sessions(dp)) <= len(schedule_sessions(envs))
+
+    def test_path_sessions_cover_all_units(self, iir2):
+        dp = share_flow(iir2)
+        sessions = path_based_sessions(dp)
+        flat = sorted(u for s in sessions for u in s)
+        assert flat == sorted(u.name for u in dp.units)
+
+
+class TestSessionAwareAssignment:
+    def test_valid_assignment(self, iir2):
+        lat = int(1.6 * critical_path_length(iir2))
+        alloc = allocate_for_latency(iir2, lat)
+        sched = list_schedule(iir2, alloc)
+        fub = bind_functional_units(iir2, sched, alloc)
+        ra = session_aware_assignment(iir2, sched, fub)
+        dp = build_datapath(iir2, sched, fub, ra)
+        envs, converted = session_aware_roles(dp)
+        assert converted >= len({e.sr_register for e in envs})
+
+    def test_costs_registers_for_concurrency(self, iir2):
+        """The survey's noted trade-off: concurrency may cost storage."""
+        lat = int(1.6 * critical_path_length(iir2))
+        alloc = allocate_for_latency(iir2, lat)
+        sched = list_schedule(iir2, alloc)
+        fub = bind_functional_units(iir2, sched, alloc)
+        aware = session_aware_assignment(iir2, sched, fub)
+        shared = sharing_register_assignment(iir2, sched, fub)
+        assert aware.num_registers >= shared.num_registers

@@ -1,0 +1,80 @@
+"""Tests for test-behavior insertion and the three-session scheme."""
+
+import random
+
+from repro.cdfg import suite
+from repro.cdfg.interpret import equivalent_behavior, functional_mode_inputs
+from repro.bist.test_behavior import (
+    insert_test_behavior,
+    signal_coverage,
+    three_session_plan,
+)
+
+
+class TestSignalCoverage:
+    def test_inputs_have_high_coverage(self, diffeq):
+        cov = signal_coverage(diffeq, n_vectors=64, k=3)
+        assert cov["x"] > 0.9
+
+    def test_all_variables_scored(self, diffeq):
+        cov = signal_coverage(diffeq)
+        assert set(cov) == set(diffeq.variables)
+
+    def test_values_bounded(self, diffeq):
+        cov = signal_coverage(diffeq)
+        assert all(0.0 <= v <= 1.0 for v in cov.values())
+
+
+class TestInsertion:
+    def test_points_target_lowest_coverage(self, diffeq):
+        res = insert_test_behavior(diffeq, coverage_threshold=0.95,
+                                   max_points=2)
+        internals = [
+            v.name for v in diffeq.variables.values()
+            if not v.is_input and not v.is_output
+        ]
+        worst = min(internals, key=lambda v: res.coverage_before[v])
+        assert worst in res.controlled_variables
+
+    def test_no_points_when_everything_covered(self, diffeq):
+        res = insert_test_behavior(diffeq, coverage_threshold=0.0)
+        assert res.controlled_variables == ()
+        assert res.modified is diffeq
+
+    def test_budget_respected(self, diffeq):
+        res = insert_test_behavior(diffeq, coverage_threshold=1.0,
+                                   max_points=3)
+        assert len(res.controlled_variables) <= 3
+
+    def test_functional_mode_preserved(self, diffeq):
+        res = insert_test_behavior(diffeq, coverage_threshold=0.9,
+                                   max_points=2)
+        rng = random.Random(0)
+        stream = [
+            {v.name: rng.randrange(256) for v in diffeq.primary_inputs()}
+            for _ in range(6)
+        ]
+        assert equivalent_behavior(
+            diffeq, res.modified, stream,
+            functional_mode_inputs(res.modified, diffeq),
+        )
+
+    def test_tpgr_sr_accounting(self, diffeq):
+        res = insert_test_behavior(diffeq, coverage_threshold=0.9,
+                                   max_points=2)
+        assert res.extra_tpgrs == len(res.controlled_variables)
+        assert res.extra_srs in (0, 1)
+
+
+class TestThreeSessions:
+    def test_always_three(self, diffeq, iir2):
+        for c in (diffeq, iir2):
+            res = insert_test_behavior(c, coverage_threshold=0.9)
+            plan = three_session_plan(res)
+            assert plan.num_sessions == 3
+
+    def test_sessions_name_fus_controller_interconnect(self, diffeq):
+        res = insert_test_behavior(diffeq)
+        plan = three_session_plan(res)
+        assert ("controller",) in plan.sessions
+        assert ("interconnect",) in plan.sessions

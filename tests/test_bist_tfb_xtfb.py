@@ -1,0 +1,75 @@
+"""Tests for TFB [31] and XTFB [19] architectures."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.bist.tfb import (
+    actions_of,
+    map_to_tfbs,
+    verify_no_self_adjacency,
+)
+from repro.bist.xtfb import map_to_xtfbs
+from repro.hls.scheduling import asap
+
+NAMES = ["figure1", "diffeq", "tseng", "fir8", "iir2"]
+
+
+class TestTFB:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_no_self_adjacency_by_construction(self, name):
+        c = suite.standard_suite()[name]
+        alloc = map_to_tfbs(c, asap(c))
+        verify_no_self_adjacency(c, alloc)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_partition_covers_all_actions(self, name):
+        c = suite.standard_suite()[name]
+        alloc = map_to_tfbs(c, asap(c))
+        assigned = [a for b in alloc.blocks for a in b]
+        assert len(assigned) == len(actions_of(c))
+        assert len(set(assigned)) == len(assigned)
+
+    def test_one_test_register_per_tfb(self, diffeq):
+        alloc = map_to_tfbs(diffeq, asap(diffeq))
+        assert alloc.num_test_registers == alloc.num_tfbs
+
+    def test_area_positive(self, diffeq):
+        alloc = map_to_tfbs(diffeq, asap(diffeq))
+        assert alloc.area(diffeq) > alloc.test_overhead(diffeq) > 0
+
+
+class TestXTFB:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_never_more_blocks_than_tfb(self, name):
+        c = suite.standard_suite()[name]
+        s = asap(c)
+        tfb = map_to_tfbs(c, s)
+        xtfb = map_to_xtfbs(c, s)
+        assert xtfb.num_xtfbs <= tfb.num_tfbs
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_overhead_ladder(self, name):
+        """[19]'s claim: XTFB overhead <= TFB overhead."""
+        c = suite.standard_suite()[name]
+        s = asap(c)
+        tfb = map_to_tfbs(c, s)
+        x1 = map_to_xtfbs(c, s, sr_depth=1)
+        assert x1.test_overhead(c) <= tfb.test_overhead(c)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_deeper_capture_fewer_srs(self, name):
+        c = suite.standard_suite()[name]
+        s = asap(c)
+        x1 = map_to_xtfbs(c, s, sr_depth=1)
+        x2 = map_to_xtfbs(c, s, sr_depth=2)
+        assert x2.num_srs <= x1.num_srs
+        assert x2.test_overhead(c) <= x1.test_overhead(c)
+
+    def test_sr_depth_one_captures_everywhere(self, diffeq):
+        x1 = map_to_xtfbs(diffeq, asap(diffeq), sr_depth=1)
+        assert x1.num_srs == x1.num_xtfbs
+
+    def test_self_adjacent_become_tpgrs_not_cbilbos(self, diffeq_loop):
+        x = map_to_xtfbs(diffeq_loop, asap(diffeq_loop))
+        # accumulator-style variables feed their own producer
+        assert x.num_tpgr_only >= 1

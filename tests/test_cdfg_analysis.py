@@ -1,0 +1,108 @@
+"""Unit tests for ASAP/ALAP/mobility and CDFG loop enumeration."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import (
+    alap_schedule,
+    asap_schedule,
+    cdfg_loops,
+    critical_path_length,
+    loop_variables,
+    loops_broken_by,
+    mobility,
+    operations_on_loops,
+    sequential_depth_estimate,
+    unbroken_loops,
+)
+from repro.cdfg.graph import CDFGError
+
+
+class TestSchedulingBounds:
+    def test_figure1_asap(self, figure1):
+        asap = asap_schedule(figure1)
+        assert asap["+1"] == 1 and asap["+2"] == 2 and asap["+5"] == 3
+        assert asap["+3"] == 1 and asap["+4"] == 2
+
+    def test_figure1_cpl(self, figure1):
+        assert critical_path_length(figure1) == 3
+
+    def test_diffeq_cpl_includes_mult_delay(self, diffeq):
+        # chain *1/*2 (2 cycles) -> *4 (2) -> -1 -> -2 = 2+2+1+1 = 6
+        assert critical_path_length(diffeq) == 6
+
+    def test_alap_respects_constraint(self, figure1):
+        alap = alap_schedule(figure1, 5)
+        assert alap["+5"] == 5
+        assert alap["+1"] == 3
+
+    def test_alap_infeasible(self, figure1):
+        with pytest.raises(CDFGError):
+            alap_schedule(figure1, 2)
+
+    def test_alap_defaults_to_cpl(self, figure1):
+        alap = alap_schedule(figure1)
+        assert max(alap.values()) == 3
+
+    def test_mobility_zero_on_critical_path(self, figure1):
+        m = mobility(figure1)
+        assert m["+1"] == 0 and m["+2"] == 0 and m["+5"] == 0
+        assert m["+3"] == 1 and m["+4"] == 1
+
+    def test_mobility_grows_with_latency(self, figure1):
+        m = mobility(figure1, 6)
+        assert all(v >= 1 for v in m.values())
+
+    def test_asap_respects_carried(self, diffeq_loop):
+        # Carried edges impose no precedence: ASAP must exist.
+        asap = asap_schedule(diffeq_loop)
+        assert len(asap) == len(diffeq_loop.operations)
+
+
+class TestLoops:
+    def test_acyclic_has_no_loops(self, figure1, diffeq):
+        assert cdfg_loops(figure1) == []
+        assert cdfg_loops(diffeq) == []
+
+    def test_diffeq_loop_has_loops(self, diffeq_loop):
+        loops = cdfg_loops(diffeq_loop)
+        assert len(loops) == 5
+        # x1 self-loop is the shortest
+        assert ["x1"] in loops
+
+    def test_iir_loops(self, iir2):
+        loops = cdfg_loops(iir2)
+        assert len(loops) == 4  # two per section (w1 and w2 feedback)
+
+    def test_loop_variables(self, diffeq_loop):
+        lv = loop_variables(diffeq_loop)
+        assert "u1" in lv and "x1" in lv
+        assert "c" not in lv
+
+    def test_operations_on_loops(self, diffeq_loop):
+        ops = operations_on_loops(diffeq_loop)
+        assert "+1" in ops  # x1 accumulator
+        assert "<1" not in ops
+
+    def test_loops_broken_by(self, iir2):
+        loops = cdfg_loops(iir2)
+        assert loops_broken_by(loops, ["w0"]) == 2
+        assert loops_broken_by(loops, []) == 0
+
+    def test_unbroken_loops(self, iir2):
+        loops = cdfg_loops(iir2)
+        rest = unbroken_loops(loops, ["w0"])
+        assert len(rest) == len(loops) - 2
+        assert all("w0" not in l for l in rest)
+
+    def test_bound_caps_enumeration(self, iir2):
+        assert len(cdfg_loops(iir2, bound=2)) == 2
+
+
+class TestDepth:
+    def test_sequential_depth_estimate(self, figure1):
+        assert sequential_depth_estimate(figure1) == 3
+
+    def test_depth_on_empty(self):
+        from repro.cdfg.graph import CDFG
+        assert sequential_depth_estimate(CDFG()) == 0

@@ -1,0 +1,102 @@
+"""Unit tests for the CDFG builder and the tiny behavior language."""
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder, parse_behavior
+from repro.cdfg.graph import CDFGError
+
+
+class TestBuilder:
+    def test_shorthand_ops(self):
+        c = (
+            CDFGBuilder("t")
+            .inputs("a", "b")
+            .outputs("y")
+            .add("a", "b", "t1")
+            .mul("t1", "a", "y")
+            .build()
+        )
+        assert len(c) == 2
+        assert c.operation("*1").delay == 2  # default multiplier latency
+
+    def test_auto_names_count_per_kind(self):
+        b = CDFGBuilder("t").inputs("a").outputs("y")
+        b.add("a", "a", "t1").add("t1", "a", "y")
+        c = b.build()
+        assert {"+1", "+2"} <= set(c.operations)
+
+    def test_missing_vars_created(self):
+        c = (
+            CDFGBuilder("t")
+            .inputs("a")
+            .outputs("y")
+            .op("+", ("a", "a"), "mid")
+            .op("+", ("mid", "a"), "y")
+            .build()
+        )
+        assert "mid" in c.variables
+
+    def test_width_propagates(self):
+        c = CDFGBuilder("t", width=4).inputs("a").outputs("y") \
+            .add("a", "a", "y").build()
+        assert c.variable("a").width == 4
+
+    def test_explicit_delay(self):
+        c = CDFGBuilder("t").inputs("a").outputs("y") \
+            .op("+", ("a", "a"), "y", delay=3).build()
+        assert c.operation("+1").delay == 3
+
+
+class TestParser:
+    def test_basic_program(self):
+        c = parse_behavior(
+            """
+            input a b c
+            output y
+            t1 = a + b
+            t2 = t1 * c
+            y  = t2 - a
+            """
+        )
+        assert len(c) == 3
+        assert c.variable("y").is_output
+        assert c.operation("*1").delay == 2
+
+    def test_carried_marker(self):
+        c = parse_behavior(
+            """
+            input dx
+            output s
+            s = dx @+ s
+            """
+        )
+        op = c.operation("+1")
+        assert op.carried == frozenset({"s"})
+        c.validate()
+
+    def test_comments_and_blanks(self):
+        c = parse_behavior(
+            """
+            # a comment
+            input a
+
+            output y
+            y = a + a  # trailing comment
+            """
+        )
+        assert len(c) == 1
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CDFGError):
+            parse_behavior("input a\noutput y\ny = a +")
+
+    def test_all_operators_parse(self):
+        text = ["input a b", "output z"]
+        ops = ["+", "-", "*", "&", "|", "^", "<", ">", "=="]
+        prev = "a"
+        for i, o in enumerate(ops):
+            dst = f"v{i}" if i < len(ops) - 1 else "z"
+            text.append(f"{dst} = {prev} {o} b")
+            prev = dst
+        c = parse_behavior("\n".join(text))
+        assert len(c) == len(ops)

@@ -1,0 +1,98 @@
+"""Tests for the synthetic CDFG generators."""
+
+import pytest
+
+from repro.cdfg.analysis import cdfg_loops
+from repro.cdfg.generate import random_dag_cdfg, random_looped_cdfg
+
+
+class TestRandomDag:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_validates(self, seed):
+        random_dag_cdfg(24, seed=seed).validate()
+
+    def test_deterministic(self):
+        a = random_dag_cdfg(15, seed=3)
+        b = random_dag_cdfg(15, seed=3)
+        assert set(a.operations) == set(b.operations)
+        assert all(
+            a.operation(o).inputs == b.operation(o).inputs
+            for o in a.operations
+        )
+
+    def test_size(self):
+        assert len(random_dag_cdfg(30, seed=1)) == 30
+
+    def test_acyclic(self):
+        assert not cdfg_loops(random_dag_cdfg(30, seed=2), bound=1)
+
+    def test_rejects_zero_ops(self):
+        with pytest.raises(ValueError):
+            random_dag_cdfg(0)
+
+
+class TestRandomLooped:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_validates(self, seed):
+        random_looped_cdfg(24, 3, seed=seed).validate()
+
+    @pytest.mark.parametrize("n_loops", [1, 2, 4])
+    def test_at_least_requested_loops(self, n_loops):
+        c = random_looped_cdfg(30, n_loops, seed=1)
+        assert len(cdfg_loops(c, bound=100)) >= n_loops
+
+    def test_loop_length_parameter(self):
+        c = random_looped_cdfg(20, 1, loop_length=5, seed=0)
+        loops = cdfg_loops(c, bound=50)
+        assert any(len(l) >= 5 for l in loops)
+
+    def test_loops_must_fit(self):
+        with pytest.raises(ValueError):
+            random_looped_cdfg(5, 3, loop_length=3)
+
+    def test_self_loop_when_length_one(self):
+        c = random_looped_cdfg(10, 1, loop_length=1, seed=0)
+        assert [l for l in cdfg_loops(c, bound=10) if len(l) == 1]
+
+
+class TestRandomControl:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_validates(self, seed):
+        from repro.cdfg.generate import random_control_cdfg
+
+        random_control_cdfg(24, 4, n_loops=2, seed=seed).validate()
+
+    def test_contains_selects_and_loops(self):
+        from repro.cdfg.generate import random_control_cdfg
+
+        c = random_control_cdfg(24, 4, n_loops=2, seed=0)
+        assert "select" in c.kinds()
+        assert len(cdfg_loops(c, bound=100)) >= 2
+
+    def test_select_loops_are_select_steered(self):
+        from repro.cdfg.generate import random_control_cdfg
+
+        c = random_control_cdfg(20, 2, n_loops=1, seed=1)
+        loops = cdfg_loops(c, bound=100)
+        steered = any(
+            any(
+                (p := c.producer_of(v)) is not None
+                and p.kind == "select"
+                for v in loop
+            )
+            for loop in loops
+        )
+        assert steered
+
+    def test_size_guard(self):
+        from repro.cdfg.generate import random_control_cdfg
+
+        with pytest.raises(ValueError):
+            random_control_cdfg(5, 4, n_loops=2)
+
+    def test_deterministic(self):
+        from repro.cdfg.generate import random_control_cdfg
+
+        a = random_control_cdfg(20, 3, seed=9)
+        b = random_control_cdfg(20, 3, seed=9)
+        assert set(a.operations) == set(b.operations)

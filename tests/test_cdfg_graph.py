@@ -1,0 +1,172 @@
+"""Unit tests for the CDFG data model."""
+
+import networkx as nx
+import pytest
+
+from repro.cdfg.graph import (
+    CDFG,
+    CDFGError,
+    IDENTITY_ELEMENTS,
+    Operation,
+    Variable,
+)
+
+
+def make_min() -> CDFG:
+    c = CDFG("min")
+    c.add_variable(Variable("a", is_input=True))
+    c.add_variable(Variable("b", is_input=True))
+    c.add_variable(Variable("y", is_output=True))
+    c.add_operation(Operation("+1", "+", ("a", "b"), "y"))
+    return c
+
+
+class TestVariable:
+    def test_defaults(self):
+        v = Variable("x")
+        assert v.width == 8
+        assert not v.is_input and not v.is_output
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(CDFGError):
+            Variable("x", width=0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(CDFGError):
+            Variable("x", width=-3)
+
+
+class TestOperation:
+    def test_carried_must_be_inputs(self):
+        with pytest.raises(CDFGError):
+            Operation("o", "+", ("a", "b"), "y", carried=frozenset({"z"}))
+
+    def test_delay_positive(self):
+        with pytest.raises(CDFGError):
+            Operation("o", "+", ("a", "b"), "y", delay=0)
+
+    def test_needs_inputs(self):
+        with pytest.raises(CDFGError):
+            Operation("o", "+", (), "y")
+
+    def test_commutative(self):
+        assert Operation("o", "+", ("a", "b"), "y").is_commutative
+        assert not Operation("o", "-", ("a", "b"), "y").is_commutative
+
+    def test_sequencing_inputs_excludes_carried(self):
+        op = Operation("o", "+", ("a", "b"), "y", carried=frozenset({"b"}))
+        assert op.sequencing_inputs() == ("a",)
+
+
+class TestCDFG:
+    def test_minimal_valid(self):
+        make_min().validate()
+
+    def test_duplicate_variable(self):
+        c = make_min()
+        with pytest.raises(CDFGError):
+            c.add_variable(Variable("a"))
+
+    def test_duplicate_operation(self):
+        c = make_min()
+        with pytest.raises(CDFGError):
+            c.add_operation(Operation("+1", "+", ("a", "b"), "y"))
+
+    def test_unknown_variable_in_op(self):
+        c = make_min()
+        with pytest.raises(CDFGError):
+            c.add_operation(Operation("o2", "+", ("a", "zz"), "y"))
+
+    def test_single_assignment_enforced(self):
+        c = make_min()
+        c.add_variable(Variable("z", is_output=True))
+        c.add_operation(Operation("o2", "+", ("a", "b"), "z"))
+        c.add_variable(Variable("w", is_output=True))
+        with pytest.raises(CDFGError):
+            c.add_operation(Operation("o3", "+", ("a", "b"), "z"))
+
+    def test_cannot_write_primary_input(self):
+        c = make_min()
+        with pytest.raises(CDFGError):
+            c.add_operation(Operation("o2", "+", ("a", "b"), "a"))
+
+    def test_producer_consumer_maps(self):
+        c = make_min()
+        assert c.producer_of("y").name == "+1"
+        assert c.producer_of("a") is None
+        assert [o.name for o in c.consumers_of("a")] == ["+1"]
+
+    def test_missing_producer_caught(self):
+        c = CDFG()
+        c.add_variable(Variable("x"))
+        c.add_variable(Variable("y", is_output=True))
+        c.add_operation(Operation("o", "+", ("x", "x"), "y"))
+        with pytest.raises(CDFGError, match="no producer"):
+            c.validate()
+
+    def test_dead_intermediate_caught(self):
+        c = make_min()
+        c.add_variable(Variable("dead"))
+        c.add_operation(Operation("o2", "+", ("a", "b"), "dead"))
+        with pytest.raises(CDFGError, match="never consumed"):
+            c.validate()
+
+    def test_unconsumed_primary_input_allowed(self):
+        c = make_min()
+        c.add_variable(Variable("unused", is_input=True))
+        c.validate()
+
+    def test_intra_iteration_cycle_rejected(self):
+        c = CDFG()
+        c.add_variable(Variable("a", is_input=True))
+        c.add_variable(Variable("x", is_output=True))
+        c.add_variable(Variable("y", is_output=True))
+        c.add_operation(Operation("o1", "+", ("a", "y"), "x"))
+        c.add_operation(Operation("o2", "+", ("a", "x"), "y"))
+        with pytest.raises(CDFGError, match="cycle"):
+            c.validate()
+
+    def test_carried_cycle_accepted(self):
+        c = CDFG()
+        c.add_variable(Variable("a", is_input=True))
+        c.add_variable(Variable("x", is_output=True))
+        c.add_operation(
+            Operation("o1", "+", ("a", "x"), "x", carried=frozenset({"x"}))
+        )
+        c.validate()
+
+    def test_op_graph_carried_flag(self):
+        c = CDFG()
+        c.add_variable(Variable("a", is_input=True))
+        c.add_variable(Variable("x", is_output=True))
+        c.add_variable(Variable("y", is_output=True))
+        c.add_operation(
+            Operation("o1", "+", ("a", "y"), "x", carried=frozenset({"y"}))
+        )
+        c.add_operation(Operation("o2", "+", ("a", "x"), "y"))
+        g = c.op_graph(include_carried=True)
+        assert g.has_edge("o2", "o1") and g["o2"]["o1"]["carried"]
+        g2 = c.op_graph(include_carried=False)
+        assert not g2.has_edge("o2", "o1")
+        assert nx.is_directed_acyclic_graph(g2)
+
+    def test_variable_graph_edges(self):
+        c = make_min()
+        g = c.variable_graph()
+        assert g.has_edge("a", "y") and g.has_edge("b", "y")
+
+    def test_copy_independent(self):
+        c = make_min()
+        c2 = c.copy()
+        c2.add_variable(Variable("n"))
+        assert "n" not in c.variables
+
+    def test_kinds_and_len(self):
+        c = make_min()
+        assert c.kinds() == {"+"}
+        assert len(c) == 1
+        assert [op.name for op in c] == ["+1"]
+
+    def test_identity_elements_table(self):
+        assert IDENTITY_ELEMENTS["+"] == 0
+        assert IDENTITY_ELEMENTS["*"] == 1

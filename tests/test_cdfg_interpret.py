@@ -1,0 +1,78 @@
+"""Tests for the CDFG interpreter."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.builder import parse_behavior
+from repro.cdfg.graph import CDFGError
+from repro.cdfg.interpret import (
+    outputs_of,
+    run_iteration,
+    run_sequence,
+)
+
+
+class TestBasics:
+    def test_add(self):
+        c = parse_behavior("input a b\noutput y\ny = a + b")
+        assert run_iteration(c, {"a": 3, "b": 4})["y"] == 7
+
+    def test_width_masking(self):
+        c = parse_behavior("input a b\noutput y\ny = a + b", width=4)
+        assert run_iteration(c, {"a": 15, "b": 1})["y"] == 0
+
+    def test_sub_wraps(self):
+        c = parse_behavior("input a b\noutput y\ny = a - b")
+        assert run_iteration(c, {"a": 0, "b": 1})["y"] == 255
+
+    def test_mul(self):
+        c = parse_behavior("input a b\noutput y\ny = a * b")
+        assert run_iteration(c, {"a": 20, "b": 20})["y"] == (400 & 255)
+
+    def test_comparison(self):
+        c = parse_behavior("input a b\noutput y\ny = a < b")
+        assert run_iteration(c, {"a": 1, "b": 2})["y"] == 1
+        assert run_iteration(c, {"a": 2, "b": 1})["y"] == 0
+
+    def test_missing_input_rejected(self):
+        c = parse_behavior("input a b\noutput y\ny = a + b")
+        with pytest.raises(CDFGError, match="missing value"):
+            run_iteration(c, {"a": 1})
+
+    def test_outputs_projection(self):
+        c = parse_behavior("input a b\noutput y\nt = a + b\ny = t + a")
+        vals = run_iteration(c, {"a": 1, "b": 2})
+        assert outputs_of(c, vals) == {"y": 4}
+
+
+class TestState:
+    def test_carried_defaults_to_zero(self):
+        c = parse_behavior("input dx\noutput s\ns = dx @+ s")
+        assert run_iteration(c, {"dx": 5})["s"] == 5
+
+    def test_accumulator_sequence(self):
+        c = parse_behavior("input dx\noutput s\ns = dx @+ s")
+        trace = run_sequence(c, [{"dx": 5}] * 4)
+        assert [t["s"] for t in trace] == [5, 10, 15, 20]
+
+    def test_diffeq_loop_converges_structurally(self):
+        c = suite.diffeq(loop=True)
+        trace = run_sequence(c, [{"dx": 1, "a": 50, "three": 3}] * 3)
+        # x accumulates dx each iteration
+        assert trace[0]["x1"] == 1 and trace[1]["x1"] == 2
+
+    def test_iir_dc_response(self):
+        """Constant input, zero coefficients -> output equals b0*w path."""
+        c = suite.iir_biquad(1)
+        ins = {v.name: 0 for v in c.primary_inputs()}
+        ins.update({"x0": 10, "b0_0": 1})
+        trace = run_sequence(c, [ins] * 3)
+        assert all(t["y0"] == 10 for t in trace)
+
+    def test_fir_delay_line(self):
+        c = suite.fir(3)
+        ins = {v.name: 0 for v in c.primary_inputs()}
+        # impulse through tap 2: y picks up b2 * x two cycles later
+        seq = [dict(ins, x=1, b2=5)] + [dict(ins, x=0, b2=5)] * 3
+        trace = run_sequence(c, seq)
+        assert trace[2]["y"] == 5

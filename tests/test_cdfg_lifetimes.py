@@ -1,0 +1,77 @@
+"""Unit tests for variable lifetimes under a schedule."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import asap_schedule
+from repro.cdfg.graph import CDFGError
+from repro.cdfg.lifetimes import (
+    Lifetime,
+    lifetimes_overlap,
+    schedule_length,
+    variable_lifetimes,
+)
+
+
+class TestLifetimeObject:
+    def test_birth_death_length(self):
+        lt = Lifetime("v", frozenset({2, 3, 4}))
+        assert lt.birth == 2 and lt.death == 4 and lt.length == 3
+
+    def test_overlap(self):
+        a = Lifetime("a", frozenset({1, 2}))
+        b = Lifetime("b", frozenset({2, 3}))
+        c = Lifetime("c", frozenset({3, 4}))
+        assert a.overlaps(b) and b.overlaps(c)
+        assert not a.overlaps(c)
+
+
+class TestFigure1Lifetimes:
+    @pytest.fixture
+    def lts(self, figure1):
+        return variable_lifetimes(figure1, asap_schedule(figure1))
+
+    def test_input_alive_from_step1(self, lts):
+        assert lts["a"].birth == 1
+
+    def test_intermediate_born_after_producer(self, lts):
+        # +1 at step 1 -> c occupies from step 2
+        assert lts["c"].birth == 2
+        assert lts["c"].death == 2  # consumed by +2 at step 2
+
+    def test_output_held_past_end(self, figure1, lts):
+        n = schedule_length(figure1, asap_schedule(figure1))
+        assert lts["g"].death == n + 1
+
+    def test_input_held_to_last_use(self, lts):
+        assert lts["f"].death == 3  # +5 reads f at step 3
+
+
+class TestMultiCycle:
+    def test_mult_result_timing(self, diffeq):
+        sched = asap_schedule(diffeq)
+        lts = variable_lifetimes(diffeq, sched)
+        # *1 at step 1 with delay 2 -> m1 born at step 3
+        assert lts["m1"].birth == sched["*1"] + 2
+
+    def test_bad_schedule_rejected(self, figure1):
+        bad = dict(asap_schedule(figure1))
+        bad["+2"] = 1  # reads c before it exists
+        with pytest.raises(CDFGError, match="violates"):
+            variable_lifetimes(figure1, bad)
+
+
+class TestCarriedWraparound:
+    def test_carried_variable_wraps(self, diffeq_loop):
+        sched = asap_schedule(diffeq_loop)
+        lts = variable_lifetimes(diffeq_loop, sched)
+        n = schedule_length(diffeq_loop, sched)
+        # u1 is read carried by *2 at step 1: alive at the start of the
+        # iteration AND around the end-of-iteration boundary.
+        assert 1 in lts["u1"].steps
+        assert lts["u1"].death >= n
+
+    def test_helper_overlap(self, figure1):
+        lts = variable_lifetimes(figure1, asap_schedule(figure1))
+        assert lifetimes_overlap(lts, "a", "b")
+        assert not lifetimes_overlap(lts, "a", "g")

@@ -1,0 +1,116 @@
+"""Tests for the benchmark suite: every behavior validates and has the
+documented loop/op structure."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import cdfg_loops, critical_path_length
+
+
+class TestSuiteIntegrity:
+    @pytest.mark.parametrize("name", sorted(suite.standard_suite()))
+    def test_validates(self, name):
+        suite.standard_suite()[name].validate()
+
+    @pytest.mark.parametrize("name", sorted(suite.standard_suite()))
+    def test_width_parameter(self, name):
+        c = suite.standard_suite(width=4)[name]
+        assert max(v.width for v in c.variables.values()) == 4
+
+    def test_looped_only_subset(self):
+        looped = suite.standard_suite(looped_only=True)
+        for name, c in looped.items():
+            assert cdfg_loops(c, bound=1), f"{name} has no loops"
+        full = suite.standard_suite()
+        assert set(looped) < set(full)
+
+
+class TestFigure1:
+    def test_structure(self):
+        c = suite.figure1()
+        assert len(c) == 5
+        assert {op.kind for op in c} == {"+"}
+        assert critical_path_length(c) == 3
+        assert {v.name for v in c.primary_outputs()} == {"g", "t"}
+
+    def test_assignments_cover_all_ops(self):
+        c = suite.figure1()
+        for asg in (suite.FIGURE1_ASSIGNMENT_B, suite.FIGURE1_ASSIGNMENT_C):
+            assert set(asg) == set(c.operations)
+            assert max(s for s, _a in asg.values()) == 3
+
+
+class TestDiffeq:
+    def test_op_mix(self):
+        c = suite.diffeq()
+        kinds = {}
+        for op in c:
+            kinds[op.kind] = kinds.get(op.kind, 0) + 1
+        assert kinds == {"*": 6, "-": 2, "+": 2, "<": 1}
+
+    def test_loop_variant_has_loops(self):
+        assert cdfg_loops(suite.diffeq(loop=True), bound=10)
+
+    def test_acyclic_variant_does_not(self):
+        assert not cdfg_loops(suite.diffeq(), bound=10)
+
+
+class TestFilters:
+    def test_fir_is_loop_free(self):
+        assert not cdfg_loops(suite.fir(8), bound=5)
+
+    def test_fir_scales_with_taps(self):
+        assert len(suite.fir(12)) > len(suite.fir(6))
+
+    def test_iir_loops_scale_with_sections(self):
+        l2 = len(cdfg_loops(suite.iir_biquad(2)))
+        l3 = len(cdfg_loops(suite.iir_biquad(3)))
+        assert l3 > l2
+
+    def test_ar_lattice_loops_grow(self):
+        l4 = len(cdfg_loops(suite.ar_lattice(4), bound=500))
+        l6 = len(cdfg_loops(suite.ar_lattice(6), bound=500))
+        assert l6 > l4
+
+    def test_ewf_structure(self):
+        c = suite.ewf()
+        assert cdfg_loops(c, bound=1)
+        kinds = {op.kind for op in c}
+        assert kinds == {"+", "*"}
+
+    def test_tseng_mixed_kinds(self):
+        assert {"+", "-", "*", "&", "|"} <= suite.tseng().kinds()
+
+    def test_matmul2_semantics(self):
+        from repro.cdfg.interpret import run_iteration
+
+        c = suite.matmul2()
+        a = [[1, 2], [3, 4]]
+        b = [[5, 6], [7, 8]]
+        ins = {}
+        for i in range(2):
+            for j in range(2):
+                ins[f"a{i}{j}"] = a[i][j]
+                ins[f"b{i}{j}"] = b[i][j]
+        vals = run_iteration(c, ins)
+        for i in range(2):
+            for j in range(2):
+                expect = (a[i][0] * b[0][j] + a[i][1] * b[1][j]) & 0xFF
+                assert vals[f"c{i}{j}"] == expect
+
+    def test_dct4_structure(self):
+        c = suite.dct4()
+        kinds = {}
+        for op in c:
+            kinds[op.kind] = kinds.get(op.kind, 0) + 1
+        assert kinds == {"+": 4, "-": 4, "*": 4}
+        from repro.cdfg.analysis import cdfg_loops
+
+        assert not cdfg_loops(c, bound=1)
+
+    def test_gcd_is_control_dominated(self):
+        c = suite.gcd()
+        assert "select" in c.kinds()
+        from repro.cdfg.analysis import cdfg_loops
+
+        assert len(cdfg_loops(c, bound=100)) >= 3

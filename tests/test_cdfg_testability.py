@@ -1,0 +1,46 @@
+"""Tests for behavioral testability analysis ([9] classification)."""
+
+from repro.cdfg import suite, testability
+
+
+class TestAnalyze:
+    def test_inputs_are_controllable(self, diffeq):
+        recs = testability.analyze(diffeq)
+        assert recs["x"].control_depth == 0
+        assert recs["x"].controllability == testability.CONTROLLABLE
+
+    def test_outputs_are_observable(self, diffeq):
+        recs = testability.analyze(diffeq)
+        assert recs["u1"].observe_depth == 0
+        assert recs["u1"].observability == testability.OBSERVABLE
+
+    def test_internal_depths(self, diffeq):
+        recs = testability.analyze(diffeq)
+        assert recs["m4"].control_depth == 2  # via m1 or m2
+        assert recs["m4"].observe_depth == 2  # -1 then -2
+
+    def test_loop_membership(self, diffeq_loop):
+        recs = testability.analyze(diffeq_loop)
+        assert recs["u1"].on_loop
+        assert not recs["c"].on_loop
+
+    def test_loop_penalty_in_score(self, diffeq_loop):
+        recs = testability.analyze(diffeq_loop)
+        base = recs["u1"].score(loop_penalty=0)
+        assert recs["u1"].score(loop_penalty=5) == base + 5
+
+
+class TestHardest:
+    def test_excludes_primary_io(self, diffeq):
+        hard = testability.hardest_variables(diffeq, 5)
+        io = {v.name for v in diffeq.primary_inputs()} | {
+            v.name for v in diffeq.primary_outputs()
+        }
+        assert not set(hard) & io
+
+    def test_count_respected(self, diffeq):
+        assert len(testability.hardest_variables(diffeq, 3)) == 3
+
+    def test_deep_variable_ranked_hard(self, diffeq):
+        hard = testability.hardest_variables(diffeq, 3)
+        assert "m4" in hard or "m1" in hard

@@ -1,0 +1,130 @@
+"""Tests for behavioral transformations: deflection ops and test
+statements, including behavior preservation by execution."""
+
+import random
+
+import pytest
+
+from repro.cdfg import suite, transform
+from repro.cdfg.graph import CDFGError
+from repro.cdfg.interpret import (
+    equivalent_behavior,
+    functional_mode_inputs,
+)
+
+
+def random_stream(cdfg, n=8, seed=0):
+    rng = random.Random(seed)
+    return [
+        {v.name: rng.randrange(1 << v.width) for v in cdfg.primary_inputs()}
+        for _ in range(n)
+    ]
+
+
+class TestDeflection:
+    def test_adds_one_operation(self, diffeq):
+        out = transform.deflect_variable(diffeq, "m2", ["*4"])
+        assert len(out) == len(diffeq) + 1
+
+    def test_reroutes_named_consumer(self, diffeq):
+        out = transform.deflect_variable(diffeq, "m2", ["*4"])
+        op = out.operation("*4")
+        assert "m2" not in op.inputs
+        assert any(v.startswith("m2_defl") for v in op.inputs)
+
+    def test_other_consumers_untouched(self, diffeq):
+        out = transform.deflect_variable(diffeq, "u", ["-1"])
+        assert "u" in out.operation("*2").inputs
+
+    def test_behavior_preserved(self, diffeq):
+        out = transform.deflect_variable(diffeq, "m2", ["*4"])
+        stream = random_stream(diffeq)
+        assert equivalent_behavior(
+            diffeq, out, stream, functional_mode_inputs(out, diffeq)
+        )
+
+    def test_mult_identity_deflection(self, diffeq):
+        out = transform.deflect_variable(diffeq, "m1", ["*4"], kind="*")
+        stream = random_stream(diffeq)
+        assert equivalent_behavior(
+            diffeq, out, stream, functional_mode_inputs(out, diffeq)
+        )
+
+    def test_unknown_consumer_rejected(self, diffeq):
+        with pytest.raises(CDFGError):
+            transform.deflect_variable(diffeq, "m2", ["+1"])
+
+    def test_kind_without_identity_rejected(self, diffeq):
+        with pytest.raises(CDFGError):
+            transform.deflect_variable(diffeq, "m2", ["*4"], kind="<")
+
+    def test_batch_insertion(self, diffeq):
+        out = transform.insert_deflection_ops(
+            diffeq, [("m2", ["*4"]), ("m3", ["*5"])]
+        )
+        assert len(out) == len(diffeq) + 2
+        stream = random_stream(diffeq)
+        assert equivalent_behavior(
+            diffeq, out, stream, functional_mode_inputs(out, diffeq)
+        )
+
+    def test_deflection_splits_lifetime(self, diffeq):
+        """The point of the transform: the source lifetime shrinks."""
+        from repro.cdfg.analysis import asap_schedule
+        from repro.cdfg.lifetimes import variable_lifetimes
+
+        before = variable_lifetimes(diffeq, asap_schedule(diffeq))
+        out = transform.deflect_variable(diffeq, "u", ["-1"])
+        after = variable_lifetimes(out, asap_schedule(out))
+        assert after["u"].length <= before["u"].length
+
+
+class TestTestStatements:
+    def test_adds_select_ops(self, diffeq):
+        out = transform.insert_test_statements(
+            diffeq, control_vars=["m4"], observe_vars=[]
+        )
+        assert any(op.kind == "select" for op in out)
+        assert "tmode" in out.variables
+
+    def test_control_reroutes_consumers(self, diffeq):
+        out = transform.insert_test_statements(
+            diffeq, control_vars=["m4"], observe_vars=[]
+        )
+        assert "m4" not in out.operation("-1").inputs
+
+    def test_observe_adds_output(self, diffeq):
+        out = transform.insert_test_statements(
+            diffeq, control_vars=[], observe_vars=["m4", "m5"]
+        )
+        new_pos = {v.name for v in out.primary_outputs()} - {
+            v.name for v in diffeq.primary_outputs()
+        }
+        assert len(new_pos) == 1
+
+    def test_functional_mode_preserved(self, diffeq):
+        out = transform.insert_test_statements(diffeq, budget=3)
+        stream = random_stream(diffeq)
+        assert equivalent_behavior(
+            diffeq, out, stream, functional_mode_inputs(out, diffeq)
+        )
+
+    def test_test_mode_controls_variable(self, diffeq):
+        out = transform.insert_test_statements(
+            diffeq, control_vars=["m4"], observe_vars=[]
+        )
+        from repro.cdfg.interpret import run_iteration
+
+        base = functional_mode_inputs(out, diffeq)
+        inputs = {v.name: 7 for v in out.primary_inputs()}
+        inputs.update(base)
+        inputs["tmode"] = 1
+        tin = next(n for n in inputs if n.startswith("tin_m4"))
+        inputs[tin] = 99
+        values = run_iteration(out, inputs)
+        vt = next(v for v in out.variables if v.startswith("m4_t"))
+        assert values[vt] == 99
+
+    def test_default_budget_picks_hard_variables(self, diffeq):
+        out = transform.insert_test_statements(diffeq, budget=2)
+        assert len(out) > len(diffeq)

@@ -1,0 +1,130 @@
+"""Tests for controller implication analysis and redesign [14]."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.controller_dft import (
+    control_implications,
+    infeasible_requirements,
+    redesign_with_test_vectors,
+    vectors_for_requirements,
+)
+from repro.controller_dft.implications import word_satisfies
+from repro.controller_dft.redesign import coverage_of_requirements
+from repro.hls import build_controller
+from tests.conftest import synthesize
+
+
+@pytest.fixture
+def ctrl(figure1):
+    dp, *_ = synthesize(figure1)
+    return build_controller(dp)
+
+
+class TestImplications:
+    def test_implications_exist(self, ctrl):
+        imps = control_implications(ctrl)
+        assert imps
+
+    def test_implications_actually_hold(self, ctrl):
+        words = [w.signals for w in ctrl.words]
+        for imp in control_implications(ctrl)[:50]:
+            (a, av), (c, cv) = imp.antecedent, imp.consequent
+            for w in words:
+                if w.get(a, 0) == av:
+                    assert w.get(c, 0) == cv, imp
+
+    def test_no_self_implications(self, ctrl):
+        for imp in control_implications(ctrl):
+            assert imp.antecedent[0] != imp.consequent[0]
+
+    def test_str(self, ctrl):
+        imp = control_implications(ctrl)[0]
+        assert "=>" in str(imp)
+
+
+class TestInfeasibility:
+    def test_reachable_requirement_feasible(self, ctrl):
+        word = ctrl.words[1].signals
+        req = dict(list(word.items())[:2])
+        assert infeasible_requirements(ctrl, [req]) == []
+
+    def test_unreachable_combination_detected(self, ctrl):
+        loads = [s for s in ctrl.signal_names() if s.endswith(".load")]
+        # A signal no word ever asserts is certainly unreachable at 1.
+        req = {loads[0]: 1, "nonexistent.sig": 1}
+        assert infeasible_requirements(ctrl, [req]) == [req]
+
+    def test_word_satisfies(self):
+        assert word_satisfies({"a": 1}, {"a": 1})
+        assert not word_satisfies({"a": 1}, {"a": 0})
+        assert not word_satisfies({}, {"a": 1})  # default 0
+
+
+class TestRedesign:
+    def test_extra_vectors_cover_missing(self, ctrl):
+        reqs = [
+            {"alu0.fn": "+", "nonexistent.sig": 1},
+            {"alu0.fn": "+", "other.sig": 1},
+        ]
+        vecs = vectors_for_requirements(ctrl, reqs)
+        assert vecs
+        assert coverage_of_requirements(ctrl, reqs, vecs) == 1.0
+
+    def test_compatible_requirements_merge(self, ctrl):
+        reqs = [{"x.sig": 1}, {"y.sig": 1}]
+        vecs = vectors_for_requirements(ctrl, reqs)
+        assert len(vecs) == 1  # merged: no contradiction
+
+    def test_contradicting_requirements_split(self, ctrl):
+        # Both are infeasible (y.sig never reaches 1), and they demand
+        # x.sig at different values, so they cannot share a vector.
+        reqs = [{"x.sig": 1}, {"x.sig": 0, "y.sig": 1}]
+        vecs = vectors_for_requirements(ctrl, reqs)
+        assert len(vecs) == 2
+
+    def test_cost_positive(self, ctrl):
+        reqs = [{"x.sig": 1}]
+        _vecs, cost = redesign_with_test_vectors(ctrl, reqs)
+        assert cost > 0
+
+    def test_coverage_before_after(self, ctrl):
+        reqs = [{"x.sig": 1}]
+        before = coverage_of_requirements(ctrl, reqs)
+        vecs = vectors_for_requirements(ctrl, reqs)
+        after = coverage_of_requirements(ctrl, reqs, vecs)
+        assert before < after == 1.0
+
+
+class TestRequirementsFromTests:
+    def test_translation_roundtrip(self, figure1):
+        """Control-net assignments in ATPG tests translate back to the
+        symbolic control-word language and match the netlist encoding."""
+        from repro.controller_dft import requirements_from_tests
+        from repro.gatelevel.expand import expand_datapath
+        from tests.conftest import synthesize
+
+        dp, *_ = synthesize(figure1)
+        dp.mark_scan(*[r.name for r in dp.registers])
+        _nl, control_map = expand_datapath(dp)
+        # hand-build a 'test' asserting one register load and one mux
+        reg, load_net = next(iter(control_map["reg_load"].items()))
+        test = {load_net: 1}
+        (unit, port), (sels, sources) = next(
+            (k, v) for k, v in control_map["port_sel"].items() if v[0]
+        )
+        for k, net in enumerate(sels):
+            test[net] = (1 >> k) & 1  # select index 1
+        reqs = requirements_from_tests(control_map, [test])
+        assert reqs and reqs[0][f"{reg}.load"] == 1
+        assert reqs[0][f"{unit}.sel{port}"] == sources[1]
+
+    def test_unassigned_selects_left_free(self, figure1):
+        from repro.controller_dft import requirements_from_tests
+        from repro.gatelevel.expand import expand_datapath
+        from tests.conftest import synthesize
+
+        dp, *_ = synthesize(figure1)
+        _nl, control_map = expand_datapath(dp)
+        reqs = requirements_from_tests(control_map, [{}])
+        assert reqs == []  # nothing asserted -> no requirement

@@ -1,0 +1,72 @@
+"""Tests for the DOT renderers."""
+
+import re
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.dot import cdfg_to_dot, datapath_to_dot, sgraph_to_dot
+from repro.sgraph import build_sgraph
+from tests.conftest import synthesize
+
+
+class TestCDFGDot:
+    def test_structure(self, figure1):
+        dot = cdfg_to_dot(figure1)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for op in figure1.operations:
+            assert f'"op:{op}"' in dot
+
+    def test_io_styling(self, figure1):
+        dot = cdfg_to_dot(figure1)
+        assert re.search(r'"a" \[.*color="blue"', dot)
+        assert re.search(r'"g" \[.*color="darkgreen"', dot)
+
+    def test_loop_highlighting(self, iir2):
+        dot = cdfg_to_dot(iir2)
+        assert "mistyrose" in dot
+
+    def test_carried_edges_dashed(self, iir2):
+        dot = cdfg_to_dot(iir2)
+        assert "style=dashed" in dot
+
+    def test_no_loops_no_highlight(self, figure1):
+        assert "mistyrose" not in cdfg_to_dot(figure1)
+
+    def test_balanced_braces(self, diffeq):
+        dot = cdfg_to_dot(diffeq)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestSGraphDot:
+    def test_scan_marks_rendered(self, iir2_dp):
+        iir2_dp.mark_scan(iir2_dp.registers[0].name)
+        dot = sgraph_to_dot(build_sgraph(iir2_dp))
+        assert "gold" in dot
+
+    def test_all_registers_present(self, iir2_dp):
+        dot = sgraph_to_dot(build_sgraph(iir2_dp))
+        for r in iir2_dp.registers:
+            assert f'"{r.name}"' in dot
+
+    def test_edge_labels_carry_operations(self, figure1_dp):
+        dot = sgraph_to_dot(build_sgraph(figure1_dp))
+        assert "+1" in dot
+
+
+class TestDatapathDot:
+    def test_units_and_registers(self, figure1_dp):
+        dot = datapath_to_dot(figure1_dp)
+        for u in figure1_dp.units:
+            assert f'"{u.name}"' in dot
+        assert "trapezium" in dot
+
+    def test_register_contents_in_label(self, figure1_dp):
+        dot = datapath_to_dot(figure1_dp)
+        assert re.search(r"R0\\n\{", dot)
+
+    def test_edges_deduplicated(self, figure1_dp):
+        dot = datapath_to_dot(figure1_dp)
+        edges = re.findall(r'^  "\S+" -> "\S+";$', dot, re.M)
+        assert len(edges) == len(set(edges))

@@ -1,0 +1,135 @@
+"""Tests for the gate-level netlist model and simulators."""
+
+import pytest
+
+from repro.gatelevel.gates import Gate, Netlist, NetlistError
+from repro.gatelevel.simulate import (
+    parallel_simulate,
+    simulate,
+    simulate_sequence,
+)
+
+
+def half_adder() -> Netlist:
+    nl = Netlist("ha")
+    nl.add("a", "input")
+    nl.add("b", "input")
+    nl.add("s", "xor", "a", "b")
+    nl.add("c", "and", "a", "b")
+    nl.add_output("s")
+    nl.add_output("c")
+    return nl
+
+
+class TestModel:
+    def test_arity_checked(self):
+        with pytest.raises(NetlistError):
+            Gate("g", "and", ("a",))
+
+    def test_unknown_kind(self):
+        with pytest.raises(NetlistError):
+            Gate("g", "nandx", ("a", "b"))
+
+    def test_duplicate_gate(self):
+        nl = half_adder()
+        with pytest.raises(NetlistError):
+            nl.add("a", "input")
+
+    def test_undriven_output_caught(self):
+        nl = half_adder()
+        nl.add_output("zz")
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_undriven_gate_input_caught(self):
+        nl = Netlist("t")
+        nl.add("g", "not", "missing")
+        with pytest.raises(NetlistError):
+            nl.topo_order()
+
+    def test_combinational_cycle_caught(self):
+        nl = Netlist("t")
+        nl.add("x", "not", "y")
+        nl.add("y", "not", "x")
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.topo_order()
+
+    def test_dff_breaks_cycle(self):
+        nl = Netlist("t")
+        nl.add("q", "dff", "d")
+        nl.add("d", "not", "q")
+        nl.add_output("q")
+        nl.validate()
+
+    def test_topo_order_respects_deps(self):
+        nl = half_adder()
+        order = nl.topo_order()
+        assert order.index("a") < order.index("s")
+        assert order.index("b") < order.index("c")
+
+    def test_counts(self):
+        nl = half_adder()
+        assert nl.num_gates() == 2
+        assert nl.stats()["input"] == 2
+
+
+class TestSimulate:
+    @pytest.mark.parametrize(
+        "a,b,s,c", [(0, 0, 0, 0), (0, 1, 1, 0), (1, 0, 1, 0), (1, 1, 0, 1)]
+    )
+    def test_half_adder_truth_table(self, a, b, s, c):
+        vals, _ = simulate(half_adder(), {"a": a, "b": b})
+        assert (vals["s"], vals["c"]) == (s, c)
+
+    def test_parallel_matches_scalar(self):
+        nl = half_adder()
+        packed, _ = parallel_simulate(
+            nl, {"a": 0b0011, "b": 0b0101}, width=4
+        )
+        for i in range(4):
+            vals, _ = simulate(nl, {"a": (0b0011 >> i) & 1,
+                                    "b": (0b0101 >> i) & 1})
+            assert (packed["s"] >> i) & 1 == vals["s"]
+            assert (packed["c"] >> i) & 1 == vals["c"]
+
+    def test_all_gate_kinds(self):
+        nl = Netlist("k")
+        nl.add("a", "input")
+        nl.add("b", "input")
+        for kind in ("and", "or", "nand", "nor", "xor", "xnor"):
+            nl.add(kind, kind, "a", "b")
+            nl.add_output(kind)
+        nl.add("n", "not", "a")
+        nl.add("u", "buf", "a")
+        nl.add("m", "mux", "a", "b", "u")
+        nl.add_output("m")
+        vals, _ = simulate(nl, {"a": 1, "b": 0})
+        assert vals["and"] == 0 and vals["nand"] == 1
+        assert vals["or"] == 1 and vals["nor"] == 0
+        assert vals["xor"] == 1 and vals["xnor"] == 0
+        assert vals["n"] == 0 and vals["u"] == 1
+        assert vals["m"] == 0  # sel=1 -> b
+
+    def test_dff_state_advances(self):
+        nl = Netlist("cnt")
+        nl.add("q", "dff", "d")
+        nl.add("d", "not", "q")
+        nl.add_output("q")
+        trace = simulate_sequence(nl, [{}] * 4, width=1)
+        assert [t["q"] for t in trace] == [0, 1, 0, 1]
+
+    def test_forced_net_override(self):
+        nl = half_adder()
+        vals, _ = parallel_simulate(
+            nl, {"a": 1, "b": 1}, width=1, forced={"s": 1}
+        )
+        assert vals["s"] == 1  # stuck-at-1 despite a^b == 0
+
+    def test_constants(self):
+        nl = Netlist("c")
+        nl.add("one", "const1")
+        nl.add("zero", "const0")
+        nl.add("y", "and", "one", "zero")
+        nl.add_output("y")
+        vals, _ = parallel_simulate(nl, {}, width=8)
+        assert vals["one"] == 0xFF and vals["y"] == 0

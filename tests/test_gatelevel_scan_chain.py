@@ -1,0 +1,189 @@
+"""Tests for scan-chain stitching and the shift/capture protocol."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.gatelevel.atpg import combinational_atpg
+from repro.gatelevel.expand import expand_datapath
+from repro.gatelevel.faults import Fault, all_faults
+from repro.gatelevel.scan_chain import (
+    apply_scan_test,
+    scan_test_detects,
+    stitch_scan_chain,
+)
+from tests.conftest import synthesize
+
+
+@pytest.fixture
+def chained_figure1():
+    dp, *_ = synthesize(suite.figure1(width=3))
+    dp.mark_scan(*[r.name for r in dp.registers])
+    nl, _ = expand_datapath(dp)
+    chained, chain = stitch_scan_chain(nl)
+    return nl, chained, chain
+
+
+class TestStitching:
+    def test_chain_covers_all_scan_ffs(self, chained_figure1):
+        nl, chained, chain = chained_figure1
+        assert sorted(chain.order) == sorted(
+            g.name for g in nl.scan_dffs()
+        )
+
+    def test_adds_scan_ports(self, chained_figure1):
+        _nl, chained, chain = chained_figure1
+        ins = set(chained.inputs())
+        assert {"scan_in", "scan_en"} <= ins
+        assert chain.order[-1] in chained.outputs  # scan_out
+
+    def test_functional_mode_unchanged(self, chained_figure1):
+        """With scan_en=0 the chained netlist behaves like the original."""
+        from repro.gatelevel.simulate import simulate_sequence
+
+        nl, chained, chain = chained_figure1
+        piv = {pi: (hash(pi) >> 3) & 1 for pi in nl.inputs()}
+        piv2 = dict(piv, scan_en=0, scan_in=0)
+        t1 = simulate_sequence(nl, [piv] * 4, width=1)
+        t2 = simulate_sequence(chained, [piv2] * 4, width=1)
+        for a, b in zip(t1, t2):
+            for po in nl.outputs:
+                assert a[po] == b[po]
+
+    def test_bad_order_rejected(self, chained_figure1):
+        nl, _c, chain = chained_figure1
+        with pytest.raises(ValueError):
+            stitch_scan_chain(nl, order=list(chain.order[:-1]))
+
+
+class TestProtocol:
+    def test_shift_in_reaches_all_ffs(self, chained_figure1):
+        _nl, chained, chain = chained_figure1
+        want = {ff: (i % 2) for i, ff in enumerate(chain.order)}
+        # Use a capture-free check: shift in, then read DFF state by
+        # simulating zero further cycles -- apply_scan_test captures
+        # once, so instead verify via the captured response of an
+        # all-zero-input capture: state gets clobbered by capture; so
+        # here just assert the protocol runs and accounts its cycles.
+        res = apply_scan_test(
+            chained, chain, {pi: 0 for pi in chained.inputs()}, want
+        )
+        assert res.cycles_used == 2 * chain.length + 1
+
+    def test_podem_tests_detect_through_protocol(self, chained_figure1):
+        nl, chained, chain = chained_figure1
+        faults = all_faults(nl)
+        checked = 0
+        ffs = set(chain.order)
+        for f in faults[30:60]:
+            res = combinational_atpg(nl, f, backtrack_limit=300)
+            if not res.detected:
+                continue
+            piv = {k: v for k, v in res.test.items() if k not in ffs}
+            sv = {k: v for k, v in res.test.items() if k in ffs}
+            assert scan_test_detects(chained, chain, f, piv, sv), f
+            checked += 1
+            if checked >= 6:
+                break
+        assert checked >= 4
+
+    def test_fault_on_chain_detected(self, chained_figure1):
+        """A stuck scan-path mux breaks shifting and is observable."""
+        _nl, chained, chain = chained_figure1
+        mux = f"scanmux_{chain.order[0]}"
+        f = Fault(mux, 0)
+        detected = scan_test_detects(
+            chained, chain, f,
+            {pi: 0 for pi in chained.inputs()},
+            {ff: 1 for ff in chain.order},
+        )
+        assert detected
+
+    def test_capture_observes_functional_logic(self, chained_figure1):
+        """Captured state equals the functional D values."""
+        from repro.gatelevel.simulate import parallel_simulate
+
+        nl, chained, chain = chained_figure1
+        piv = {pi: 1 for pi in nl.inputs()}
+        state = {ff: 0 for ff in chain.order}
+        res = apply_scan_test(
+            chained, chain, dict(piv), state
+        )
+        # reference: one functional cycle of the original netlist
+        _vals, ref = parallel_simulate(nl, piv, state, width=1)
+        for ff in chain.order:
+            assert res.captured_state[ff] == ref[ff]
+
+
+class TestMultipleChains:
+    @pytest.fixture
+    def nl(self):
+        dp, *_ = synthesize(suite.figure1(width=3))
+        dp.mark_scan(*[r.name for r in dp.registers])
+        netlist, _ = expand_datapath(dp)
+        return netlist
+
+    def test_balanced_split(self, nl):
+        _c, chain = stitch_scan_chain(nl, n_chains=3)
+        lengths = [len(c) for c in chain.chains]
+        assert max(lengths) - min(lengths) <= 1
+        assert sum(lengths) == len(nl.scan_dffs())
+
+    def test_per_chain_ports(self, nl):
+        chained, chain = stitch_scan_chain(nl, n_chains=3)
+        ins = set(chained.inputs())
+        for k in range(len(chain.chains)):
+            assert f"scan_in{k}" in ins
+        for c in chain.chains:
+            assert c[-1] in chained.outputs
+
+    def test_parallel_shift_reduces_cycles(self, nl):
+        chained1, one = stitch_scan_chain(nl, n_chains=1)
+        chained3, three = stitch_scan_chain(nl, n_chains=3)
+        piv = {pi: 0 for pi in nl.inputs()}
+        sv = {g.name: 1 for g in nl.scan_dffs()}
+        r1 = apply_scan_test(chained1, one, piv, sv)
+        r3 = apply_scan_test(chained3, three, piv, sv)
+        assert r3.cycles_used < r1.cycles_used
+        assert r3.cycles_used == 2 * three.depth + 1
+
+    def test_capture_identical_across_chain_counts(self, nl):
+        """The protocol must load the same state regardless of how the
+        FFs are split into chains."""
+        from repro.gatelevel.simulate import parallel_simulate
+
+        piv = {pi: 1 for pi in nl.inputs()}
+        sv = {g.name: (i % 2) for i, g in enumerate(nl.scan_dffs())}
+        results = []
+        for n in (1, 2, 4):
+            chained, chain = stitch_scan_chain(nl, n_chains=n)
+            results.append(
+                apply_scan_test(chained, chain, dict(piv), sv)
+            )
+        ref = results[0].captured_state
+        for r in results[1:]:
+            assert r.captured_state == ref
+
+    def test_detection_works_with_chains(self, nl):
+        chained, chain = stitch_scan_chain(nl, n_chains=2)
+        faults = all_faults(nl)
+        ffs = set(chain.order)
+        found = 0
+        for f in faults[30:50]:
+            res = combinational_atpg(nl, f, backtrack_limit=300)
+            if not res.detected:
+                continue
+            piv = {k: v for k, v in res.test.items() if k not in ffs}
+            sv = {k: v for k, v in res.test.items() if k in ffs}
+            assert scan_test_detects(chained, chain, f, piv, sv), f
+            found += 1
+            if found >= 3:
+                break
+        assert found >= 2
+
+    def test_more_chains_than_ffs_clamped(self, nl):
+        _c, chain = stitch_scan_chain(nl, n_chains=500)
+        assert len(chain.chains) == len(nl.scan_dffs())
+
+    def test_zero_chains_rejected(self, nl):
+        with pytest.raises(ValueError):
+            stitch_scan_chain(nl, n_chains=0)

@@ -1,0 +1,119 @@
+"""Tests for the ATPG test-set driver and the VCD exporter."""
+
+import re
+
+import pytest
+
+from repro.cdfg import suite
+from repro.gatelevel.expand import expand_datapath
+from repro.gatelevel.faults import Fault, all_faults
+from repro.gatelevel.fault_sim import fault_simulate
+from repro.gatelevel.gates import Netlist
+from repro.gatelevel.simulate import simulate_sequence
+from repro.gatelevel.test_generation import generate_tests
+from repro.gatelevel.vcd import trace_to_vcd
+from tests.conftest import synthesize
+
+
+@pytest.fixture
+def fullscan_nl():
+    dp, *_ = synthesize(suite.figure1(width=3))
+    dp.mark_scan(*[r.name for r in dp.registers])
+    nl, _ = expand_datapath(dp)
+    return nl
+
+
+class TestGenerateTests:
+    def test_full_coverage_on_fullscan(self, fullscan_nl):
+        ts = generate_tests(fullscan_nl)
+        assert ts.coverage == 1.0
+        assert ts.test_efficiency == 1.0
+        assert not ts.aborted
+
+    def test_fault_dropping_compacts(self, fullscan_nl):
+        ts = generate_tests(fullscan_nl)
+        # far fewer vectors than faults (dropping works)
+        assert len(ts.vectors) < 0.3 * ts.total_faults
+
+    def test_vectors_replay(self, fullscan_nl):
+        """Replaying the vectors detects every claimed fault."""
+        ts = generate_tests(fullscan_nl)
+        scan = {g.name for g in fullscan_nl.scan_dffs()}
+        redetected: set[Fault] = set()
+        remaining = sorted(ts.detected)
+        for vec in ts.vectors:
+            piv = {k: v for k, v in vec.items() if k not in scan}
+            st = {k: v for k, v in vec.items() if k in scan}
+            res = fault_simulate(
+                fullscan_nl, remaining, [piv], width=1, initial_state=st
+            )
+            redetected |= {f for f, d in res.items() if d}
+            remaining = [f for f in remaining if f not in redetected]
+        assert redetected == ts.detected
+
+    def test_partial_vectors_subset_of_complete(self, fullscan_nl):
+        ts = generate_tests(fullscan_nl)
+        for partial, full in zip(ts.partial_vectors, ts.vectors):
+            for k, v in partial.items():
+                assert full[k] == v
+
+    def test_fault_subset_respected(self, fullscan_nl):
+        sample = all_faults(fullscan_nl)[:20]
+        ts = generate_tests(fullscan_nl, faults=sample)
+        assert ts.total_faults == 20
+        assert ts.detected <= set(sample)
+
+    def test_redundant_fault_classified(self):
+        nl = Netlist("red")
+        nl.add("a", "input")
+        nl.add("na", "not", "a")
+        nl.add("y", "and", "a", "na")
+        nl.add_output("y")
+        ts = generate_tests(nl, faults=[Fault("y", 0)])
+        assert ts.untestable == [Fault("y", 0)]
+        assert ts.test_efficiency == 1.0
+
+
+class TestVCD:
+    @pytest.fixture
+    def counter(self):
+        nl = Netlist("cnt")
+        nl.add("en", "input")
+        nl.add("q", "dff", "d")
+        nl.add("nq", "not", "q")
+        nl.add("d", "mux", "en", "nq", "q")
+        nl.add_output("q")
+        return nl
+
+    def test_header_and_vars(self, counter):
+        trace = simulate_sequence(counter, [{"en": 1}] * 4, width=1)
+        vcd = trace_to_vcd(counter, trace)
+        assert "$timescale 1ns $end" in vcd
+        assert re.search(r"\$var wire 1 \S+ en \$end", vcd)
+        assert re.search(r"\$var wire 1 \S+ q \$end", vcd)
+
+    def test_value_changes_recorded(self, counter):
+        trace = simulate_sequence(counter, [{"en": 1}] * 4, width=1)
+        vcd = trace_to_vcd(counter, trace, nets=["q"])
+        # q toggles every cycle: 0,1,0,1 -> a change at each timestamp
+        changes = re.findall(r"^([01])(\S+)$", vcd, re.M)
+        assert [c[0] for c in changes] == ["0", "1", "0", "1"]
+
+    def test_no_redundant_changes(self, counter):
+        trace = simulate_sequence(counter, [{"en": 0}] * 4, width=1)
+        vcd = trace_to_vcd(counter, trace, nets=["q"])
+        changes = re.findall(r"^([01])\S+$", vcd, re.M)
+        assert changes == ["0"]  # constant thereafter
+
+    def test_timestamps_monotone(self, counter):
+        trace = simulate_sequence(counter, [{"en": 1}] * 3, width=1)
+        vcd = trace_to_vcd(counter, trace)
+        stamps = [int(m) for m in re.findall(r"^#(\d+)$", vcd, re.M)]
+        assert stamps == sorted(stamps)
+        assert stamps[-1] == 3
+
+    def test_identifier_uniqueness(self):
+        from repro.gatelevel.vcd import _identifier
+
+        ids = {_identifier(i) for i in range(500)}
+        assert len(ids) == 500

@@ -1,0 +1,78 @@
+"""Tests for the test-vector file format."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.gatelevel.expand import expand_datapath
+from repro.gatelevel.faults import Fault
+from repro.gatelevel.test_generation import generate_tests
+from repro.gatelevel.vectors import (
+    check_vectors,
+    read_vectors,
+    write_vectors,
+)
+from tests.conftest import synthesize
+
+
+@pytest.fixture
+def nl_and_tests():
+    dp, *_ = synthesize(suite.figure1(width=3))
+    dp.mark_scan(*[r.name for r in dp.registers])
+    nl, _ = expand_datapath(dp)
+    ts = generate_tests(nl)
+    return nl, ts
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, nl_and_tests):
+        nl, ts = nl_and_tests
+        text = write_vectors(nl, ts.vectors)
+        vf = read_vectors(text)
+        assert len(vf) == len(ts.vectors)
+        for (vec, _exp), orig in zip(vf.vectors, ts.vectors):
+            for col in vf.inputs:
+                assert vec[col] == (orig.get(col, 0) & 1)
+
+    def test_file_is_self_checking(self, nl_and_tests):
+        nl, ts = nl_and_tests
+        vf = read_vectors(write_vectors(nl, ts.vectors))
+        assert check_vectors(nl, vf) == []
+
+    def test_detects_netlist_change(self, nl_and_tests):
+        """A corrupted circuit must fail some recorded vector."""
+        nl, ts = nl_and_tests
+        vf = read_vectors(write_vectors(nl, ts.vectors))
+        from repro.gatelevel.gates import Netlist
+
+        bad = Netlist(nl.name)
+        for g in nl:
+            kind = "xnor" if g.kind == "xor" else g.kind
+            bad.add(g.name, kind, *g.inputs, scan=g.scan)
+        bad.outputs = list(nl.outputs)
+        assert check_vectors(bad, vf) != []
+
+
+class TestFormat:
+    def test_header_required(self):
+        with pytest.raises(ValueError, match="header"):
+            read_vectors("inputs a\noutputs y\n0 -> 1\n")
+
+    def test_bit_count_checked(self, nl_and_tests):
+        nl, ts = nl_and_tests
+        text = write_vectors(nl, ts.vectors[:1])
+        lines = text.splitlines()
+        lines[-1] = lines[-1][1:]  # drop one bit
+        with pytest.raises(ValueError, match="mismatch"):
+            read_vectors("\n".join(lines))
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            read_vectors(
+                "# repro test vectors v1\ninputs a\noutputs y\nnope\n"
+            )
+
+    def test_columns_cover_scan_state(self, nl_and_tests):
+        nl, ts = nl_and_tests
+        vf = read_vectors(write_vectors(nl, ts.vectors[:1]))
+        scan_ffs = {g.name for g in nl.scan_dffs()}
+        assert scan_ffs <= set(vf.inputs)

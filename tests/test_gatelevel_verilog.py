@@ -1,0 +1,93 @@
+"""Tests for the structural Verilog exporters."""
+
+import re
+
+import pytest
+
+from repro.cdfg import suite
+from repro.gatelevel.expand import expand_datapath
+from repro.gatelevel.verilog import datapath_to_verilog, netlist_to_verilog
+from tests.conftest import synthesize
+
+
+@pytest.fixture
+def dp():
+    d, *_ = synthesize(suite.figure1(width=4))
+    return d
+
+
+class TestNetlistExport:
+    def test_module_header_and_footer(self, dp):
+        nl, _ = expand_datapath(dp)
+        v = netlist_to_verilog(nl)
+        assert v.startswith("module ")
+        assert v.rstrip().endswith("endmodule")
+
+    def test_every_pi_is_port(self, dp):
+        nl, _ = expand_datapath(dp)
+        v = netlist_to_verilog(nl)
+        for pi in nl.inputs():
+            assert re.search(rf"input {re.escape(pi)};", v), pi
+
+    def test_dffs_in_always_block(self, dp):
+        nl, _ = expand_datapath(dp)
+        v = netlist_to_verilog(nl)
+        assert "always @(posedge clk)" in v
+        assert v.count("<=") == len(nl.dffs())
+
+    def test_scan_annotation(self, dp):
+        dp.mark_scan(dp.registers[0].name)
+        nl, _ = expand_datapath(dp)
+        v = netlist_to_verilog(nl)
+        assert v.count("// scan") == dp.registers[0].width
+
+    def test_gate_counts_match(self, dp):
+        nl, _ = expand_datapath(dp)
+        v = netlist_to_verilog(nl)
+        for prim in ("xor", "and", "or"):
+            declared = len(re.findall(rf"^  {prim} g\d+ ", v, re.M))
+            actual = sum(1 for g in nl if g.kind == prim)
+            assert declared == actual, prim
+
+    def test_po_assignments(self, dp):
+        nl, _ = expand_datapath(dp)
+        v = netlist_to_verilog(nl)
+        assert v.count("assign po_") == len(nl.outputs)
+
+    def test_custom_module_name(self, dp):
+        nl, _ = expand_datapath(dp)
+        v = netlist_to_verilog(nl, module_name="my_top")
+        assert "module my_top (" in v
+
+
+class TestDatapathExport:
+    def test_word_level_ports(self, dp):
+        v = datapath_to_verilog(dp)
+        assert "input [3:0] pi_a;" in v
+        assert "output [3:0] po_g;" in v
+
+    def test_register_declarations(self, dp):
+        v = datapath_to_verilog(dp)
+        for r in dp.registers:
+            assert f"reg [3:0] {r.name};" in v
+
+    def test_load_enables_guard_writes(self, dp):
+        v = datapath_to_verilog(dp)
+        writes = re.findall(r"if \((\w+)_load\) (\w+) <=", v)
+        assert writes
+        for guard, target in writes:
+            assert guard == target
+
+    def test_operators_present(self, dp):
+        v = datapath_to_verilog(dp)
+        assert re.search(r"alu\d+_p0 \+ alu\d+_p1", v)
+
+    def test_scan_comment(self, dp):
+        dp.mark_scan(dp.registers[0].name)
+        v = datapath_to_verilog(dp)
+        assert "// scan" in v
+
+    def test_multi_kind_unit_gets_fn_select(self):
+        d, *_ = synthesize(suite.tseng(width=4))
+        v = datapath_to_verilog(d)
+        assert re.search(r"input \[3:0\] alu\d+_fn;", v)

@@ -1,0 +1,129 @@
+"""Tests for test environments and hierarchical test composition."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import critical_path_length
+from repro.hier import (
+    compose_module_tests,
+    environment_aware_binding,
+    exhaustive_module_tests,
+    hierarchical_test_suite,
+    modify_for_environments,
+    module_test_environments,
+    operation_test_environment,
+    verify_environment,
+)
+from repro.hls import allocate_for_latency, bind_functional_units, list_schedule
+
+
+class TestOperationEnvironments:
+    def test_figure1_all_ops_have_environments(self, figure1):
+        for op in figure1.operations:
+            env = operation_test_environment(figure1, op)
+            assert env is not None, op
+
+    def test_environment_is_verified(self, figure1):
+        env = operation_test_environment(figure1, "+2")
+        assert verify_environment(figure1, env, trials=8)
+
+    def test_carriers_are_primary_inputs(self, figure1):
+        env = operation_test_environment(figure1, "+2")
+        pis = {v.name for v in figure1.primary_inputs()}
+        assert set(env.carriers) <= pis
+
+    def test_pins_hold_identities(self, figure1):
+        env = operation_test_environment(figure1, "+1")
+        assert all(v == 0 for v in env.pins.values())  # adds: identity 0
+
+    def test_deep_op_found_through_chain(self, figure1):
+        env = operation_test_environment(figure1, "+5")
+        assert env is not None
+        # justifying e = c + d needs d pinned to 0 and c = a + b with
+        # b pinned to 0
+        assert env.pins.get("d") == 0
+
+    def test_carried_op_has_no_environment(self, diffeq_loop):
+        assert operation_test_environment(diffeq_loop, "+1") is None
+
+    def test_multiplier_identity_pin(self, diffeq):
+        env = operation_test_environment(diffeq, "*4")
+        if env is not None:
+            # anything pinned on a multiply path is pinned to 1
+            assert all(v in (0, 1) for v in env.pins.values())
+
+
+class TestModuleEnvironments:
+    @pytest.fixture
+    def bound(self, diffeq):
+        lat = int(1.6 * critical_path_length(diffeq))
+        alloc = allocate_for_latency(diffeq, lat)
+        sched = list_schedule(diffeq, alloc)
+        return diffeq, sched, alloc
+
+    def test_per_unit_reporting(self, bound):
+        c, sched, alloc = bound
+        fub = bind_functional_units(c, sched, alloc)
+        envs = module_test_environments(c, fub)
+        assert set(envs) == set(fub.units())
+
+    def test_environment_aware_binding_not_worse(self, bound):
+        c, sched, alloc = bound
+        naive = bind_functional_units(c, sched, alloc)
+        aware = environment_aware_binding(c, sched, alloc)
+        n_naive = sum(
+            1 for e in module_test_environments(c, naive).values() if e
+        )
+        n_aware = sum(
+            1 for e in module_test_environments(c, aware).values() if e
+        )
+        assert n_aware >= n_naive
+
+    def test_modification_covers_needy_units(self, bound):
+        c, sched, alloc = bound
+        fub = bind_functional_units(c, sched, alloc)
+        modified, needy = modify_for_environments(c, fub)
+        if needy:
+            assert len(modified) > len(c)
+            # Control points add tmode; observe-only modification adds
+            # a fresh test output instead.
+            new_outputs = {
+                v.name for v in modified.primary_outputs()
+            } - {v.name for v in c.primary_outputs()}
+            assert "tmode" in modified.variables or new_outputs
+
+
+class TestComposer:
+    def test_module_test_corners(self):
+        pairs = exhaustive_module_tests(8, budget=30)
+        assert (0, 0) in pairs and (255, 255) in pairs
+        assert len(pairs) == 30
+
+    def test_composed_tests_verified(self, figure1):
+        env = operation_test_environment(figure1, "+2")
+        tests = compose_module_tests(
+            figure1, env, "alu0", [(1, 2), (200, 55), (255, 255)]
+        )
+        assert len(tests) == 3
+        for t in tests:
+            assert t.observe == env.observe
+
+    def test_expected_value_matches_operation(self, figure1):
+        env = operation_test_environment(figure1, "+2")
+        tests = compose_module_tests(figure1, env, "alu0", [(3, 4)])
+        assert tests[0].expected == 7  # identity propagation of c + d
+
+    def test_suite_covers_env_units(self, figure1):
+        from repro.hls import Allocation
+
+        alloc = Allocation({"alu": 2})
+        sched = list_schedule(figure1, alloc)
+        fub = bind_functional_units(figure1, sched, alloc)
+        envs = module_test_environments(figure1, fub)
+        tests, uncovered = hierarchical_test_suite(
+            figure1, envs, width=8, budget_per_module=4
+        )
+        covered_units = {t.unit for t in tests}
+        assert covered_units == {
+            u for u, e in envs.items() if e is not None
+        }

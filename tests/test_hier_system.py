@@ -1,0 +1,183 @@
+"""Tests for hierarchical system designs and global test modes."""
+
+import random
+
+import pytest
+
+from repro.cdfg.builder import CDFGBuilder
+from repro.cdfg.graph import CDFGError
+from repro.cdfg.interpret import run_iteration
+from repro.hier.system import (
+    SystemDesign,
+    flatten,
+    modify_top_level,
+    module_access,
+)
+
+
+def stage(name, transparent=True):
+    b = CDFGBuilder(name)
+    b.inputs("x", "k")
+    b.outputs("y")
+    if transparent:
+        b.add("x", "k", "t1")
+        b.add("t1", "k", "y")
+    else:
+        b.mul("x", "x", "t1")  # squaring: no identity pass-through
+        b.add("t1", "k", "y")
+    return b.build()
+
+
+@pytest.fixture
+def pipeline():
+    s = SystemDesign("pipe3")
+    for inst in ("pre", "core", "post"):
+        s.add_module(inst, stage(inst))
+    s.connect(("pre", "y"), ("core", "x"))
+    s.connect(("core", "y"), ("post", "x"))
+    return s
+
+
+class TestFlatten:
+    def test_valid_and_sized(self, pipeline):
+        flat = flatten(pipeline)
+        flat.validate()
+        assert len(flat) == 6  # 2 ops x 3 modules
+
+    def test_system_io(self, pipeline):
+        flat = flatten(pipeline)
+        pis = {v.name for v in flat.primary_inputs()}
+        pos = {v.name for v in flat.primary_outputs()}
+        assert pis == {"pre.x", "pre.k", "core.k", "post.k"}
+        assert pos == {"post.y"}
+
+    def test_semantics_compose(self, pipeline):
+        """flat(pipe) == post(core(pre(x)))."""
+        flat = flatten(pipeline)
+        rng = random.Random(0)
+        for _ in range(4):
+            x = rng.randrange(256)
+            ks = {m: rng.randrange(256) for m in ("pre", "core", "post")}
+            v = run_iteration(flat, {
+                "pre.x": x, "pre.k": ks["pre"],
+                "core.k": ks["core"], "post.k": ks["post"],
+            })
+            expect = x
+            for m in ("pre", "core", "post"):
+                expect = (expect + 2 * ks[m]) & 0xFF
+            assert v["post.y"] == expect
+
+    def test_connection_type_checks(self, pipeline):
+        with pytest.raises(CDFGError):
+            pipeline.connect(("pre", "x"), ("post", "k"))  # x not output
+        with pytest.raises(CDFGError):
+            pipeline.connect(("pre", "y"), ("core", "x"))  # already driven
+
+    def test_duplicate_instance_rejected(self, pipeline):
+        with pytest.raises(CDFGError):
+            pipeline.add_module("pre", stage("again"))
+
+
+class TestModuleAccess:
+    def test_all_stages_accessible_when_transparent(self, pipeline):
+        for inst in ("pre", "core", "post"):
+            assert module_access(pipeline, inst) is not None, inst
+
+    def test_access_pins_neighbours_to_identity(self, pipeline):
+        acc = module_access(pipeline, "core")
+        assert acc.pins.get("pre.k") == 0
+        assert acc.pins.get("post.k") == 0
+
+    def test_blocked_by_nontransparent_upstream(self):
+        s = SystemDesign("blocked")
+        s.add_module("pre", stage("pre", transparent=False))
+        s.add_module("core", stage("core"))
+        s.connect(("pre", "y"), ("core", "x"))
+        assert module_access(s, "core") is None
+
+    def test_modification_restores_access(self):
+        s = SystemDesign("blocked")
+        s.add_module("pre", stage("pre", transparent=False))
+        s.add_module("core", stage("core"))
+        s.connect(("pre", "y"), ("core", "x"))
+        s2, changed = modify_top_level(s, "core")
+        assert changed == ["core"]
+        acc = module_access(s2, "core")
+        assert acc is not None
+        # the carrier for the shadowed input is the fresh test input
+        assert any(
+            pi.endswith("tin_x") for pi in acc.input_carriers.values()
+        )
+
+    def test_unconnected_module_needs_no_modification(self):
+        s = SystemDesign("solo")
+        s.add_module("only", stage("only"))
+        s2, changed = modify_top_level(s, "only")
+        assert changed == []
+        assert s2 is s
+
+    def test_access_verified_by_execution(self, pipeline):
+        """module_access verifies; corrupt pins must be caught."""
+        flat = flatten(pipeline)
+        acc = module_access(pipeline, "core", flat=flat)
+        # sanity: run the access and check the justified value arrives
+        inputs = {v.name: 0 for v in flat.primary_inputs()}
+        inputs.update(acc.pins)
+        inputs[acc.input_carriers["x"]] = 99
+        vals = run_iteration(flat, inputs)
+        assert vals[acc.flat_inputs["x"]] == 99
+
+
+class TestFlattenProperty:
+    def test_random_pipelines_compose(self):
+        """Flattened pipelines of random acyclic modules compute the
+        sequential composition of their stages."""
+        import random
+
+        from repro.cdfg.generate import random_dag_cdfg
+        from repro.cdfg.interpret import run_iteration
+
+        rng = random.Random(3)
+        for seed in range(4):
+            stages = []
+            for k in range(3):
+                m = random_dag_cdfg(6, n_inputs=2, seed=seed * 10 + k)
+                stages.append(m)
+            s = SystemDesign(f"rand_pipe{seed}")
+            for k, m in enumerate(stages):
+                s.add_module(f"m{k}", m)
+            # wire first output of stage k to first input of stage k+1
+            for k in range(2):
+                out0 = sorted(
+                    v.name for v in stages[k].primary_outputs()
+                )[0]
+                in0 = sorted(
+                    v.name for v in stages[k + 1].primary_inputs()
+                )[0]
+                s.connect((f"m{k}", out0), (f"m{k + 1}", in0))
+            flat = flatten(s)
+            flat.validate()
+            # execute flat vs stage-by-stage
+            inputs = {
+                v.name: rng.randrange(256)
+                for v in flat.primary_inputs()
+            }
+            flat_vals = run_iteration(flat, inputs)
+            carry = None
+            for k, m in enumerate(stages):
+                local = {}
+                for v in m.primary_inputs():
+                    q = f"m{k}.{v.name}"
+                    if q in inputs:
+                        local[v.name] = inputs[q]
+                    else:
+                        local[v.name] = carry
+                vals = run_iteration(m, local)
+                out0 = sorted(
+                    v.name for v in m.primary_outputs()
+                )[0]
+                carry = vals[out0]
+            final_out = sorted(
+                v.name for v in stages[-1].primary_outputs()
+            )[0]
+            assert flat_vals[f"m2.{final_out}"] == carry

@@ -1,0 +1,55 @@
+"""Tests for resource allocation."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import critical_path_length
+from repro.hls.allocation import (
+    Allocation,
+    AllocationError,
+    allocate_for_latency,
+    minimal_allocation,
+)
+
+
+class TestAllocation:
+    def test_unit_classes_default(self):
+        a = Allocation({"alu": 1, "mult": 2})
+        assert a.unit_class("+") == "alu"
+        assert a.unit_class("-") == "alu"
+        assert a.unit_class("*") == "mult"
+
+    def test_unknown_kind_gets_own_class(self):
+        a = Allocation({"weird": 1})
+        assert a.unit_class("weird") == "weird"
+
+    def test_unit_names(self):
+        a = Allocation({"alu": 3})
+        assert a.unit_names("alu") == ["alu0", "alu1", "alu2"]
+
+    def test_validate_for(self, diffeq):
+        with pytest.raises(AllocationError):
+            Allocation({"alu": 1}).validate_for(diffeq)
+        Allocation({"alu": 1, "mult": 1}).validate_for(diffeq)
+
+
+class TestMinimal:
+    def test_one_unit_per_class(self, diffeq):
+        a = minimal_allocation(diffeq)
+        assert a.count("alu") == 1
+        assert a.count("mult") == 1
+
+
+class TestForLatency:
+    def test_lower_bound(self, diffeq):
+        # 6 mults x 2 cycles = 12 unit-steps; at latency 6 -> 2 mults.
+        a = allocate_for_latency(diffeq, 6)
+        assert a.count("mult") == 2
+
+    def test_relaxed_latency_needs_one(self, diffeq):
+        a = allocate_for_latency(diffeq, 14)
+        assert a.count("mult") == 1
+
+    def test_below_cpl_rejected(self, diffeq):
+        with pytest.raises(AllocationError):
+            allocate_for_latency(diffeq, critical_path_length(diffeq) - 1)

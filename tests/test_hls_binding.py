@@ -1,0 +1,88 @@
+"""Tests for FU binding and register assignment."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import asap_schedule
+from repro.cdfg.graph import CDFGError
+from repro.cdfg.lifetimes import variable_lifetimes
+from repro.hls.allocation import Allocation, AllocationError
+from repro.hls.binding import (
+    FUBinding,
+    RegisterAssignment,
+    assign_registers_coloring,
+    assign_registers_left_edge,
+    bind_functional_units,
+)
+from repro.hls.conflict import chromatic_lower_bound, conflict_graph
+from repro.hls.scheduling import Schedule, asap, list_schedule
+
+
+class TestFUBinding:
+    def test_no_double_booking(self, figure1):
+        alloc = Allocation({"alu": 2})
+        s = list_schedule(figure1, alloc)
+        b = bind_functional_units(figure1, s, alloc)
+        b.verify(figure1, s)
+
+    def test_prefer_pins_op(self, figure1):
+        alloc = Allocation({"alu": 2})
+        s = list_schedule(figure1, alloc)
+        b = bind_functional_units(figure1, s, alloc, prefer={"+5": "alu1"})
+        assert b.unit_of("+5") == "alu1"
+
+    def test_infeasible_raises(self, figure1):
+        s = asap(figure1)  # 2 adds in step 1
+        with pytest.raises(AllocationError):
+            bind_functional_units(figure1, s, Allocation({"alu": 1}))
+
+    def test_verify_catches_conflict(self, figure1):
+        s = asap(figure1)
+        bad = FUBinding({o: "alu0" for o in figure1.operations})
+        with pytest.raises(AllocationError):
+            bad.verify(figure1, s)
+
+    def test_multicycle_blocks_unit(self, diffeq):
+        alloc = Allocation({"alu": 1, "mult": 2})
+        s = list_schedule(diffeq, alloc)
+        b = bind_functional_units(diffeq, s, alloc)
+        b.verify(diffeq, s)  # would raise if 2-cycle mults overlapped
+
+
+class TestRegisterAssignment:
+    def test_left_edge_minimum_on_intervals(self, figure1):
+        s = asap(figure1)
+        ra = assign_registers_left_edge(figure1, s)
+        lts = variable_lifetimes(figure1, s.steps)
+        ra.verify(lts)
+        lower = chromatic_lower_bound(conflict_graph(lts))
+        assert ra.num_registers == lower
+
+    def test_coloring_close_to_left_edge(self, iir2):
+        alloc = Allocation({"alu": 2, "mult": 2})
+        s = list_schedule(iir2, alloc)
+        le = assign_registers_left_edge(iir2, s)
+        col = assign_registers_coloring(iir2, s)
+        assert col.num_registers <= le.num_registers + 2
+
+    def test_verify_catches_overlap(self, figure1):
+        s = asap(figure1)
+        lts = variable_lifetimes(figure1, s.steps)
+        bad = RegisterAssignment({v: 0 for v in figure1.variables})
+        with pytest.raises(CDFGError):
+            bad.verify(lts)
+
+    def test_extra_conflicts_respected(self, figure1):
+        s = asap(figure1)
+        base = assign_registers_left_edge(figure1, s)
+        # force 'a' and 'c' apart (they share by default via left-edge)
+        ra = assign_registers_left_edge(
+            figure1, s, extra_conflicts=[("a", "c")]
+        )
+        assert ra.register_of["a"] != ra.register_of["c"]
+
+    def test_registers_listing(self, figure1):
+        s = asap(figure1)
+        ra = assign_registers_left_edge(figure1, s)
+        regs = ra.registers()
+        assert sum(len(r) for r in regs) == len(figure1.variables)

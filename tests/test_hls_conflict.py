@@ -1,0 +1,93 @@
+"""Tests for conflict-graph machinery."""
+
+import networkx as nx
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import asap_schedule
+from repro.cdfg.lifetimes import Lifetime, variable_lifetimes
+from repro.hls.conflict import (
+    chromatic_lower_bound,
+    color_conflict_graph,
+    conflict_graph,
+)
+
+
+def lt(name, steps):
+    return Lifetime(name, frozenset(steps))
+
+
+class TestConflictGraph:
+    def test_edges_iff_overlap(self):
+        lts = {
+            "a": lt("a", {1, 2}),
+            "b": lt("b", {2, 3}),
+            "c": lt("c", {4}),
+        }
+        g = conflict_graph(lts)
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("a", "c")
+        assert not g.has_edge("b", "c")
+
+    def test_extra_edges_added(self):
+        lts = {"a": lt("a", {1}), "b": lt("b", {2})}
+        g = conflict_graph(lts, extra_edges=[("a", "b")])
+        assert g.has_edge("a", "b")
+
+    def test_extra_self_edge_ignored(self):
+        lts = {"a": lt("a", {1})}
+        g = conflict_graph(lts, extra_edges=[("a", "a")])
+        assert not g.has_edge("a", "a")
+
+    def test_unknown_extra_edge_ignored(self):
+        lts = {"a": lt("a", {1})}
+        g = conflict_graph(lts, extra_edges=[("a", "zz")])
+        assert "zz" not in g
+
+    def test_from_real_schedule(self, figure1):
+        lts = variable_lifetimes(figure1, asap_schedule(figure1))
+        g = conflict_graph(lts)
+        assert g.number_of_nodes() == len(figure1.variables)
+        assert g.has_edge("a", "b")  # both alive at step 1
+
+
+class TestColoring:
+    def test_valid_coloring(self, figure1):
+        lts = variable_lifetimes(figure1, asap_schedule(figure1))
+        g = conflict_graph(lts)
+        colors = color_conflict_graph(g)
+        for u, v in g.edges:
+            assert colors[u] != colors[v]
+
+    def test_preferred_order_seeds_first(self):
+        g = nx.Graph()
+        g.add_nodes_from("abcd")
+        g.add_edge("a", "b")
+        colors = color_conflict_graph(g, preferred_order=["b", "a"])
+        assert colors["b"] == 0  # first preferred node takes color 0
+
+    def test_colors_contiguous(self, iir2):
+        lts = variable_lifetimes(iir2, asap_schedule(iir2))
+        colors = color_conflict_graph(conflict_graph(lts))
+        used = set(colors.values())
+        assert used == set(range(len(used)))
+
+
+class TestLowerBound:
+    def test_clique(self):
+        g = nx.complete_graph(5)
+        assert chromatic_lower_bound(g) == 5
+
+    def test_empty(self):
+        assert chromatic_lower_bound(nx.Graph()) == 0
+
+    def test_independent_set(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        assert chromatic_lower_bound(g) == 1
+
+    def test_interval_graph_exact(self, figure1):
+        lts = variable_lifetimes(figure1, asap_schedule(figure1))
+        g = conflict_graph(lts)
+        colors = color_conflict_graph(g)
+        assert chromatic_lower_bound(g) == len(set(colors.values()))

@@ -1,0 +1,125 @@
+"""Tests for data-path construction and the controller."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.hls import (
+    Allocation,
+    area_estimate,
+    assign_registers_left_edge,
+    bind_functional_units,
+    build_controller,
+    build_datapath,
+    list_schedule,
+)
+from repro.hls.estimate import overhead_percent, register_area, unit_area
+from tests.conftest import synthesize
+
+
+class TestDatapath:
+    def test_every_variable_has_register(self, figure1_dp):
+        for v in figure1_dp.cdfg.variables:
+            assert figure1_dp.register_of_variable(v) is not None
+
+    def test_io_register_flags(self, figure1_dp):
+        in_regs = figure1_dp.input_registers()
+        out_regs = figure1_dp.output_registers()
+        assert in_regs and out_regs
+        pi_regs = {
+            figure1_dp.register_of_variable(v.name).name
+            for v in figure1_dp.cdfg.primary_inputs()
+        }
+        assert pi_regs == {r.name for r in in_regs}
+
+    def test_transfer_per_operation(self, figure1_dp):
+        assert len(figure1_dp.transfers) == len(figure1_dp.cdfg.operations)
+
+    def test_transfer_consistency(self, figure1_dp):
+        for t in figure1_dp.transfers:
+            op = figure1_dp.cdfg.operation(t.operation)
+            assert t.dest_register == (
+                figure1_dp.register_of_variable(op.output).name
+            )
+            assert len(t.source_registers) == len(op.inputs)
+
+    def test_mark_scan(self, figure1_dp):
+        name = figure1_dp.registers[0].name
+        figure1_dp.mark_scan(name)
+        assert [r.name for r in figure1_dp.scan_registers()] == [name]
+
+    def test_mux_count_positive_when_shared(self, iir2_dp):
+        assert iir2_dp.mux_count() > 0
+
+    def test_unit_input_sources_shape(self, figure1_dp):
+        srcs = figure1_dp.unit_input_sources()
+        for unit, ports in srcs.items():
+            assert len(ports) == 2  # binary operations
+
+    def test_register_sources_include_pi(self, figure1_dp):
+        srcs = figure1_dp.register_sources()
+        pi_marks = {
+            s for regs in srcs.values() for s in regs if s.startswith("PI:")
+        }
+        assert len(pi_marks) == len(figure1_dp.cdfg.primary_inputs())
+
+
+class TestController:
+    @pytest.fixture
+    def ctrl(self, figure1_dp):
+        return build_controller(figure1_dp)
+
+    def test_word_count(self, figure1_dp, ctrl):
+        n = figure1_dp.schedule.length_with_delays(figure1_dp.cdfg)
+        assert ctrl.num_steps == n + 1  # prologue word 0
+
+    def test_prologue_loads_inputs(self, figure1_dp, ctrl):
+        w0 = ctrl.words[0]
+        for v in figure1_dp.cdfg.primary_inputs():
+            reg = figure1_dp.register_of_variable(v.name)
+            assert w0.value(f"{reg.name}.load") == 1
+
+    def test_each_register_loaded_when_written(self, figure1_dp, ctrl):
+        for t in figure1_dp.transfers:
+            assert t.finish_step in ctrl.load_steps(t.dest_register)
+
+    def test_fn_signal_matches_kind(self, figure1_dp, ctrl):
+        for t in figure1_dp.transfers:
+            op = figure1_dp.cdfg.operation(t.operation)
+            w = ctrl.words[t.step]
+            assert w.value(f"{t.unit}.fn") == op.kind
+
+    def test_column_extraction(self, ctrl):
+        sig = ctrl.signal_names()[0]
+        assert len(ctrl.column(sig)) == ctrl.num_steps
+
+
+class TestAreaEstimate:
+    def test_breakdown_sums(self, figure1_dp):
+        a = area_estimate(figure1_dp)
+        assert a["total"] == pytest.approx(
+            a["registers"] + a["units"] + a["muxes"]
+        )
+
+    def test_scan_costs_more(self, figure1_dp):
+        before = area_estimate(figure1_dp)["total"]
+        figure1_dp.mark_scan(figure1_dp.registers[0].name)
+        after = area_estimate(figure1_dp)["total"]
+        assert after > before
+
+    def test_register_area_roles(self):
+        assert register_area(8, role="CBILBO") > register_area(8, role="BILBO")
+        assert register_area(8, role="BILBO") > register_area(8)
+        assert register_area(8, scan=True) > register_area(8)
+
+    def test_mult_quadratic(self):
+        assert unit_area("mult", 16) > 3 * unit_area("mult", 8)
+
+    def test_overhead_percent(self):
+        assert overhead_percent(100, 110) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            overhead_percent(0, 5)
+
+    def test_bigger_behavior_bigger_area(self):
+        small, *_ = synthesize(suite.fir(4))
+        big, *_ = synthesize(suite.fir(10))
+        assert area_estimate(big)["total"] > area_estimate(small)["total"]

@@ -1,0 +1,66 @@
+"""Direct unit tests for the area model."""
+
+import pytest
+
+from repro.hls.estimate import (
+    AREA_MODEL,
+    overhead_percent,
+    register_area,
+    unit_area,
+)
+
+
+class TestRegisterArea:
+    def test_role_ladder_ordering(self):
+        """CBILBO > BILBO > TPGR = SR > scan > plain, per width."""
+        w = 8
+        plain = register_area(w)
+        scan = register_area(w, scan=True)
+        tpgr = register_area(w, role="TPGR")
+        sr = register_area(w, role="SR")
+        bilbo = register_area(w, role="BILBO")
+        cbilbo = register_area(w, role="CBILBO")
+        assert plain < scan < tpgr == sr < bilbo < cbilbo
+
+    def test_transparent_between_plain_and_scan(self):
+        assert (
+            register_area(8)
+            < register_area(8, transparent=True)
+            <= register_area(8, scan=True)
+        )
+
+    def test_role_overrides_scan(self):
+        assert register_area(8, role="TPGR", scan=True) == register_area(
+            8, role="TPGR"
+        )
+
+    def test_scales_linearly_with_width(self):
+        assert register_area(16) == 2 * register_area(8)
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(KeyError):
+            register_area(8, role="WIBBLE")
+
+
+class TestUnitArea:
+    def test_multiplier_quadratic(self):
+        assert unit_area("mult", 16) == 4 * unit_area("mult", 8)
+
+    def test_alu_linear(self):
+        assert unit_area("alu", 16) == 2 * unit_area("alu", 8)
+
+    def test_cmp_cheaper_than_alu(self):
+        assert unit_area("cmp", 8) < unit_area("alu", 8)
+
+    def test_model_keys_positive(self):
+        assert all(v > 0 for v in AREA_MODEL.values())
+
+
+class TestOverhead:
+    def test_signs(self):
+        assert overhead_percent(100, 150) == pytest.approx(50.0)
+        assert overhead_percent(100, 80) == pytest.approx(-20.0)
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            overhead_percent(0, 1)

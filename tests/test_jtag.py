@@ -1,0 +1,164 @@
+"""Tests for the IEEE 1149.1 TAP, boundary cells, and wrapper."""
+
+import pytest
+
+from repro.gatelevel.gates import Netlist
+from repro.jtag import (
+    BoundaryCell,
+    BoundaryRegister,
+    Instruction,
+    JTAGWrapper,
+    TAPController,
+    TAPState,
+)
+from repro.jtag.tap import tms_path_to
+
+
+def half_adder_core() -> Netlist:
+    core = Netlist("ha")
+    core.add("a", "input")
+    core.add("b", "input")
+    core.add("s", "xor", "a", "b")
+    core.add("c", "and", "a", "b")
+    core.add_output("s")
+    core.add_output("c")
+    return core
+
+
+def toggle_core() -> Netlist:
+    core = Netlist("tog")
+    core.add("en", "input")
+    core.add("q", "dff", "d")
+    core.add("nq", "not", "q")
+    core.add("d", "mux", "en", "nq", "q")
+    core.add_output("q")
+    return core
+
+
+class TestTAPController:
+    def test_reset_from_anywhere_in_five(self):
+        tap = TAPController()
+        # wander somewhere deep
+        for tms in (0, 1, 0, 0, 1, 0):
+            tap.step(tms)
+        for _ in range(5):
+            tap.step(1)
+        assert tap.state is TAPState.TEST_LOGIC_RESET
+
+    def test_dr_scan_path(self):
+        tap = TAPController()
+        for tms in (0, 1, 0, 0):  # RTI, Select-DR, Capture, Shift
+            tap.step(tms)
+        assert tap.state is TAPState.SHIFT_DR
+        tap.step(1)
+        assert tap.state is TAPState.EXIT1_DR
+        tap.step(1)
+        assert tap.state is TAPState.UPDATE_DR
+
+    def test_pause_loop(self):
+        tap = TAPController()
+        for tms in (0, 1, 0, 0, 1, 0):  # ... Exit1-DR, Pause-DR
+            tap.step(tms)
+        assert tap.state is TAPState.PAUSE_DR
+        tap.step(0)
+        assert tap.state is TAPState.PAUSE_DR
+        tap.step(1)
+        assert tap.state is TAPState.EXIT2_DR
+        tap.step(0)
+        assert tap.state is TAPState.SHIFT_DR
+
+    def test_ir_branch(self):
+        tap = TAPController()
+        for tms in (0, 1, 1, 0, 0):  # RTI, Sel-DR, Sel-IR, Capture, Shift
+            tap.step(tms)
+        assert tap.state is TAPState.SHIFT_IR
+
+    def test_tms_path_finder(self):
+        for goal in TAPState:
+            tap = TAPController()
+            for tms in tms_path_to(TAPState.TEST_LOGIC_RESET, goal):
+                tap.step(tms)
+            assert tap.state is goal
+
+
+class TestBoundaryRegister:
+    def test_shift_order(self):
+        cells = [BoundaryCell(f"c{i}", "input") for i in range(4)]
+        br = BoundaryRegister(cells)
+        outs = [br.shift(b) for b in (1, 0, 1, 1)]
+        # initial zeros emerge first
+        assert outs == [0, 0, 0, 0]
+        assert [c.shift_ff for c in cells] == [1, 1, 0, 1]
+
+    def test_preload_round_trip(self):
+        cells = [BoundaryCell(f"c{i}", "input") for i in range(5)]
+        br = BoundaryRegister(cells)
+        want = {f"c{i}": (i * 3) % 2 for i in range(5)}
+        for bit in br.preload(want):
+            br.shift(bit)
+        assert br.snapshot() == want
+
+    def test_update_and_drive(self):
+        cell = BoundaryCell("p", "input")
+        cell.capture(1)
+        cell.update()
+        assert cell.drive(functional=0, test_mode=True) == 1
+        assert cell.drive(functional=0, test_mode=False) == 0
+
+
+class TestWrapper:
+    def test_idcode_round_trip(self):
+        w = JTAGWrapper(half_adder_core(), idcode=0xCAFED00D)
+        assert w.read_idcode() == 0xCAFED00D
+
+    def test_bypass_is_one_bit_delay(self):
+        w = JTAGWrapper(half_adder_core())
+        w.reset()
+        w.load_instruction(Instruction.BYPASS)
+        assert w.shift_dr_bits([1, 0, 1, 1]) == [0, 1, 0, 1]
+
+    def test_unknown_opcode_falls_back_to_bypass(self):
+        w = JTAGWrapper(half_adder_core())
+        w.reset()
+        # shift the unused opcode 0b011 into the IR by hand
+        w._goto(TAPState.SHIFT_IR)
+        for k, bit in enumerate((1, 1, 0)):  # LSB first
+            w.tick(1 if k == 2 else 0, bit)
+        w._goto(TAPState.UPDATE_IR)
+        assert w.instruction is Instruction.BYPASS
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_intest_truth_table(self, a, b):
+        w = JTAGWrapper(half_adder_core())
+        w.reset()
+        res = w.run_intest({"a": a, "b": b})
+        assert res == {"s": a ^ b, "c": a & b}
+
+    def test_sample_snapshots_functional_pins(self):
+        w = JTAGWrapper(half_adder_core())
+        w.reset()
+        snap = w.sample_pins({"a": 1, "b": 1})
+        assert snap == {"a": 1, "b": 1, "s": 0, "c": 1}
+
+    def test_intest_single_steps_sequential_core(self):
+        w = JTAGWrapper(toggle_core())
+        w.reset()
+        assert w.run_intest({"en": 1}, run_cycles=1) == {"q": 1}
+        assert w.run_intest({"en": 1}, run_cycles=1) == {"q": 0}
+        assert w.run_intest({"en": 0}, run_cycles=3) == {"q": 0}
+        assert w.run_intest({"en": 1}, run_cycles=3) == {"q": 1}
+
+    def test_reset_selects_idcode(self):
+        w = JTAGWrapper(half_adder_core())
+        w.load_instruction(Instruction.BYPASS)
+        w.reset()
+        assert w.instruction is Instruction.IDCODE
+
+    def test_run_cycles_positive(self):
+        w = JTAGWrapper(toggle_core())
+        with pytest.raises(ValueError):
+            w.run_intest({"en": 1}, run_cycles=0)
+
+    def test_boundary_length(self):
+        w = JTAGWrapper(half_adder_core())
+        assert len(w.boundary) == 4  # a, b inputs + s, c outputs

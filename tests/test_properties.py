@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import random
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.bist.registers import LFSR, MISR
+from repro.bist.arithmetic import accumulator_stream, subspace_state_coverage
+from repro.cdfg.analysis import (
+    alap_schedule,
+    asap_schedule,
+    cdfg_loops,
+    critical_path_length,
+    unbroken_loops,
+)
+from repro.cdfg.generate import random_dag_cdfg, random_looped_cdfg
+from repro.cdfg.interpret import run_iteration
+from repro.cdfg.lifetimes import variable_lifetimes
+from repro.hls.allocation import allocate_for_latency
+from repro.hls.binding import assign_registers_left_edge, bind_functional_units
+from repro.hls.conflict import chromatic_lower_bound, conflict_graph
+from repro.hls.datapath import build_datapath
+from repro.hls.scheduling import list_schedule
+from repro.scan.scan_select import select_scan_variables
+from repro.sgraph.build import build_sgraph
+from repro.sgraph.mfvs import greedy_mfvs, _cyclic_core
+import networkx as nx
+
+dag_params = st.tuples(
+    st.integers(min_value=2, max_value=30),   # n_ops
+    st.integers(min_value=2, max_value=6),    # n_inputs
+    st.integers(min_value=0, max_value=1000), # seed
+)
+
+looped_params = st.tuples(
+    st.integers(min_value=6, max_value=30),   # n_ops
+    st.integers(min_value=1, max_value=3),    # n_loops
+    st.integers(min_value=1, max_value=4),    # loop_length
+    st.integers(min_value=0, max_value=1000), # seed
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dag_params)
+def test_asap_is_earliest_feasible(params):
+    n, k, seed = params
+    c = random_dag_cdfg(n, n_inputs=k, seed=seed)
+    asap = asap_schedule(c)
+    for op in c:
+        for v in op.sequencing_inputs():
+            p = c.producer_of(v)
+            if p is not None:
+                assert asap[op.name] >= asap[p.name] + p.delay
+
+
+@settings(max_examples=40, deadline=None)
+@given(dag_params)
+def test_alap_never_before_asap(params):
+    n, k, seed = params
+    c = random_dag_cdfg(n, n_inputs=k, seed=seed)
+    asap, alap = asap_schedule(c), alap_schedule(c)
+    assert all(alap[o] >= asap[o] for o in asap)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dag_params, st.floats(min_value=1.0, max_value=3.0))
+def test_left_edge_matches_clique_bound(params, slack):
+    """On interval-like conflict graphs left-edge is optimal: its
+    register count equals the clique lower bound."""
+    n, k, seed = params
+    c = random_dag_cdfg(n, n_inputs=k, seed=seed)
+    lat = max(1, int(slack * critical_path_length(c)))
+    alloc = allocate_for_latency(c, max(lat, critical_path_length(c)))
+    sched = list_schedule(c, alloc)
+    ra = assign_registers_left_edge(c, sched)
+    lts = variable_lifetimes(c, sched.steps)
+    ra.verify(lts)
+    # left-edge on wrapped (set-based) lifetimes may exceed the clique
+    # bound only when wrap-around intervals exist; random DAGs have none
+    assert ra.num_registers == chromatic_lower_bound(conflict_graph(lts))
+
+
+@settings(max_examples=30, deadline=None)
+@given(looped_params)
+def test_scan_selection_breaks_every_loop(params):
+    n, nl, ll, seed = params
+    assume(nl * ll <= n)
+    c = random_looped_cdfg(n, nl, loop_length=ll, seed=seed)
+    plan = select_scan_variables(c)
+    loops = cdfg_loops(c, bound=2000)
+    assert unbroken_loops(loops, plan.variables) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(looped_params)
+def test_scan_groups_are_lifetime_disjoint(params):
+    from repro.hls.scheduling import asap as asap_s
+
+    n, nl, ll, seed = params
+    assume(nl * ll <= n)
+    c = random_looped_cdfg(n, nl, loop_length=ll, seed=seed)
+    s = asap_s(c)
+    plan = select_scan_variables(c, s)
+    plan.verify(c, s)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dag_params)
+def test_datapath_construction_invariants(params):
+    n, k, seed = params
+    c = random_dag_cdfg(n, n_inputs=k, seed=seed)
+    lat = 2 * critical_path_length(c)
+    alloc = allocate_for_latency(c, lat)
+    sched = list_schedule(c, alloc)
+    fub = bind_functional_units(c, sched, alloc)
+    ra = assign_registers_left_edge(c, sched)
+    dp = build_datapath(c, sched, fub, ra)
+    # every transfer's registers exist, and the S-graph nodes match
+    g = build_sgraph(dp)
+    assert set(g.nodes) == {r.name for r in dp.registers}
+    assert len(dp.transfers) == n
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_mfvs_result_breaks_all_cycles(seed):
+    rng = random.Random(seed)
+    g = nx.gnp_random_graph(10, 0.25, seed=seed, directed=True)
+    g = nx.relabel_nodes(g, {i: f"r{i}" for i in g.nodes})
+    chosen = greedy_mfvs(g)
+    h = _cyclic_core(g)
+    h.remove_nodes_from(chosen)
+    assert nx.is_directed_acyclic_graph(h)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=2**12 - 1),
+)
+def test_lfsr_period_never_repeats_early(width, seed):
+    l = LFSR(width, seed=seed & ((1 << width) - 1) or 1)
+    first = l.step()
+    # no repeat of the first state within min(60, period) further steps
+    horizon = min(60, 2**width - 2)
+    assert first not in l.sequence(horizon)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+             max_size=40),
+    st.integers(min_value=1, max_value=6),
+)
+def test_misr_linearity(stream, flip_at):
+    """Flipping one input word always changes the signature (MISR is
+    linear: signature difference equals the fault syndrome)."""
+    good, bad = MISR(8), MISR(8)
+    pos = flip_at % len(stream)
+    for i, v in enumerate(stream):
+        good.absorb(v)
+        bad.absorb(v ^ (1 if i == pos else 0))
+    # one-bit error within the last `width` shifts cannot alias
+    assert good.signature != bad.signature
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=8),
+    st.integers(min_value=1, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+def test_odd_accumulator_coverage_monotone(width, inc, seed):
+    inc |= 1  # odd
+    mask = (1 << width) - 1
+    short = accumulator_stream(width, inc & mask or 1, seed & mask, 8)
+    longer = accumulator_stream(width, inc & mask or 1, seed & mask, 32)
+    k = min(3, width)
+    assert subspace_state_coverage(longer, width, k) >= (
+        subspace_state_coverage(short, width, k)
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=12),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=200),
+)
+def test_synthesized_datapath_computes_its_behavior(n, k, seed):
+    """End-to-end: random behavior -> schedule -> bind -> gates ->
+    controller, and the gate-level composite must agree with the
+    interpreter on every primary output."""
+    from repro.hls.verify import verify_datapath
+
+    c = random_dag_cdfg(n, n_inputs=k, seed=seed, width=3)
+    lat = 2 * critical_path_length(c)
+    alloc = allocate_for_latency(c, lat)
+    sched = list_schedule(c, alloc)
+    fub = bind_functional_units(c, sched, alloc)
+    ra = assign_registers_left_edge(c, sched)
+    dp = build_datapath(c, sched, fub, ra)
+    res = verify_datapath(dp, n_vectors=2, seed=seed)
+    assert res.equivalent, res.mismatches
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_jtag_idcode_roundtrip(idcode):
+    from repro.gatelevel.gates import Netlist
+    from repro.jtag import JTAGWrapper
+
+    core = Netlist("t")
+    core.add("a", "input")
+    core.add("y", "not", "a")
+    core.add_output("y")
+    w = JTAGWrapper(core, idcode=idcode)
+    assert w.read_idcode() == idcode & 0xFFFFFFFF
+
+
+@settings(max_examples=25, deadline=None)
+@given(dag_params, st.integers(min_value=0, max_value=255))
+def test_interpreter_total_and_deterministic(params, fill):
+    n, k, seed = params
+    c = random_dag_cdfg(n, n_inputs=k, seed=seed)
+    inputs = {v.name: fill for v in c.primary_inputs()}
+    v1 = run_iteration(c, inputs)
+    v2 = run_iteration(c, inputs)
+    assert v1 == v2
+    assert set(v1) == set(c.variables)

@@ -1,0 +1,63 @@
+"""API contract: every name a package exports must resolve.
+
+Guards against ``__all__`` drifting from the actual module contents --
+the kind of breakage downstream users hit first.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.cdfg",
+    "repro.hls",
+    "repro.sgraph",
+    "repro.scan",
+    "repro.bist",
+    "repro.gatelevel",
+    "repro.controller_dft",
+    "repro.rtl",
+    "repro.hier",
+    "repro.jtag",
+    "repro.survey",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    mod = importlib.import_module(package)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{package}.__all__ lists {name}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_names_documented(package):
+    """Every exported callable/class carries a docstring."""
+    mod = importlib.import_module(package)
+    for name in getattr(mod, "__all__", []):
+        obj = getattr(mod, name)
+        if callable(obj) or isinstance(obj, type):
+            assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+
+def test_no_cyclic_imports():
+    """Importing every module in isolation must succeed."""
+    import pathlib
+    import subprocess
+    import sys
+
+    root = pathlib.Path(__file__).resolve().parents[1] / "src"
+    mods = sorted(
+        str(p.relative_to(root)).replace("/", ".")[:-3]
+        for p in root.rglob("*.py")
+        if p.name != "__init__.py"
+    )
+    # One subprocess for all modules keeps this fast.
+    code = "import importlib\n" + "\n".join(
+        f"importlib.import_module({m!r})" for m in mods
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stderr

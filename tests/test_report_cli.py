@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro.report`` CLI."""
+
+import io
+
+import pytest
+
+from repro.report import main, report
+
+
+class TestReport:
+    def test_report_renders_sections(self):
+        buf = io.StringIO()
+        report("iir2", width=4, out=buf)
+        text = buf.getvalue()
+        assert "testability report: iir2" in text
+        assert "gate-level MFVS" in text
+        assert "loop-aware [33]" in text
+        assert "BIST sessions" in text
+
+    def test_loop_free_design_message(self):
+        buf = io.StringIO()
+        report("figure1", width=4, out=buf)
+        assert "behavior is loop-free" in buf.getvalue()
+
+    def test_unknown_design_exits(self):
+        with pytest.raises(SystemExit):
+            report("nope")
+
+    def test_main_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "iir2" in out and "figure1" in out
+
+    def test_main_runs_design(self, capsys):
+        assert main(["tseng", "--width", "4"]) == 0
+        assert "tseng" in capsys.readouterr().out
+
+    def test_main_without_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "diffeq" in capsys.readouterr().out
+
+    def test_export_flags(self, tmp_path, capsys):
+        v = tmp_path / "out.v"
+        d = tmp_path / "out.dot"
+        assert main([
+            "figure1", "--width", "3",
+            "--verilog", str(v), "--dot", str(d),
+        ]) == 0
+        assert v.read_text().startswith("module ")
+        assert d.read_text().startswith("digraph ")
+
+    def test_vectors_export(self, tmp_path, capsys):
+        out = tmp_path / "tests.vec"
+        assert main([
+            "figure1", "--width", "3", "--vectors", str(out),
+        ]) == 0
+        from repro.gatelevel import read_vectors
+
+        vf = read_vectors(out.read_text())
+        assert len(vf) > 0

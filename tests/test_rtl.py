@@ -1,0 +1,112 @@
+"""Tests for RTL testability analysis, k-level test points, full scan."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.rtl import (
+    fullscan_report,
+    hard_registers,
+    insert_k_level_test_points,
+    k_level_coverage,
+    rtl_testability,
+)
+from repro.sgraph import build_sgraph, nontrivial_cycles
+from tests.conftest import synthesize
+
+
+class TestRanges:
+    def test_input_registers_are_zero_control(self, iir2_dp):
+        recs = rtl_testability(iir2_dp)
+        for r in iir2_dp.input_registers():
+            assert recs[r.name].min_control == 0
+
+    def test_output_registers_are_zero_observe(self, iir2_dp):
+        recs = rtl_testability(iir2_dp)
+        for r in iir2_dp.output_registers():
+            assert recs[r.name].min_observe == 0
+
+    def test_loop_registers_have_unbounded_max(self, iir2_dp):
+        recs = rtl_testability(iir2_dp)
+        loopy = [r for r in recs.values() if r.on_loop]
+        assert loopy
+        assert all(r.max_control is None for r in loopy)
+
+    def test_scan_resets_distances(self, iir2_dp):
+        recs = rtl_testability(iir2_dp)
+        worst = max(
+            recs.values(),
+            key=lambda r: (r.min_control or 99) + (r.min_observe or 99),
+        )
+        iir2_dp.mark_scan(worst.register)
+        recs2 = rtl_testability(iir2_dp)
+        assert recs2[worst.register].min_control == 0
+        assert recs2[worst.register].min_observe == 0
+
+    def test_hard_registers_prefers_loops(self, iir2_dp):
+        recs = rtl_testability(iir2_dp)
+        hard = hard_registers(iir2_dp, 3)
+        if any(r.on_loop for r in recs.values()):
+            assert any(recs[h].on_loop for h in hard)
+
+
+class TestKLevelTestPoints:
+    @pytest.mark.parametrize("name", ["diffeq_loop", "iir2", "ar4", "ewf"])
+    def test_k1_never_more_than_k0(self, name):
+        dp, *_ = synthesize(suite.standard_suite()[name], slack=1.5)
+        tp0 = insert_k_level_test_points(dp, k=0)
+        tp1 = insert_k_level_test_points(dp, k=1)
+        assert len(tp1) <= len(tp0)
+
+    @pytest.mark.parametrize("name", ["iir2", "ar4"])
+    def test_monotone_in_k(self, name):
+        dp, *_ = synthesize(suite.standard_suite()[name], slack=1.5)
+        counts = [
+            len(insert_k_level_test_points(dp, k=k)) for k in range(4)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_k0_matches_direct_access_requirement(self, iir2_dp):
+        """At k=0 every loop must contain a chosen or I/O register."""
+        g = build_sgraph(iir2_dp)
+        tps = insert_k_level_test_points(iir2_dp, k=0)
+        chosen = {t.register for t in tps}
+        direct = chosen | {
+            n for n, d in g.nodes(data=True)
+            if (d.get("is_input") and d.get("is_output"))
+        }
+        for loop in nontrivial_cycles(g):
+            io_ok = any(
+                (g.nodes[n].get("is_input") or n in chosen)
+                and (g.nodes[n].get("is_output") or n in chosen)
+                for n in loop
+            )
+            assert io_ok
+
+    def test_coverage_grows_with_k(self, iir2_dp):
+        covs = [k_level_coverage(iir2_dp, k) for k in range(5)]
+        assert covs == sorted(covs)
+        assert covs[-1] == 1.0 or covs[-1] >= covs[0]
+
+    def test_acyclic_needs_none(self):
+        from repro.survey import figure1_datapath
+
+        dp = figure1_datapath("c")
+        assert insert_k_level_test_points(dp, k=0) == []
+        assert k_level_coverage(dp, 0) == 1.0
+
+    def test_area_accounting(self, iir2_dp):
+        tps = insert_k_level_test_points(iir2_dp, k=0)
+        assert all(t.area > 0 for t in tps)
+
+
+class TestFullScan:
+    def test_full_coverage_small_design(self):
+        dp, *_ = synthesize(suite.figure1(width=3))
+        rep = fullscan_report(dp, max_faults=120)
+        assert rep.aborted == 0
+        assert rep.test_efficiency == 1.0
+        assert rep.coverage > 0.95
+
+    def test_marks_all_registers(self, small_dp):
+        fullscan_report(small_dp, max_faults=10)
+        assert len(small_dp.scan_registers()) == len(small_dp.registers)

@@ -1,0 +1,48 @@
+"""Tests for boundary-variable scan selection [24]."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import cdfg_loops, unbroken_loops
+from repro.scan.boundary import boundary_variables, select_boundary_variables
+
+
+class TestBoundaryVariables:
+    def test_detects_carried_reads(self, iir2):
+        bv = boundary_variables(iir2)
+        assert "w0" in bv and "w1_0" in bv
+
+    def test_acyclic_with_carried_chain(self):
+        c = suite.fir(4)
+        bv = boundary_variables(c)
+        assert bv  # delay-line taps are carried
+        assert not cdfg_loops(c, bound=1)
+
+
+class TestSelection:
+    @pytest.mark.parametrize("name", ["diffeq_loop", "iir2", "ar4"])
+    def test_breaks_all_loops(self, name):
+        c = suite.standard_suite()[name]
+        plan = select_boundary_variables(c)
+        loops = cdfg_loops(c, bound=2000)
+        assert unbroken_loops(loops, plan.variables) == []
+
+    def test_one_register_per_boundary_variable(self, iir2):
+        plan = select_boundary_variables(iir2)
+        assert all(len(g) == 1 for g in plan.groups)
+
+    def test_only_boundary_variables_selected(self, iir2):
+        plan = select_boundary_variables(iir2)
+        assert plan.variables <= boundary_variables(iir2)
+
+    def test_acyclic_needs_nothing(self, figure1):
+        assert select_boundary_variables(figure1).groups == ()
+
+    def test_typically_at_most_scan_select_plus_margin(self, iir2):
+        """[24] uses one register per boundary variable: never fewer
+        registers than the sharing-aware [33] selection."""
+        from repro.scan.scan_select import select_scan_variables
+
+        b = select_boundary_variables(iir2)
+        s = select_scan_variables(iir2)
+        assert b.num_scan_registers >= s.num_scan_registers

@@ -1,0 +1,56 @@
+"""Tests for the [16] deflection-driven scan sharing pass."""
+
+import random
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import cdfg_loops, unbroken_loops
+from repro.cdfg.generate import random_looped_cdfg
+from repro.cdfg.interpret import equivalent_behavior, functional_mode_inputs
+from repro.scan.deflect import deflect_for_scan_sharing
+
+
+class TestDeflectionPass:
+    def test_never_increases_scan_registers(self):
+        for name, c in suite.standard_suite(looped_only=True).items():
+            r = deflect_for_scan_sharing(c)
+            assert r.scan_registers_saved >= 0, name
+
+    def test_improves_on_random_looped(self):
+        improved = 0
+        for seed in range(6):
+            c = random_looped_cdfg(24, 3, loop_length=4, seed=seed)
+            r = deflect_for_scan_sharing(c)
+            improved += r.scan_registers_saved > 0
+        assert improved >= 2
+
+    def test_transformed_plan_still_breaks_loops(self):
+        c = random_looped_cdfg(24, 3, loop_length=4, seed=0)
+        r = deflect_for_scan_sharing(c)
+        loops = cdfg_loops(r.transformed, bound=2000)
+        assert unbroken_loops(loops, r.plan_after.variables) == []
+
+    def test_behavior_preserved(self):
+        c = random_looped_cdfg(24, 3, loop_length=4, seed=0)
+        r = deflect_for_scan_sharing(c)
+        assert r.deflections >= 1
+        rng = random.Random(1)
+        stream = [
+            {v.name: rng.randrange(256) for v in c.primary_inputs()}
+            for _ in range(6)
+        ]
+        assert equivalent_behavior(
+            c, r.transformed, stream,
+            functional_mode_inputs(r.transformed, c),
+        )
+
+    def test_extra_operations_accounted(self):
+        c = random_looped_cdfg(24, 3, loop_length=4, seed=0)
+        r = deflect_for_scan_sharing(c)
+        assert r.extra_operations == r.deflections
+
+    def test_noop_on_acyclic(self, figure1):
+        r = deflect_for_scan_sharing(figure1)
+        assert r.deflections == 0
+        assert r.transformed is figure1

@@ -1,0 +1,94 @@
+"""Tests for the gate-level MFVS baseline and RTL partial scan."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import critical_path_length
+from repro.scan.gate_level import gate_level_partial_scan
+from repro.scan.report import minimize_scan_registers
+from repro.scan.rtl_partial_scan import rtl_partial_scan
+from repro.sgraph import build_sgraph, is_loop_free, sgraph_without_scan
+from tests.conftest import synthesize
+
+
+class TestGateLevelBaseline:
+    @pytest.mark.parametrize("name", ["diffeq_loop", "iir2", "ar4"])
+    def test_achieves_loop_freedom(self, name):
+        dp, *_ = synthesize(suite.standard_suite()[name], slack=1.5)
+        rep = gate_level_partial_scan(dp)
+        assert rep.loop_free
+        assert rep.scan_registers >= 1
+        assert rep.scan_bits == sum(
+            r.width for r in dp.scan_registers()
+        )
+
+    def test_cost_decreases(self, iir2_dp):
+        rep = gate_level_partial_scan(iir2_dp)
+        assert rep.cost_after.score < rep.cost_before.score
+
+    def test_area_overhead_positive(self, iir2_dp):
+        rep = gate_level_partial_scan(iir2_dp)
+        assert rep.area_overhead_percent > 0
+
+    def test_report_row_renders(self, iir2_dp):
+        rep = gate_level_partial_scan(iir2_dp)
+        assert "gate-level MFVS" in rep.row()
+
+    def test_noop_on_loop_free_datapath(self):
+        from repro.survey import figure1_datapath
+
+        dp = figure1_datapath("c")
+        rep = gate_level_partial_scan(dp)
+        assert rep.scan_registers == 0 and rep.loop_free
+
+
+class TestMinimizeScan:
+    def test_prunes_redundant_marks(self, iir2_dp):
+        gate_level_partial_scan(iir2_dp)
+        needed = {r.name for r in iir2_dp.scan_registers()}
+        # over-mark two extra registers, then minimize
+        extra = [
+            r.name for r in iir2_dp.registers if r.name not in needed
+        ][:2]
+        iir2_dp.mark_scan(*extra)
+        kept = set(minimize_scan_registers(iir2_dp))
+        assert is_loop_free(sgraph_without_scan(build_sgraph(iir2_dp)))
+        assert len(kept) <= len(needed) + len(extra) - len(extra)
+
+    def test_keeps_marks_when_not_loop_free(self, iir2_dp):
+        iir2_dp.mark_scan(iir2_dp.registers[0].name)
+        before = {r.name for r in iir2_dp.scan_registers()}
+        if not is_loop_free(sgraph_without_scan(build_sgraph(iir2_dp))):
+            kept = minimize_scan_registers(iir2_dp)
+            assert set(kept) == before
+
+
+class TestRTLPartialScan:
+    @pytest.mark.parametrize("name", ["diffeq_loop", "iir2", "ar4", "ewf"])
+    def test_breaks_all_multiregister_loops(self, name):
+        dp, *_ = synthesize(suite.standard_suite()[name], slack=1.5)
+        res = rtl_partial_scan(dp)
+        assert res.loop_free
+
+    def test_transparent_units_counted_in_bits(self, iir2_dp):
+        res = rtl_partial_scan(iir2_dp)
+        reg_bits = sum(
+            iir2_dp.register(r).width for r in res.scanned_registers
+        )
+        assert res.scan_bits >= reg_bits
+
+    def test_not_more_bits_than_register_only(self):
+        """Mixed register/unit breaking should not cost more scan bits
+        than the register-only MFVS on the same data path."""
+        for name in ("iir2", "ar4", "ewf"):
+            dp1, *_ = synthesize(suite.standard_suite()[name], slack=1.5)
+            dp2, *_ = synthesize(suite.standard_suite()[name], slack=1.5)
+            mixed = rtl_partial_scan(dp1)
+            reg_only = gate_level_partial_scan(dp2)
+            assert mixed.scan_bits <= reg_only.scan_bits + 8
+
+    def test_insertions_property(self, iir2_dp):
+        res = rtl_partial_scan(iir2_dp)
+        assert res.insertions == len(res.scanned_registers) + len(
+            res.transparent_units
+        )

@@ -1,0 +1,67 @@
+"""Tests for ScanPlan / ScanReport plumbing."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.hls.scheduling import asap
+from repro.scan.report import ScanPlan, apply_scan_plan
+from repro.scan.gate_level import gate_level_partial_scan
+from tests.conftest import synthesize
+
+
+class TestScanPlan:
+    def test_variables_union(self):
+        plan = ScanPlan((("a", "b"), ("c",)))
+        assert plan.variables == {"a", "b", "c"}
+        assert plan.num_scan_registers == 2
+
+    def test_empty_plan(self):
+        plan = ScanPlan(())
+        assert plan.variables == set()
+        assert plan.num_scan_registers == 0
+
+    def test_verify_accepts_disjoint(self, figure1):
+        s = asap(figure1)
+        ScanPlan((("c", "g"),)).verify(figure1, s)  # [2,2] and [4,4]
+
+    def test_verify_rejects_overlap(self, figure1):
+        s = asap(figure1)
+        with pytest.raises(ValueError, match="overlap"):
+            ScanPlan((("a", "b"),)).verify(figure1, s)
+
+
+class TestApplyPlan:
+    def test_marks_holding_registers(self, iir2_dp):
+        var = iir2_dp.registers[0].variables[0]
+        names = apply_scan_plan(iir2_dp, ScanPlan(((var,),)))
+        assert names == [iir2_dp.registers[0].name]
+        assert iir2_dp.registers[0].scan
+
+    def test_shared_register_marked_once(self, iir2_dp):
+        reg = next(r for r in iir2_dp.registers if len(r.variables) >= 2)
+        plan = ScanPlan(((reg.variables[0],), (reg.variables[1],)))
+        names = apply_scan_plan(iir2_dp, plan)
+        assert names == [reg.name]
+
+
+class TestScanReport:
+    def test_row_and_overhead(self, iir2_dp):
+        rep = gate_level_partial_scan(iir2_dp)
+        row = rep.row()
+        assert rep.design in row
+        assert "scan regs=" in row
+        assert rep.area_overhead_percent == pytest.approx(
+            100.0 * (rep.area_after - rep.area_before) / rep.area_before
+        )
+
+    def test_loop_free_flag_consistent(self, iir2_dp):
+        rep = gate_level_partial_scan(iir2_dp)
+        from repro.sgraph import (
+            build_sgraph,
+            is_loop_free,
+            sgraph_without_scan,
+        )
+
+        assert rep.loop_free == is_loop_free(
+            sgraph_without_scan(build_sgraph(iir2_dp))
+        )

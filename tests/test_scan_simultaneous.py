@@ -1,0 +1,81 @@
+"""Tests for loop-aware simultaneous scheduling/assignment [33]."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.cdfg.analysis import critical_path_length
+from repro.hls import Allocation, allocate_for_latency
+from repro.scan.simultaneous import (
+    assign_registers_cycle_aware,
+    loop_aware_synthesis,
+)
+from repro.scan.report import ScanPlan
+from repro.sgraph import build_sgraph, is_loop_free, sgraph_without_scan
+
+
+class TestLoopAwareSynthesis:
+    @pytest.mark.parametrize(
+        "name", ["diffeq_loop", "iir2", "iir3", "ar4", "ar6", "ewf"]
+    )
+    def test_loop_free_after_scan(self, name):
+        c = suite.standard_suite()[name]
+        lat = int(1.5 * critical_path_length(c))
+        alloc = allocate_for_latency(c, lat)
+        dp, plan = loop_aware_synthesis(c, alloc, num_steps=lat)
+        g = sgraph_without_scan(build_sgraph(dp))
+        assert is_loop_free(g)
+
+    def test_acyclic_behavior_no_scan(self, figure1):
+        dp, plan = loop_aware_synthesis(figure1, Allocation({"alu": 2}))
+        assert plan.groups == ()
+        assert dp.scan_registers() == []
+
+    def test_figure1_tight_constraint_loop_free(self, figure1):
+        dp, _ = loop_aware_synthesis(
+            figure1, Allocation({"alu": 2}), num_steps=3
+        )
+        assert dp.schedule.length_with_delays(figure1) == 3
+        assert is_loop_free(build_sgraph(dp))
+
+    def test_schedule_and_binding_verified(self, iir2):
+        lat = int(1.5 * critical_path_length(iir2))
+        alloc = allocate_for_latency(iir2, lat)
+        dp, _ = loop_aware_synthesis(iir2, alloc, num_steps=lat)
+        dp.schedule.verify(iir2, alloc)
+        dp.fu_binding.verify(iir2, dp.schedule)
+
+    def test_aware_not_worse_than_blind(self, iir2):
+        lat = int(1.5 * critical_path_length(iir2))
+        alloc = allocate_for_latency(iir2, lat)
+        aware, _ = loop_aware_synthesis(iir2, alloc, num_steps=lat)
+        blind, _ = loop_aware_synthesis(
+            iir2, alloc, num_steps=lat, testability_weight=0.0
+        )
+        bits = lambda dp: sum(r.width for r in dp.scan_registers())
+        assert bits(aware) <= bits(blind)
+
+    def test_latency_slack_retry(self, diffeq_loop):
+        """Even a tight latency request succeeds via the retry loop."""
+        cpl = critical_path_length(diffeq_loop)
+        alloc = allocate_for_latency(diffeq_loop, cpl + 2)
+        dp, _ = loop_aware_synthesis(diffeq_loop, alloc, num_steps=cpl)
+        assert dp.schedule.length_with_delays(diffeq_loop) >= cpl
+
+
+class TestCycleAwareRegisters:
+    def test_respects_plan_grouping(self, iir2):
+        lat = int(1.5 * critical_path_length(iir2))
+        alloc = allocate_for_latency(iir2, lat)
+        dp, plan = loop_aware_synthesis(iir2, alloc, num_steps=lat)
+        for group in plan.groups:
+            regs = {dp.register_of_variable(v).name for v in group}
+            assert len(regs) == 1
+
+    def test_empty_plan_accepted(self, figure1):
+        from repro.hls import bind_functional_units, list_schedule
+
+        alloc = Allocation({"alu": 2})
+        sched = list_schedule(figure1, alloc)
+        fub = bind_functional_units(figure1, sched, alloc)
+        ra = assign_registers_cycle_aware(figure1, sched, fub, ScanPlan(()))
+        assert set(ra.register_of) == set(figure1.variables)

@@ -1,0 +1,173 @@
+"""Tests for S-graph construction, cycles, MFVS, and the ATPG cost model."""
+
+import networkx as nx
+import pytest
+
+from repro.cdfg import suite
+from repro.sgraph import (
+    build_sgraph,
+    estimate_cost,
+    exact_mfvs,
+    greedy_mfvs,
+    is_loop_free,
+    minimum_feedback_vertex_set,
+    nontrivial_cycles,
+    self_loops,
+    sequential_depth,
+    sgraph_without_scan,
+)
+from repro.sgraph.atpg_cost import LOOP_BASE
+from repro.sgraph.cycles import input_to_output_depth
+from repro.survey import figure1_datapath
+from tests.conftest import synthesize
+
+
+def ring(n: int) -> nx.DiGraph:
+    g = nx.DiGraph()
+    for i in range(n):
+        g.add_edge(f"r{i}", f"r{(i + 1) % n}")
+    return g
+
+
+class TestBuild:
+    def test_nodes_are_registers(self, figure1_dp):
+        g = build_sgraph(figure1_dp)
+        assert set(g.nodes) == {r.name for r in figure1_dp.registers}
+
+    def test_edges_follow_transfers(self, figure1_dp):
+        g = build_sgraph(figure1_dp)
+        for t in figure1_dp.transfers:
+            for src in t.source_registers:
+                assert g.has_edge(src, t.dest_register)
+
+    def test_scan_removal(self, figure1_dp):
+        g = build_sgraph(figure1_dp)
+        name = figure1_dp.registers[0].name
+        figure1_dp.mark_scan(name)
+        g2 = sgraph_without_scan(build_sgraph(figure1_dp))
+        assert name not in g2
+        assert name in g
+
+    def test_edge_operations_annotated(self, figure1_dp):
+        g = build_sgraph(figure1_dp)
+        ops = {
+            o for _u, _v, d in g.edges(data=True) for o in d["operations"]
+        }
+        assert ops == set(figure1_dp.cdfg.operations)
+
+
+class TestCycles:
+    def test_figure1_b_has_assignment_loop(self):
+        g = build_sgraph(figure1_datapath("b"))
+        cycles = nontrivial_cycles(g)
+        assert len(cycles) == 1 and len(cycles[0]) == 2
+
+    def test_figure1_c_self_loops_only(self):
+        g = build_sgraph(figure1_datapath("c"))
+        assert nontrivial_cycles(g) == []
+        assert len(self_loops(g)) == 2
+        assert is_loop_free(g)
+
+    def test_is_loop_free_strict(self):
+        g = build_sgraph(figure1_datapath("c"))
+        assert not is_loop_free(g, tolerate_self_loops=False)
+
+    def test_sequential_depth_on_chain(self):
+        g = nx.DiGraph()
+        nx.add_path(g, ["a", "b", "c", "d"])
+        assert sequential_depth(g) == 3
+
+    def test_sequential_depth_ignores_self_loops(self):
+        g = nx.DiGraph()
+        nx.add_path(g, ["a", "b"])
+        g.add_edge("a", "a")
+        assert sequential_depth(g) == 1
+
+    def test_sequential_depth_on_scc(self):
+        g = ring(4)
+        g.add_edge("in", "r0")
+        assert sequential_depth(g) == 4  # 1 entry edge + 3 in-ring
+
+    def test_input_to_output_depth(self, figure1_dp):
+        g = build_sgraph(figure1_dp)
+        d = input_to_output_depth(g)
+        assert d is not None and d >= 1
+
+
+class TestMFVS:
+    def test_ring_needs_one(self):
+        assert len(exact_mfvs(ring(5))) == 1
+
+    def test_two_disjoint_rings_need_two(self):
+        g = ring(3)
+        g2 = nx.relabel_nodes(ring(3), {f"r{i}": f"s{i}" for i in range(3)})
+        g.update(g2)
+        assert len(exact_mfvs(g)) == 2
+
+    def test_shared_node_rings_need_one(self):
+        g = nx.DiGraph()
+        nx.add_cycle(g, ["x", "a", "b"])
+        nx.add_cycle(g, ["x", "c", "d"])
+        assert len(exact_mfvs(g)) == 1
+
+    def test_self_loops_never_selected(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "a")
+        assert exact_mfvs(g) == set()
+        assert greedy_mfvs(g) == set()
+
+    def test_greedy_breaks_all(self, iir2_dp):
+        g = build_sgraph(iir2_dp)
+        chosen = greedy_mfvs(g)
+        h = g.copy()
+        h.remove_nodes_from(chosen)
+        assert is_loop_free(h)
+
+    def test_exact_not_worse_than_greedy(self, iir2_dp):
+        g = build_sgraph(iir2_dp)
+        assert len(exact_mfvs(g)) <= len(greedy_mfvs(g))
+
+    def test_dispatcher(self, iir2_dp):
+        g = build_sgraph(iir2_dp)
+        chosen = minimum_feedback_vertex_set(g)
+        h = g.copy()
+        h.remove_nodes_from(chosen)
+        assert is_loop_free(h)
+
+    def test_exact_size_guard(self):
+        big = ring(30)
+        with pytest.raises(ValueError):
+            exact_mfvs(big, max_nodes=10)
+
+
+class TestCostModel:
+    def test_acyclic_cost_is_depth_plus_selfloops(self):
+        g = nx.DiGraph()
+        nx.add_path(g, ["a", "b", "c"])
+        c = estimate_cost(g)
+        assert c.num_cycles == 0
+        assert c.score == pytest.approx(c.depth)
+
+    def test_cost_exponential_in_cycle_length(self):
+        short = estimate_cost(ring(2)).score
+        longer = estimate_cost(ring(4)).score
+        assert longer > short * LOOP_BASE
+
+    def test_cost_linear_in_depth(self):
+        g1, g2 = nx.DiGraph(), nx.DiGraph()
+        nx.add_path(g1, [f"n{i}" for i in range(5)])
+        nx.add_path(g2, [f"n{i}" for i in range(10)])
+        d = estimate_cost(g2).score - estimate_cost(g1).score
+        assert d == pytest.approx(5.0)
+
+    def test_scan_respected(self, iir2_dp):
+        g = build_sgraph(iir2_dp)
+        before = estimate_cost(g).score
+        mfvs = minimum_feedback_vertex_set(g)
+        iir2_dp.mark_scan(*mfvs)
+        after = estimate_cost(build_sgraph(iir2_dp)).score
+        assert after < before
+
+    def test_str(self):
+        c = estimate_cost(ring(3))
+        assert "cycles=1" in str(c)

@@ -1,0 +1,120 @@
+"""Tests for the survey's own exhibits: Table 1 and Figure 1."""
+
+import pytest
+
+from repro.sgraph import (
+    build_sgraph,
+    estimate_cost,
+    is_loop_free,
+    minimum_feedback_vertex_set,
+    nontrivial_cycles,
+    self_loops,
+    sequential_depth,
+)
+from repro.survey import (
+    TABLE1,
+    TAXONOMY,
+    figure1_datapath,
+    render_table1,
+)
+from repro.survey.table1 import InsertionLevel
+
+
+class TestTable1:
+    def test_seven_rows(self):
+        assert len(TABLE1) == 7
+
+    def test_exact_names(self):
+        assert [r.name for r in TABLE1] == [
+            "Sunrise", "Mentor", "LogicVision", "IBM",
+            "Synopsys", "Compass", "AT&T",
+        ]
+
+    def test_levels_match_paper(self):
+        levels = {r.name: r.levels for r in TABLE1}
+        assert levels["Sunrise"] == (InsertionLevel.TECH_DEPENDENT,)
+        assert levels["LogicVision"] == (InsertionLevel.HDL,)
+        assert set(levels["IBM"]) == {
+            InsertionLevel.TECH_INDEPENDENT, InsertionLevel.TECH_DEPENDENT
+        }
+        assert set(levels["Synopsys"]) == {
+            InsertionLevel.HDL, InsertionLevel.TECH_DEPENDENT
+        }
+
+    def test_render_contains_all_rows(self):
+        text = render_table1()
+        for row in TABLE1:
+            assert row.name in text
+
+    def test_render_with_repro_column(self):
+        text = render_table1(include_repro_column=True)
+        assert "repro.scan" in text
+
+    def test_every_row_maps_to_a_flow(self):
+        for row in TABLE1:
+            assert row.repro_flow.startswith("repro.")
+
+
+class TestFigure1:
+    def test_variant_b_assignment_loop(self):
+        g = build_sgraph(figure1_datapath("b"))
+        cycles = nontrivial_cycles(g)
+        assert len(cycles) == 1
+        assert sorted(cycles[0]) == ["R0", "R1"]
+
+    def test_variant_b_needs_one_scan_register(self):
+        g = build_sgraph(figure1_datapath("b"))
+        assert len(minimum_feedback_vertex_set(g)) == 1
+
+    def test_variant_c_two_self_loops_only(self):
+        g = build_sgraph(figure1_datapath("c"))
+        assert nontrivial_cycles(g) == []
+        assert len(self_loops(g)) == 2
+
+    def test_variant_c_needs_no_scan(self):
+        g = build_sgraph(figure1_datapath("c"))
+        assert minimum_feedback_vertex_set(g) == set()
+        assert is_loop_free(g)
+
+    def test_same_resources_both_variants(self):
+        b = figure1_datapath("b")
+        c = figure1_datapath("c")
+        assert len(b.units) == len(c.units) == 2
+        assert b.schedule.length == c.schedule.length == 3
+
+    def test_c_has_lower_atpg_cost(self):
+        cb = estimate_cost(build_sgraph(figure1_datapath("b")))
+        cc = estimate_cost(build_sgraph(figure1_datapath("c")))
+        assert cc.score < cb.score
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            figure1_datapath("x")
+
+
+class TestTaxonomy:
+    def test_every_entry_names_experiment(self):
+        for e in TAXONOMY:
+            assert e.experiment.startswith("E-")
+            assert e.module.startswith("repro.")
+
+    def test_sections_covered(self):
+        sections = {e.section for e in TAXONOMY}
+        assert {"3.1", "3.2", "3.3.1", "3.3.2", "3.4", "3.5",
+                "4.1", "4.2", "5.1", "5.2", "5.3", "5.4", "6"} <= sections
+
+    def test_modules_importable(self):
+        import importlib
+
+        for e in TAXONOMY:
+            module = e.module.split(",")[0].strip()
+            # strip function suffix if present
+            parts = module.split(".")
+            for cut in range(len(parts), 1, -1):
+                try:
+                    importlib.import_module(".".join(parts[:cut]))
+                    break
+                except ModuleNotFoundError:
+                    continue
+            else:
+                pytest.fail(f"unimportable module in taxonomy: {module}")

@@ -1,0 +1,101 @@
+"""Tests for the transition-fault model (survey §7b future work)."""
+
+import pytest
+
+from repro.cdfg import suite
+from repro.gatelevel.expand import expand_datapath
+from repro.gatelevel.gates import Netlist
+from repro.gatelevel.transition_faults import (
+    TransitionFault,
+    all_transition_faults,
+    random_pair_coverage,
+    transition_coverage,
+    transition_fault_detected,
+)
+from repro.scan import gate_level_partial_scan
+from tests.conftest import synthesize
+
+
+def buffer_chain() -> Netlist:
+    nl = Netlist("chain")
+    nl.add("a", "input")
+    nl.add("n1", "not", "a")
+    nl.add("n2", "not", "n1")
+    nl.add_output("n2")
+    return nl
+
+
+class TestModel:
+    def test_universe(self):
+        nl = buffer_chain()
+        faults = all_transition_faults(nl)
+        assert TransitionFault("n1", True) in faults
+        assert len(faults) == 4  # n1, n2, two polarities
+
+    def test_rising_needs_zero_then_one(self):
+        nl = buffer_chain()
+        f = TransitionFault("n2", True)  # n2 follows a
+        # a: 0 -> 1 launches a rising transition on n2
+        assert transition_fault_detected(nl, f, ({"a": 0}, {"a": 1}),
+                                         width=1)
+        # a: 1 -> 0 does not exercise slow-to-rise on n2
+        assert not transition_fault_detected(nl, f, ({"a": 1}, {"a": 0}),
+                                             width=1)
+        # no transition at all: undetectable by this pair
+        assert not transition_fault_detected(nl, f, ({"a": 1}, {"a": 1}),
+                                             width=1)
+
+    def test_falling_polarity(self):
+        nl = buffer_chain()
+        f = TransitionFault("n2", False)
+        assert transition_fault_detected(nl, f, ({"a": 1}, {"a": 0}),
+                                         width=1)
+        assert not transition_fault_detected(nl, f, ({"a": 0}, {"a": 1}),
+                                             width=1)
+
+    def test_inverter_net_polarity_flip(self):
+        nl = buffer_chain()
+        # n1 = not a: rising on n1 needs a: 1 -> 0
+        f = TransitionFault("n1", True)
+        assert transition_fault_detected(nl, f, ({"a": 1}, {"a": 0}),
+                                         width=1)
+
+    def test_packed_pairs(self):
+        nl = buffer_chain()
+        f = TransitionFault("n2", True)
+        # bit0: 0->1 (detects), bit1: 1->1 (no transition)
+        mask = transition_fault_detected(
+            nl, f, ({"a": 0b10}, {"a": 0b11}), width=2
+        )
+        assert mask == 0b01
+
+    def test_coverage_accumulates(self):
+        nl = buffer_chain()
+        pairs = [({"a": 0}, {"a": 1}), ({"a": 1}, {"a": 0})]
+        assert transition_coverage(nl, pairs, width=1) == 1.0
+        assert transition_coverage(nl, pairs[:1], width=1) == 0.5
+
+
+class TestOnDatapaths:
+    def test_scan_raises_transition_coverage(self):
+        """Launch-on-capture pairs observe more with scan state access,
+        mirroring the stuck-at story on the new fault model."""
+        c = suite.iir_biquad(1, width=3)
+        dp_plain, *_ = synthesize(c, slack=1.5)
+        dp_scan, *_ = synthesize(c, slack=1.5)
+        gate_level_partial_scan(dp_scan)
+        nl_p, _ = expand_datapath(dp_plain)
+        nl_s, _ = expand_datapath(dp_scan)
+        faults_p = all_transition_faults(nl_p)[:120]
+        faults_s = all_transition_faults(nl_s)[:120]
+        cov_p = random_pair_coverage(nl_p, n_pairs=64, faults=faults_p)
+        cov_s = random_pair_coverage(nl_s, n_pairs=64, faults=faults_s)
+        assert cov_s >= cov_p
+
+    def test_coverage_monotone_in_pairs(self):
+        dp, *_ = synthesize(suite.figure1(width=3))
+        nl, _ = expand_datapath(dp)
+        faults = all_transition_faults(nl)[:80]
+        c1 = random_pair_coverage(nl, n_pairs=16, faults=faults)
+        c2 = random_pair_coverage(nl, n_pairs=96, faults=faults)
+        assert c2 >= c1

@@ -1,0 +1,75 @@
+"""Tests for width-weighted feedback vertex selection."""
+
+import networkx as nx
+import pytest
+
+from repro.sgraph.mfvs import (
+    exact_mfvs,
+    greedy_mfvs,
+    weighted_mfvs,
+)
+
+
+def ring_with_widths(widths):
+    g = nx.DiGraph()
+    names = [f"r{i}" for i in range(len(widths))]
+    for name, w in zip(names, widths):
+        g.add_node(name, width=w)
+    for i in range(len(names)):
+        g.add_edge(names[i], names[(i + 1) % len(names)])
+    return g
+
+
+class TestWeighted:
+    def test_picks_narrowest_on_a_ring(self):
+        g = ring_with_widths([8, 8, 2, 8])
+        assert weighted_mfvs(g) == {"r2"}
+
+    def test_matches_exact_on_uniform_weights(self):
+        g = nx.DiGraph()
+        nx.add_cycle(g, ["x", "a", "b"])
+        nx.add_cycle(g, ["x", "c", "d"])
+        for n in g.nodes:
+            g.nodes[n]["width"] = 4
+        assert len(weighted_mfvs(g)) == len(exact_mfvs(g))
+
+    def test_prefers_two_narrow_over_one_wide(self):
+        # two disjoint rings joined at a very wide hub: cutting the hub
+        # breaks both, but two 1-bit cuts are cheaper than one 16-bit.
+        g = nx.DiGraph()
+        nx.add_cycle(g, ["hub", "a1", "a2"])
+        nx.add_cycle(g, ["hub", "b1", "b2"])
+        g.nodes["hub"]["width"] = 16
+        for n in ("a1", "a2", "b1", "b2"):
+            g.nodes[n]["width"] = 1
+        chosen = weighted_mfvs(g)
+        assert "hub" not in chosen
+        assert len(chosen) == 2
+
+    def test_result_breaks_all_cycles(self):
+        g = nx.gnp_random_graph(9, 0.3, seed=5, directed=True)
+        for n in g.nodes:
+            g.nodes[n]["width"] = (n % 3) + 1
+        chosen = weighted_mfvs(g)
+        h = g.copy()
+        h.remove_nodes_from(chosen)
+        h.remove_edges_from([(n, n) for n in h if h.has_edge(n, n)])
+        assert nx.is_directed_acyclic_graph(h)
+
+    def test_never_heavier_than_greedy(self):
+        for seed in range(6):
+            g = nx.gnp_random_graph(8, 0.3, seed=seed, directed=True)
+            for n in g.nodes:
+                g.nodes[n]["width"] = (n % 4) + 1
+            w = lambda s: sum(g.nodes[n]["width"] for n in s)
+            assert w(weighted_mfvs(g)) <= w(greedy_mfvs(g))
+
+    def test_acyclic_graph_empty(self):
+        g = nx.DiGraph()
+        nx.add_path(g, ["a", "b", "c"])
+        assert weighted_mfvs(g) == set()
+
+    def test_missing_weight_defaults_to_one(self):
+        g = nx.DiGraph()
+        nx.add_cycle(g, ["a", "b"])
+        assert len(weighted_mfvs(g)) == 1
