@@ -8,52 +8,12 @@ that the loop-aware binder of [33] finds a (c)-class solution under the
 same constraints.
 """
 
-from common import Table
-from repro.cdfg.suite import figure1
-from repro.hls import Allocation
-from repro.scan import loop_aware_synthesis
-from repro.sgraph import (
-    build_sgraph,
-    estimate_cost,
-    minimum_feedback_vertex_set,
-    nontrivial_cycles,
-    self_loops,
-)
-from repro.survey import figure1_datapath
+from common import Table, run_flow_table
+from repro.flow.flows import figure1_flow
 
 
 def run_experiment() -> Table:
-    t = Table(
-        "F1",
-        "Figure 1: loops formed during assignment (3 steps, 2 adders)",
-        ["variant", "nontrivial cycles", "self-loops", "scan regs needed",
-         "ATPG cost score"],
-    )
-    for variant in ("b", "c"):
-        g = build_sgraph(figure1_datapath(variant))
-        t.add(
-            f"figure1({variant})",
-            len(nontrivial_cycles(g)),
-            len(self_loops(g)),
-            len(minimum_feedback_vertex_set(g)),
-            f"{estimate_cost(g, respect_scan=False).score:.1f}",
-        )
-    dp, _plan = loop_aware_synthesis(
-        figure1(), Allocation({"alu": 2}), num_steps=3
-    )
-    g = build_sgraph(dp)
-    t.add(
-        "loop-aware [33]",
-        len(nontrivial_cycles(g)),
-        len(self_loops(g)),
-        len(minimum_feedback_vertex_set(g)),
-        f"{estimate_cost(g, respect_scan=False).score:.1f}",
-    )
-    t.notes.append(
-        "paper: (b) needs one scanned register; (c) 'contains only two "
-        "self-loops' and needs none"
-    )
-    return t
+    return run_flow_table(figure1_flow())
 
 
 def test_figure1(benchmark):

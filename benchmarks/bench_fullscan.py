@@ -11,36 +11,16 @@ achieves 100% test efficiency -- every fault detected or proven
 untestable with zero aborts -- and coverage itself is ~100%.
 """
 
-from common import Table, conventional_flow
-from repro.cdfg import suite
-from repro.rtl import fullscan_report
+from common import Table, run_flow_table
+from repro.flow.flows import FULLSCAN_CASES, fullscan_flow
 
 # (design, width, backtrack budget) -- the multiplier's xor-dense cones
 # in tseng need a deeper search than the adder-only designs.
-CASES = [("figure1", 3, 400), ("tseng", 3, 3000), ("fir8", 2, 400)]
+CASES = FULLSCAN_CASES
 
 
 def run_experiment() -> Table:
-    t = Table(
-        "E-4.1b",
-        "[8] full-scan test efficiency after restructuring",
-        ["design", "faults", "detected", "untestable", "aborted",
-         "coverage", "efficiency"],
-    )
-    for name, width, backtracks in CASES:
-        c = suite.standard_suite(width=width)[name]
-        dp, *_ = conventional_flow(c, slack=1.5)
-        rep = fullscan_report(
-            dp, backtrack_limit=backtracks, max_faults=300
-        )
-        t.add(name, rep.total_faults, rep.detected, rep.untestable,
-              rep.aborted, f"{rep.coverage:.3f}",
-              f"{rep.test_efficiency:.3f}")
-    t.notes.append(
-        "claim shape: 100% test efficiency (no aborts) on every "
-        "full-scan design; coverage ~100%"
-    )
-    return t
+    return run_flow_table(fullscan_flow(cases=CASES))
 
 
 def test_fullscan(benchmark):

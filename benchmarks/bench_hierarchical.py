@@ -10,98 +10,21 @@ sample; (b) gate-level stuck-at coverage achieved when the composed
 tests are applied to the expanded data path through fault simulation.
 """
 
-import time
+from common import Table, run_flow_table
+from repro.flow.flows import (
+    HIER_FAULT_SAMPLE,
+    HIER_WIDTH,
+    hierarchical_flow,
+)
 
-from common import Table
-from repro.cdfg import suite
-from repro import hls
-from repro.gatelevel import all_faults, expand_datapath
-from repro.gatelevel.fault_sim import fault_simulate
-from repro.gatelevel.seq_atpg import sequential_atpg
-from repro.hier import hierarchical_test_suite, module_test_environments
-
-WIDTH = 4
-FAULT_SAMPLE = 40
-
-
-def build():
-    c = suite.figure1(width=WIDTH)
-    alloc = hls.Allocation({"alu": 2})
-    sched = hls.list_schedule(c, alloc)
-    fub = hls.bind_functional_units(c, sched, alloc)
-    ra = hls.assign_registers_left_edge(c, sched)
-    dp = hls.build_datapath(c, sched, fub, ra)
-    return c, dp, fub
-
-
-def apply_tests_at_gate_level(composite, num_steps, tests, faults):
-    """Drive each composed test through the controller-sequenced
-    composite netlist and fault-simulate."""
-    detected = set()
-    remaining = list(faults)
-    for test in tests:
-        if not remaining:
-            break
-        piv = {"reset": 0}
-        for name, val in test.inputs.items():
-            for i in range(WIDTH):
-                piv[f"pi_{name}_b{i}"] = (val >> i) & 1
-        seq = [dict(piv, reset=1)] + [piv] * (num_steps + 1)
-        results = fault_simulate(composite, remaining, seq, width=1)
-        for f, d in results.items():
-            if d:
-                detected.add(f)
-        remaining = [f for f in remaining if f not in detected]
-    return len(detected)
+WIDTH = HIER_WIDTH
+FAULT_SAMPLE = HIER_FAULT_SAMPLE
 
 
 def run_experiment() -> Table:
-    t = Table(
-        "E-6",
-        "[7,38] hierarchical test generation vs flat sequential ATPG",
-        ["method", "tests / faults", "detected", "time (s)"],
+    return run_flow_table(
+        hierarchical_flow(width=WIDTH, fault_sample=FAULT_SAMPLE)
     )
-    c, dp, fub = build()
-    from repro.hls import build_controller
-    from repro.gatelevel import expand_composite
-
-    ctrl = build_controller(dp)
-    composite = expand_composite(dp, ctrl)
-    faults = [
-        f for f in all_faults(composite)
-        if f.net.startswith(("fa", "mx"))
-    ][:FAULT_SAMPLE]
-
-    t0 = time.perf_counter()
-    envs = module_test_environments(c, fub)
-    tests, uncovered = hierarchical_test_suite(
-        c, envs, width=WIDTH, budget_per_module=16
-    )
-    t_hier_gen = time.perf_counter() - t0
-    det_h = apply_tests_at_gate_level(
-        composite, ctrl.num_steps, tests, faults
-    )
-
-    t0 = time.perf_counter()
-    det_f = 0
-    for f in faults:
-        res = sequential_atpg(composite, f, max_frames=6,
-                              backtrack_limit=60)
-        det_f += res.detected
-    t_flat = time.perf_counter() - t0
-
-    t.add("hierarchical [7,38]", f"{len(tests)} tests",
-          f"{det_h}/{len(faults)}", f"{t_hier_gen:.3f}")
-    t.add("flat sequential ATPG", f"{len(faults)} faults",
-          f"{det_f}/{len(faults)}", f"{t_flat:.3f}")
-    t.det_h, t.det_f = det_h, det_f
-    t.t_hier, t.t_flat = t_hier_gen, t_flat
-    t.uncovered = uncovered
-    t.notes.append(
-        "claim shape: hierarchical generation is much faster at "
-        "comparable coverage of the sampled unit faults"
-    )
-    return t
 
 
 def test_hierarchical(benchmark):

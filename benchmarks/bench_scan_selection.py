@@ -11,71 +11,14 @@ variable flow [24], and (c) the full loop-aware flow [33]; all results
 must be loop-free.
 """
 
-from common import Table, conventional_flow
-from repro.cdfg import suite
-from repro.cdfg.analysis import critical_path_length
-from repro import hls
-from repro.scan import (
-    gate_level_partial_scan,
-    loop_aware_synthesis,
-    select_boundary_variables,
-)
-from repro.scan.report import minimize_scan_registers
-from repro.scan.scan_select import assign_registers_with_plan
-from repro.sgraph import build_sgraph, is_loop_free, sgraph_without_scan
+from common import Table, run_flow_table
+from repro.flow.flows import PARTIAL_SCAN_NAMES, partial_scan_flow
 
-NAMES = ["diffeq_loop", "iir2", "iir3", "ewf", "ar4", "ar6"]
-
-
-def boundary_flow(c, latency):
-    alloc = hls.allocate_for_latency(c, latency)
-    sched = hls.list_schedule(c, alloc)
-    plan = select_boundary_variables(c, sched)
-    ra = assign_registers_with_plan(c, sched, plan)
-    fub = hls.bind_functional_units(c, sched, alloc)
-    dp = hls.build_datapath(c, sched, fub, ra)
-    dp.mark_scan(*sorted({
-        dp.register_of_variable(v).name for v in plan.variables
-    }))
-    # residual assignment loops still need scanning (no loop-aware
-    # binder in the [24] flow modelled here)
-    from repro.scan.simultaneous import ensure_loop_free
-
-    ensure_loop_free(dp)
-    minimize_scan_registers(dp)
-    return dp
+NAMES = PARTIAL_SCAN_NAMES
 
 
 def run_experiment() -> Table:
-    t = Table(
-        "E-3.3.1",
-        "scan cost: gate-level MFVS vs [24] boundary vs [33] loop-aware",
-        ["design", "gate bits", "[24] bits", "[33] bits", "all loop-free"],
-    )
-    totals = [0, 0, 0]
-    for name in NAMES:
-        c = suite.standard_suite()[name]
-        latency = int(1.5 * critical_path_length(c))
-        dp_gate, *_ = conventional_flow(c, slack=1.5)
-        rep = gate_level_partial_scan(dp_gate)
-        dp_b = boundary_flow(c, latency)
-        alloc = hls.allocate_for_latency(c, latency)
-        dp_a, _plan = loop_aware_synthesis(c, alloc, num_steps=latency)
-        bits = lambda dp: sum(r.width for r in dp.scan_registers())
-        lf = all(
-            is_loop_free(sgraph_without_scan(build_sgraph(d)))
-            for d in (dp_gate, dp_b, dp_a)
-        )
-        row = (name, rep.scan_bits, bits(dp_b), bits(dp_a), lf)
-        totals = [a + b for a, b in zip(totals, row[1:4])]
-        t.add(*row)
-    t.add("TOTAL", *totals, "")
-    t.totals = totals
-    t.notes.append(
-        "claim shape: [33] <= [24] <= gate-level on totals; every flow "
-        "loop-free (self-loops tolerated)"
-    )
-    return t
+    return run_flow_table(partial_scan_flow(names=NAMES))
 
 
 def test_scan_selection(benchmark):

@@ -6,25 +6,13 @@ additionally maps each insertion level to the executable flow in this
 library demonstrating it.
 """
 
-from common import Table
-from repro.survey import TABLE1, render_table1
-from repro.survey.table1 import InsertionLevel
+from common import Table, run_flow_table
+from repro.flow.flows import table1_flow
+from repro.survey import render_table1
 
 
 def run_experiment() -> Table:
-    t = Table(
-        "T1",
-        "Operational Level of Testability Insertion (Table 1, verbatim)",
-        ["Name", "Synthesis Base", "Insertion Level", "repro flow"],
-    )
-    for row in TABLE1:
-        t.add(
-            row.name,
-            row.synthesis_base,
-            " or ".join(l.value for l in row.levels),
-            row.repro_flow,
-        )
-    return t
+    return run_flow_table(table1_flow())
 
 
 def test_table1(benchmark):

@@ -10,53 +10,14 @@ Measured: sessions needed under per-module role assignment (the
 plus the register cost of the concurrency-oriented assignment.
 """
 
-from common import Table
-from repro.cdfg import suite
-from repro.cdfg.analysis import critical_path_length
-from repro import hls
-from repro.bist import (
-    assign_test_roles,
-    schedule_sessions,
-    sharing_register_assignment,
-)
-from repro.bist.sessions import path_based_sessions, session_aware_assignment
+from common import Table, run_flow_table
+from repro.flow.flows import BIST_SESSION_NAMES, bist_sessions_flow
 
-NAMES = ["diffeq", "iir2", "iir3", "ewf", "ar4", "fir8"]
+NAMES = BIST_SESSION_NAMES
 
 
 def run_experiment() -> Table:
-    t = Table(
-        "E-5.2",
-        "[20] test concurrency: per-module sessions vs path-based",
-        ["design", "sessions per-module", "sessions path [20]",
-         "regs shared", "regs concurrency"],
-    )
-    for name in NAMES:
-        c = suite.standard_suite()[name]
-        latency = int(1.6 * critical_path_length(c))
-        alloc = hls.allocate_for_latency(c, latency)
-        sched = hls.list_schedule(c, alloc)
-        fub = hls.bind_functional_units(c, sched, alloc)
-        shared = hls.build_datapath(
-            c, sched, fub, sharing_register_assignment(c, sched, fub)
-        )
-        aware = hls.build_datapath(
-            c, sched, fub, session_aware_assignment(c, sched, fub)
-        )
-        _cfg, envs = assign_test_roles(shared)
-        t.add(
-            name,
-            len(schedule_sessions(envs)),
-            len(path_based_sessions(aware)),
-            len(shared.registers),
-            len(aware.registers),
-        )
-    t.notes.append(
-        "claim shape: path-based testing reaches one session on every "
-        "data path; per-module sharing needs several; concurrency may "
-        "cost extra registers (the survey's noted trade-off)"
-    )
-    return t
+    return run_flow_table(bist_sessions_flow(names=NAMES))
 
 
 def test_sessions(benchmark):

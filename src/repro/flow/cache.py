@@ -1,0 +1,170 @@
+"""Content-addressed artifact cache for flow stages.
+
+A stage's cache key is a recipe hash, computed *before* the stage runs
+from things that fully determine its output:
+
+* the stage's code fingerprint (explicit ``version`` + source of the
+  stage function + source of its declared ``code_deps`` modules), and
+* the digests of its inputs -- for flow-level external inputs a
+  canonical value hash, for upstream artifacts the producing stage's
+  own key (so a change anywhere upstream ripples downstream, and an
+  unchanged upstream keeps its key without ever serialising the
+  artifact).
+
+Keys are therefore stable across processes and sessions (no reliance on
+pickle byte-stability or hash randomisation), which is what makes the
+on-disk cache under ``.flowcache/`` reusable between runs.
+
+Entries are pickled atomically (temp file + rename) so concurrent
+writers -- parallel stages, or two runs racing -- can only ever publish
+complete entries.  Unpicklable artifacts degrade gracefully: the stage
+result stays in memory for the current run and the entry is skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+DEFAULT_CACHE_DIR = ".flowcache"
+CACHE_DIR_ENV = "REPRO_FLOWCACHE"
+_FORMAT = 1
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()
+
+
+def _canonical(value: Any) -> str:
+    """A stable, recursive textual form for digesting plain values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return f"{type(value).__name__}:{value!r}"
+    if isinstance(value, bytes):
+        return f"bytes:{hashlib.sha256(value).hexdigest()}"
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_canonical(v) for v in value)
+        return f"{type(value).__name__}:[{inner}]"
+    if isinstance(value, (set, frozenset)):
+        inner = ",".join(sorted(_canonical(v) for v in value))
+        return f"set:[{inner}]"
+    if isinstance(value, Mapping):
+        inner = ",".join(
+            f"{_canonical(k)}={_canonical(v)}"
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"map:{{{inner}}}"
+    # Last resort for richer objects handed in as flow inputs/params;
+    # repr must then be deterministic for caching to be effective.
+    return f"{type(value).__name__}:{value!r}"
+
+
+def value_digest(value: Any) -> str:
+    """Stable digest of a plain (external-input or param) value."""
+    return _sha(_canonical(value))
+
+
+def stage_key(
+    stage_name: str,
+    fingerprint: str,
+    params: Mapping[str, Any],
+    input_digests: Mapping[str, str],
+) -> str:
+    """The recipe hash identifying one stage execution."""
+    return _sha(
+        "\n".join([
+            f"format:{_FORMAT}",
+            f"stage:{stage_name}",
+            f"code:{fingerprint}",
+            f"params:{_canonical(dict(params))}",
+            "inputs:" + ",".join(
+                f"{k}={input_digests[k]}" for k in sorted(input_digests)
+            ),
+        ])
+    )
+
+
+def artifact_digest(producer_key: str, artifact: str) -> str:
+    """Digest of a stage-produced artifact: the producer's recipe key."""
+    return _sha(f"{producer_key}/{artifact}")
+
+
+class FlowCache:
+    """Pickle-backed stage-result store under a cache directory."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Load the artifacts for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("format") != _FORMAT:
+            return None
+        artifacts = entry.get("artifacts")
+        return artifacts if isinstance(artifacts, dict) else None
+
+    def size(self, key: str) -> int:
+        """On-disk size of the entry for ``key`` (0 if absent)."""
+        try:
+            return self._path(key).stat().st_size
+        except OSError:
+            return 0
+
+    def put(self, key: str, stage_name: str,
+            artifacts: Mapping[str, Any]) -> int:
+        """Persist artifacts; returns bytes written (-1 if unpicklable)."""
+        entry = {
+            "format": _FORMAT,
+            "stage": stage_name,
+            "artifacts": dict(artifacts),
+        }
+        try:
+            blob = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return -1
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return -1
+        return len(blob)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        if not self.root.exists():
+            return 0
+        for p in self.root.rglob("*.pkl"):
+            try:
+                p.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n

@@ -1,0 +1,129 @@
+"""Command-line driver for the flow engine.
+
+Usage::
+
+    python -m repro.flow list
+    python -m repro.flow run figure1
+    python -m repro.flow run fullscan --jobs 4 --metrics out.json
+    python -m repro.flow run report --param design=iir2 --no-cache
+    python -m repro.flow clean
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+
+from repro.flow.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, FlowCache
+from repro.flow.flows import FLOWS, get_flow
+from repro.flow.metrics import render_table
+from repro.flow.runner import FlowError, Runner, format_failure, \
+    is_unavailable
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        try:
+            params[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            params[key] = raw
+    return params
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.flow",
+        description="Run the library's synthesis→test pipelines as "
+                    "cached, parallel flows.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available flows")
+
+    p_run = sub.add_parser("run", help="execute a flow")
+    p_run.add_argument("flow", help="flow name (see `list`)")
+    p_run.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default: 1, serial)")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="recompute every stage")
+    p_run.add_argument("--cache-dir", default=None,
+                       help=f"cache directory (default: "
+                            f"${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})")
+    p_run.add_argument("--metrics", metavar="FILE", default=None,
+                       help="dump per-stage metrics as JSON")
+    p_run.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="flow builder parameter (repeatable)")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress the artifact rendering")
+
+    p_clean = sub.add_parser("clean", help="drop the artifact cache")
+    p_clean.add_argument("--cache-dir", default=None)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(FLOWS):
+            print(name)
+        return 0
+
+    if args.command == "clean":
+        n = FlowCache(args.cache_dir).clear()
+        print(f"removed {n} cache entries")
+        return 0
+
+    try:
+        flow = get_flow(args.flow, **_parse_params(args.param))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else FlowCache(args.cache_dir)
+    runner = Runner(cache=cache)
+    try:
+        result = runner.run(
+            flow, jobs=args.jobs, metrics_path=args.metrics
+        )
+    except FlowError as exc:
+        print(f"flow {flow.name!r} failed: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # surface stage tracebacks compactly
+        print(f"flow {flow.name!r} crashed: {format_failure(exc)}",
+              file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        _render_artifacts(result)
+    print(result.metrics.render(), file=sys.stderr)
+    degraded = sorted(
+        a for a, v in result.artifacts.items() if is_unavailable(v)
+    )
+    if degraded:
+        print(f"degraded artifacts: {', '.join(degraded)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _render_artifacts(result) -> None:
+    """Print the flow's human-facing artifacts (table specs / text)."""
+    for name, value in result.artifacts.items():
+        if is_unavailable(value):
+            continue
+        if isinstance(value, dict) and {"header", "rows"} <= set(value):
+            title = value.get("title", name)
+            exp = value.get("experiment", "")
+            print(f"== {exp}: {title} ==" if exp else f"== {title} ==")
+            print(render_table(value["header"], value["rows"]))
+            for note in value.get("notes", ()):
+                print(f"note: {note}")
+        elif name == "text" and isinstance(value, str):
+            print(value, end="" if value.endswith("\n") else "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

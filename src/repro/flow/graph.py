@@ -1,0 +1,112 @@
+"""The :class:`Flow` DAG: stages wired by named artifacts.
+
+Artifacts form a flat namespace per flow.  Each artifact is produced by
+exactly one stage (or supplied as a flow-level input at run time); a
+stage consumes artifacts by listing their names in ``inputs``.  The
+graph structure is implied entirely by those names -- there is no
+separate edge list to keep in sync.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.flow.stage import Stage
+
+
+class FlowDefinitionError(ValueError):
+    """The flow is not a well-formed DAG."""
+
+
+class Flow:
+    """A named DAG of :class:`Stage` objects."""
+
+    def __init__(self, name: str, stages: Iterable[Stage] = ()) -> None:
+        self.name = name
+        self.stages: dict[str, Stage] = {}
+        for s in stages:
+            self.add(s)
+
+    def add(self, stage: Stage) -> Stage:
+        if stage.name in self.stages:
+            raise FlowDefinitionError(
+                f"duplicate stage name {stage.name!r} in flow {self.name!r}"
+            )
+        self.stages[stage.name] = stage
+        return stage
+
+    def stage(self, name: str, fn, **kwargs) -> Stage:
+        """Declare-and-add convenience."""
+        return self.add(Stage(name, fn, **kwargs))
+
+    # -- structure ---------------------------------------------------
+
+    def producers(self) -> dict[str, Stage]:
+        """artifact name -> producing stage (unique by validation)."""
+        out: dict[str, Stage] = {}
+        for s in self.stages.values():
+            for a in s.outputs:
+                if a in out:
+                    raise FlowDefinitionError(
+                        f"artifact {a!r} produced by both "
+                        f"{out[a].name!r} and {s.name!r}"
+                    )
+                out[a] = s
+        return out
+
+    def external_inputs(self) -> set[str]:
+        """Artifacts consumed but produced by no stage."""
+        produced = set(self.producers())
+        return {
+            a for s in self.stages.values() for a in s.inputs
+            if a not in produced
+        }
+
+    def dependencies(self) -> dict[str, set[str]]:
+        """stage name -> names of stages it depends on."""
+        producers = self.producers()
+        return {
+            s.name: {
+                producers[a].name for a in s.inputs if a in producers
+            }
+            for s in self.stages.values()
+        }
+
+    def topo_order(self) -> list[Stage]:
+        deps = self.dependencies()
+        done: set[str] = set()
+        order: list[str] = []
+        ready = sorted(n for n, d in deps.items() if not d)
+        while ready:
+            n = ready.pop(0)
+            order.append(n)
+            done.add(n)
+            for m, d in deps.items():
+                if m not in done and m not in ready and d <= done:
+                    ready.append(m)
+            ready.sort()
+        if len(order) != len(deps):
+            raise FlowDefinitionError(
+                f"flow {self.name!r} has a dependency cycle through "
+                f"{sorted(set(deps) - done)}"
+            )
+        return [self.stages[n] for n in order]
+
+    def validate(self, inputs: Mapping[str, Any] | None = None) -> None:
+        """Raise :class:`FlowDefinitionError` on structural problems."""
+        if not self.stages:
+            raise FlowDefinitionError(f"flow {self.name!r} has no stages")
+        self.producers()          # duplicate-output check
+        self.topo_order()         # cycle check
+        missing = self.external_inputs() - set(inputs or {})
+        if missing:
+            raise FlowDefinitionError(
+                f"flow {self.name!r} needs external inputs "
+                f"{sorted(missing)} that were not supplied"
+            )
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Flow({self.name!r}, {len(self.stages)} stages)"

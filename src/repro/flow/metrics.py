@@ -1,0 +1,174 @@
+"""Per-stage observability for flow runs.
+
+The runner records one :class:`StageMetric` per stage (wall time, cache
+hit/miss, attempts, artifact bytes) into a :class:`FlowMetrics`, which
+dumps as JSON (``--metrics out.json``) and renders as a fixed-width
+summary table.
+
+Stage functions can report domain numbers -- fault-sim patterns/sec,
+ATPG backtracks, whatever -- by calling :func:`record_metric` while they
+run; the runner scopes a collector around each stage call (also inside
+worker processes) and attaches the values to that stage's metric.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+_ACTIVE: list[dict[str, Any]] = []
+
+
+def record_metric(name: str, value: Any) -> None:
+    """Attach a custom number to the currently running stage (no-op
+    when called outside a flow run, so library code can call it
+    unconditionally)."""
+    if _ACTIVE:
+        _ACTIVE[-1][name] = value
+
+
+class _Collector:
+    """Context manager the runner wraps around each stage call."""
+
+    def __enter__(self) -> dict[str, Any]:
+        d: dict[str, Any] = {}
+        _ACTIVE.append(d)
+        return d
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.pop()
+
+
+def collect() -> _Collector:
+    return _Collector()
+
+
+@dataclass
+class StageMetric:
+    stage: str
+    status: str = "pending"   # hit | ran | failed | skipped
+    seconds: float = 0.0
+    attempts: int = 0
+    cached: bool = False      # result came from / was written to cache
+    artifact_bytes: int = 0   # pickled size of outputs (0 if unknown)
+    key: str = ""
+    error: str = ""
+    custom: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        d = {
+            "stage": self.stage,
+            "status": self.status,
+            "seconds": round(self.seconds, 6),
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "artifact_bytes": self.artifact_bytes,
+            "key": self.key,
+        }
+        if self.error:
+            d["error"] = self.error
+        if self.custom:
+            d["custom"] = self.custom
+        return d
+
+
+@dataclass
+class FlowMetrics:
+    flow: str
+    jobs: int = 1
+    started: float = field(default_factory=time.time)
+    finished: float = 0.0
+    stages: list[StageMetric] = field(default_factory=list)
+
+    def metric(self, stage: str) -> StageMetric:
+        for m in self.stages:
+            if m.stage == stage:
+                return m
+        m = StageMetric(stage=stage)
+        self.stages.append(m)
+        return m
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for m in self.stages if m.status == "hit")
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for m in self.stages if m.status == "ran")
+
+    @property
+    def wall_seconds(self) -> float:
+        end = self.finished or time.time()
+        return end - self.started
+
+    @property
+    def peak_artifact_bytes(self) -> int:
+        return max((m.artifact_bytes for m in self.stages), default=0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "flow": self.flow,
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "peak_artifact_bytes": self.peak_artifact_bytes,
+            "stages": [m.to_dict() for m in self.stages],
+        }
+
+    def dump(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def render(self) -> str:
+        header = ["stage", "status", "time (s)", "attempts", "bytes",
+                  "custom"]
+        rows: list[Sequence[object]] = []
+        for m in self.stages:
+            custom = " ".join(
+                f"{k}={v:.1f}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in sorted(m.custom.items())
+            )
+            rows.append([
+                m.stage, m.status, f"{m.seconds:.3f}", m.attempts,
+                m.artifact_bytes or "-", custom,
+            ])
+        lines = [
+            f"flow {self.flow}: {self.cache_hits} hit / "
+            f"{self.cache_misses} ran, jobs={self.jobs}, "
+            f"wall {self.wall_seconds:.2f}s"
+        ]
+        lines.append(render_table(header, rows))
+        return "\n".join(lines)
+
+
+def column_widths(
+    header: Sequence[object], rows: Sequence[Sequence[object]]
+) -> list[int]:
+    """Column widths covering header and every (possibly ragged) row."""
+    widths = [max(1, len(str(h))) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(str(cell)))
+    return widths
+
+
+def render_table(
+    header: Sequence[object], rows: Sequence[Sequence[object]]
+) -> str:
+    """Minimal fixed-width table used for metrics and CLI output."""
+    widths = column_widths(header, rows)
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,346 @@
+"""Flow execution: serial or process-pool parallel, cached, observable.
+
+The runner walks a :class:`~repro.flow.graph.Flow` in dependency order.
+Every stage key is computed *before* anything runs (keys depend only on
+code fingerprints, params, and upstream keys -- never on artifact
+bytes), so cache lookups are pure dictionary probes and a warm rerun
+touches no domain code at all.
+
+Execution modes:
+
+``jobs <= 1``
+    in-process, stages in deterministic topological order.  Inputs are
+    deep-copied before each stage call so an impure stage cannot leak
+    mutations into sibling stages -- the same isolation pickling gives
+    worker processes, keeping serial and parallel runs bit-identical.
+``jobs > 1``
+    a ``ProcessPoolExecutor`` runs every ready stage concurrently;
+    results merge deterministically because artifacts are keyed by
+    name and each has exactly one producer.
+
+Failure policy per stage: up to ``retries`` re-runs; a stage that still
+fails either aborts the flow (:class:`FlowError`) or -- when marked
+``optional`` -- publishes :class:`Unavailable` markers for its outputs,
+and every stage downstream of an unavailable artifact is skipped rather
+than run on garbage.  Timeouts are enforced in parallel mode (the
+waiter abandons the future and treats the attempt as failed); serial
+mode cannot pre-empt and records overruns in metrics only.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import copy
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.flow.cache import (
+    FlowCache,
+    artifact_digest,
+    stage_key,
+    value_digest,
+)
+from repro.flow.graph import Flow
+from repro.flow.metrics import FlowMetrics, StageMetric, collect
+from repro.flow.stage import Stage
+
+
+class FlowError(RuntimeError):
+    """A required stage failed (or a needed artifact is unavailable)."""
+
+
+@dataclass(frozen=True)
+class Unavailable:
+    """Placeholder published for the outputs of a degraded stage."""
+
+    stage: str
+    reason: str
+
+    def __bool__(self) -> bool:
+        return False
+
+
+def is_unavailable(value: Any) -> bool:
+    return isinstance(value, Unavailable)
+
+
+@dataclass
+class FlowResult:
+    flow: str
+    artifacts: dict[str, Any]
+    metrics: FlowMetrics
+    keys: dict[str, str] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            value = self.artifacts[name]
+        except KeyError:
+            raise KeyError(
+                f"flow {self.flow!r} produced no artifact {name!r}"
+            ) from None
+        if is_unavailable(value):
+            raise FlowError(
+                f"artifact {name!r} unavailable "
+                f"(stage {value.stage!r}: {value.reason})"
+            )
+        return value
+
+    def get(self, name: str, default: Any = None) -> Any:
+        value = self.artifacts.get(name, default)
+        return default if is_unavailable(value) else value
+
+    @property
+    def ok(self) -> bool:
+        return not any(is_unavailable(v) for v in self.artifacts.values())
+
+
+def _execute(stage: Stage, inputs: dict[str, Any]):
+    """Run one stage; also the picklable worker-process entry point."""
+    with collect() as custom:
+        t0 = time.perf_counter()
+        artifacts = stage.call(inputs)
+        seconds = time.perf_counter() - t0
+    return artifacts, dict(custom), seconds
+
+
+_POLL_SECONDS = 0.05
+
+
+class Runner:
+    """Executes flows with caching, retries, and fan-out."""
+
+    def __init__(self, cache: FlowCache | None = None) -> None:
+        self.cache = cache
+
+    # -- keying ------------------------------------------------------
+
+    def _stage_keys(
+        self, flow: Flow, inputs: Mapping[str, Any]
+    ) -> dict[str, str]:
+        digests = {name: value_digest(v) for name, v in inputs.items()}
+        keys: dict[str, str] = {}
+        for stage in flow.topo_order():
+            key = stage_key(
+                stage.name,
+                stage.fingerprint(),
+                stage.params,
+                {a: digests[a] for a in stage.inputs},
+            )
+            keys[stage.name] = key
+            for a in stage.outputs:
+                digests[a] = artifact_digest(key, a)
+        return keys
+
+    # -- running -----------------------------------------------------
+
+    def run(
+        self,
+        flow: Flow,
+        inputs: Mapping[str, Any] | None = None,
+        jobs: int = 1,
+        metrics_path: str | None = None,
+        metrics: FlowMetrics | None = None,
+    ) -> FlowResult:
+        inputs = dict(inputs or {})
+        flow.validate(inputs)
+        keys = self._stage_keys(flow, inputs)
+        if metrics is None:
+            metrics = FlowMetrics(flow=flow.name, jobs=max(1, jobs))
+        artifacts: dict[str, Any] = dict(inputs)
+        try:
+            if jobs > 1 and len(flow) > 1:
+                self._run_parallel(flow, artifacts, keys, metrics, jobs)
+            else:
+                self._run_serial(flow, artifacts, keys, metrics)
+        finally:
+            metrics.finished = time.time()
+            if metrics_path:
+                metrics.dump(metrics_path)
+        return FlowResult(flow.name, artifacts, metrics, keys)
+
+    # Shared bookkeeping ------------------------------------------------
+
+    def _try_cache(self, stage: Stage, key: str,
+                   metric: StageMetric) -> dict[str, Any] | None:
+        if self.cache is None or not stage.cacheable:
+            return None
+        t0 = time.perf_counter()
+        got = self.cache.get(key)
+        if got is None or set(got) != set(stage.outputs):
+            return None
+        metric.status = "hit"
+        metric.cached = True
+        metric.artifact_bytes = self.cache.size(key)
+        metric.seconds = time.perf_counter() - t0
+        return got
+
+    def _store(self, stage: Stage, key: str, outs: dict[str, Any],
+               metric: StageMetric) -> None:
+        if self.cache is not None and stage.cacheable:
+            size = self.cache.put(key, stage.name, outs)
+            if size >= 0:
+                metric.cached = True
+                metric.artifact_bytes = size
+
+    def _degrade(self, stage: Stage, reason: str,
+                 artifacts: dict[str, Any], metric: StageMetric,
+                 status: str = "failed") -> None:
+        metric.status = status
+        metric.error = reason
+        if status == "failed" and not stage.optional:
+            raise FlowError(f"stage {stage.name!r} failed: {reason}")
+        for a in stage.outputs:
+            artifacts[a] = Unavailable(stage.name, reason)
+
+    def _blocked_reason(self, stage: Stage,
+                        artifacts: Mapping[str, Any]) -> str | None:
+        for a in stage.inputs:
+            v = artifacts.get(a)
+            if is_unavailable(v):
+                return f"input {a!r} unavailable ({v.reason})"
+        return None
+
+    # Serial ------------------------------------------------------------
+
+    def _run_serial(self, flow: Flow, artifacts: dict[str, Any],
+                    keys: dict[str, str], metrics: FlowMetrics) -> None:
+        for stage in flow.topo_order():
+            metric = metrics.metric(stage.name)
+            metric.key = keys[stage.name]
+            blocked = self._blocked_reason(stage, artifacts)
+            if blocked is not None:
+                self._degrade(stage, blocked, artifacts, metric,
+                              status="skipped")
+                continue
+            cached = self._try_cache(stage, metric.key, metric)
+            if cached is not None:
+                artifacts.update(cached)
+                continue
+            ins = {a: copy.deepcopy(artifacts[a]) for a in stage.inputs}
+            last_err = ""
+            for attempt in range(stage.retries + 1):
+                metric.attempts += 1
+                try:
+                    outs, custom, seconds = _execute(stage, ins)
+                except Exception as exc:
+                    last_err = f"{type(exc).__name__}: {exc}"
+                    metric.error = last_err
+                    continue
+                metric.status = "ran"
+                metric.seconds += seconds
+                metric.custom.update(custom)
+                if stage.timeout and seconds > stage.timeout:
+                    metric.custom["timeout_overrun_s"] = round(
+                        seconds - stage.timeout, 3
+                    )
+                artifacts.update(outs)
+                self._store(stage, metric.key, outs, metric)
+                break
+            else:
+                self._degrade(stage, last_err, artifacts, metric)
+
+    # Parallel ----------------------------------------------------------
+
+    def _run_parallel(self, flow: Flow, artifacts: dict[str, Any],
+                      keys: dict[str, str], metrics: FlowMetrics,
+                      jobs: int) -> None:
+        order = flow.topo_order()
+        pending: dict[str, Stage] = {s.name: s for s in order}
+        running: dict[concurrent.futures.Future, Stage] = {}
+        deadlines: dict[concurrent.futures.Future, float] = {}
+        abandoned: set[concurrent.futures.Future] = set()
+
+        def submit(pool, stage: Stage) -> None:
+            metric = metrics.metric(stage.name)
+            metric.attempts += 1
+            ins = {a: artifacts[a] for a in stage.inputs}
+            fut = pool.submit(_execute, stage, ins)
+            running[fut] = stage
+            if stage.timeout:
+                deadlines[fut] = time.monotonic() + stage.timeout
+
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+        try:
+            while pending or running:
+                # Launch every stage whose inputs are settled.
+                for name in sorted(pending):
+                    stage = pending[name]
+                    if any(a not in artifacts for a in stage.inputs):
+                        continue
+                    del pending[name]
+                    metric = metrics.metric(stage.name)
+                    metric.key = keys[stage.name]
+                    blocked = self._blocked_reason(stage, artifacts)
+                    if blocked is not None:
+                        self._degrade(stage, blocked, artifacts,
+                                      metric, status="skipped")
+                        continue
+                    cached = self._try_cache(stage, metric.key, metric)
+                    if cached is not None:
+                        artifacts.update(cached)
+                        continue
+                    submit(pool, stage)
+                if not running:
+                    if pending:  # every remaining stage is blocked
+                        continue
+                    break
+                finished, _ = concurrent.futures.wait(
+                    running,
+                    timeout=_POLL_SECONDS,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for fut in list(running):
+                    stage = running[fut]
+                    metric = metrics.metric(stage.name)
+                    if fut in finished:
+                        del running[fut]
+                        deadlines.pop(fut, None)
+                        try:
+                            outs, custom, seconds = fut.result()
+                        except Exception as exc:
+                            err = f"{type(exc).__name__}: {exc}"
+                            metric.error = err
+                            if metric.attempts <= stage.retries:
+                                submit(pool, stage)
+                            else:
+                                self._degrade(stage, err, artifacts,
+                                              metric)
+                            continue
+                        metric.status = "ran"
+                        metric.seconds += seconds
+                        metric.custom.update(custom)
+                        artifacts.update(outs)
+                        self._store(stage, metric.key, outs, metric)
+                    elif (fut in deadlines
+                            and now > deadlines[fut]
+                            and fut not in abandoned):
+                        # Can't kill a busy worker; stop waiting on it.
+                        abandoned.add(fut)
+                        del running[fut]
+                        del deadlines[fut]
+                        fut.cancel()
+                        err = (f"timeout after "
+                               f"{stage.timeout:.1f}s")
+                        metric.error = err
+                        if metric.attempts <= stage.retries:
+                            submit(pool, stage)
+                        else:
+                            self._degrade(stage, err, artifacts,
+                                          metric)
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            # Abandoned (timed-out) workers can't be killed; don't block
+            # on them -- they are joined at interpreter exit instead.
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
+
+
+def format_failure(exc: BaseException) -> str:
+    """One-line summary plus the deepest frame, for CLI error output."""
+    tb = traceback.extract_tb(exc.__traceback__)
+    where = f" [{tb[-1].filename}:{tb[-1].lineno}]" if tb else ""
+    return f"{type(exc).__name__}: {exc}{where}"

@@ -36,11 +36,12 @@ def fault_simulate(
     pi_sequence: Sequence[Mapping[str, int]],
     width: int = 64,
     initial_state: Mapping[str, int] | None = None,
+    drop_detected: bool = False,
 ) -> dict[Fault, bool]:
     """Simulate a vector sequence against every fault; fault -> detected."""
     cycles = fault_simulate_cycles(
         netlist, faults, pi_sequence, width=width,
-        initial_state=initial_state,
+        initial_state=initial_state, drop_detected=drop_detected,
     )
     return {f: c is not None for f, c in cycles.items()}
 
@@ -51,6 +52,7 @@ def fault_simulate_cycles(
     pi_sequence: Sequence[Mapping[str, int]],
     width: int = 64,
     initial_state: Mapping[str, int] | None = None,
+    drop_detected: bool = False,
 ) -> dict[Fault, int | None]:
     """Simulate a vector sequence against every fault.
 
@@ -60,11 +62,54 @@ def fault_simulate_cycles(
     state is *not* corrupted across cycles in the faulty machine (scan
     reload), unless the fault sits on the scan FF itself.
 
+    With ``drop_detected`` the simulation walks cycles outermost and
+    retires each fault the moment it is detected; once every fault is
+    detected the remaining cycles -- including the good-machine
+    simulation of them -- are skipped entirely.  Results are identical
+    either way (per fault, the same cycles are simulated up to its
+    first detection); only the amount of work for fully-detected fault
+    lists differs.
+
     Returns fault -> first detecting cycle index (None if undetected).
     """
     order = netlist.topo_order()
     mask = (1 << width) - 1
     scan_names = {g.name for g in netlist.scan_dffs()}
+
+    def forced_for(fault: Fault) -> dict[str, int]:
+        return {fault.net: 0 if fault.stuck_at == 0 else mask}
+
+    if drop_detected:
+        detected: dict[Fault, int | None] = {f: None for f in faults}
+        states = {f: dict(initial_state or {}) for f in faults}
+        good_state = dict(initial_state or {})
+        active = list(faults)
+        for cycle, piv in enumerate(pi_sequence):
+            if not active:
+                break
+            gvals, gnxt = parallel_simulate(
+                netlist, piv, good_state, width=width, order=order
+            )
+            good_state = gnxt
+            still_active = []
+            for fault in active:
+                vals, nxt = parallel_simulate(
+                    netlist, piv, states[fault], width=width,
+                    order=order, forced=forced_for(fault),
+                )
+                if _observable_difference(netlist, gvals, gnxt, vals,
+                                          nxt):
+                    detected[fault] = cycle
+                    states.pop(fault, None)
+                    continue
+                # Scan reload: scanned state follows the good machine.
+                for name in scan_names:
+                    if name != fault.net:
+                        nxt[name] = gnxt[name]
+                states[fault] = nxt
+                still_active.append(fault)
+            active = still_active
+        return detected
 
     # Good-machine trace.
     good: list[tuple[dict[str, int], dict[str, int]]] = []
@@ -76,9 +121,9 @@ def fault_simulate_cycles(
         good.append((vals, nxt))
         state = nxt
 
-    detected: dict[Fault, int | None] = {}
+    detected = {}
     for fault in faults:
-        forced = {fault.net: 0 if fault.stuck_at == 0 else mask}
+        forced = forced_for(fault)
         state = dict(initial_state or {})
         seen: int | None = None
         for cycle, piv in enumerate(pi_sequence):

@@ -1,0 +1,207 @@
+"""Flow cache: recipe-hash keying, invalidation, warm-rerun guarantees.
+
+The acceptance-critical test at the bottom asserts that a warm-cache
+rerun of a ported benchmark flow performs *zero* gate-level fault-sim
+recomputation (every stage is a cache hit).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.flow import Flow, FlowCache, Runner
+from repro.flow import cli as flow_cli
+from repro.flow.cache import stage_key, value_digest
+from repro.flow.flows import figure1_flow, fullscan_flow
+
+
+# -- module-level stage functions (picklable / fingerprintable) ------------
+
+def count_and_square(counter: str, x: int):
+    path = Path(counter)
+    n = int(path.read_text()) if path.exists() else 0
+    path.write_text(str(n + 1))
+    return x * x
+
+
+def plus_one(y):
+    return y + 1
+
+
+def make_closure():
+    return lambda: 42  # deliberately unpicklable artifact
+
+
+def executions(counter: Path) -> int:
+    return int(counter.read_text()) if counter.exists() else 0
+
+
+def counting_flow(counter: Path, x: int = 5, version: str = "1") -> Flow:
+    f = Flow("counting")
+    f.stage("sq", count_and_square, outputs=("y",), version=version,
+            params={"counter": str(counter), "x": x})
+    f.stage("inc", plus_one, inputs=("y",), outputs=("z",))
+    return f
+
+
+class TestKeying:
+    def test_value_digest_stable_across_collection_order(self):
+        assert value_digest({"a": 1, "b": [2, 3]}) == \
+            value_digest({"b": [2, 3], "a": 1})
+        assert value_digest({1, 2, 3}) == value_digest({3, 1, 2})
+
+    def test_value_digest_distinguishes_types(self):
+        assert value_digest(1) != value_digest("1")
+        assert value_digest((1, 2)) != value_digest([1, 2])
+
+    def test_stage_key_sensitive_to_every_ingredient(self):
+        base = stage_key("s", "fp", {"p": 1}, {"in": "d1"})
+        assert stage_key("s2", "fp", {"p": 1}, {"in": "d1"}) != base
+        assert stage_key("s", "fp2", {"p": 1}, {"in": "d1"}) != base
+        assert stage_key("s", "fp", {"p": 2}, {"in": "d1"}) != base
+        assert stage_key("s", "fp", {"p": 1}, {"in": "d2"}) != base
+
+
+class TestCacheBehaviour:
+    def test_warm_rerun_hits_every_stage(self, tmp_path):
+        cache = FlowCache(tmp_path / "fc")
+        counter = tmp_path / "count"
+        first = Runner(cache=cache).run(counting_flow(counter))
+        assert first["z"] == 26
+        assert executions(counter) == 1
+        assert first.metrics.cache_misses == 2
+
+        second = Runner(cache=cache).run(counting_flow(counter))
+        assert second["z"] == 26
+        assert executions(counter) == 1  # no recomputation
+        assert second.metrics.cache_hits == 2
+        assert second.metrics.cache_misses == 0
+        statuses = {m.stage: m.status for m in second.metrics.stages}
+        assert statuses == {"sq": "hit", "inc": "hit"}
+
+    def test_version_bump_invalidates_stage_and_downstream(self, tmp_path):
+        cache = FlowCache(tmp_path / "fc")
+        counter = tmp_path / "count"
+        Runner(cache=cache).run(counting_flow(counter))
+        bumped = Runner(cache=cache).run(
+            counting_flow(counter, version="2")
+        )
+        assert executions(counter) == 2
+        # downstream "inc" recomputes too: its input digest changed
+        assert bumped.metrics.cache_misses == 2
+
+    def test_param_change_invalidates(self, tmp_path):
+        cache = FlowCache(tmp_path / "fc")
+        counter = tmp_path / "count"
+        Runner(cache=cache).run(counting_flow(counter, x=5))
+        changed = Runner(cache=cache).run(
+            counting_flow(counter, x=6)
+        )
+        assert changed["z"] == 37
+        assert executions(counter) == 2
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        cache = FlowCache(tmp_path / "fc")
+        counter = tmp_path / "count"
+        Runner(cache=cache).run(counting_flow(counter))
+        for pkl in (tmp_path / "fc").rglob("*.pkl"):
+            pkl.write_bytes(b"not a pickle")
+        again = Runner(cache=cache).run(counting_flow(counter))
+        assert again["z"] == 26
+        assert executions(counter) == 2
+        assert again.metrics.cache_misses == 2
+
+    def test_unpicklable_artifact_degrades_gracefully(self, tmp_path):
+        cache = FlowCache(tmp_path / "fc")
+        f = Flow("closures")
+        f.stage("mk", make_closure, outputs=("fn",))
+        result = Runner(cache=cache).run(f)
+        assert result["fn"]() == 42
+        # nothing cached -> a rerun recomputes rather than crashing
+        rerun = Runner(cache=cache).run(f)
+        assert rerun["fn"]() == 42
+        assert rerun.metrics.cache_misses == 1
+
+    def test_put_reports_unpicklable(self, tmp_path):
+        cache = FlowCache(tmp_path / "fc")
+        assert cache.put("ab" * 32, "s", {"fn": lambda: 1}) == -1
+        assert cache.get("ab" * 32) is None
+
+    def test_clear_empties_cache(self, tmp_path):
+        cache = FlowCache(tmp_path / "fc")
+        counter = tmp_path / "count"
+        Runner(cache=cache).run(counting_flow(counter))
+        assert cache.clear() == 2
+        fresh = Runner(cache=cache).run(counting_flow(counter))
+        assert fresh.metrics.cache_misses == 2
+
+    def test_parallel_run_reuses_serial_cache(self, tmp_path):
+        cache = FlowCache(tmp_path / "fc")
+        counter = tmp_path / "count"
+        Runner(cache=cache).run(counting_flow(counter))
+        par = Runner(cache=cache).run(counting_flow(counter), jobs=2)
+        assert par["z"] == 26
+        assert executions(counter) == 1
+        assert par.metrics.cache_hits == 2
+
+
+class TestPortedBenchWarmCache:
+    """ISSUE acceptance: warm rerun of a ported bench does zero
+    gate-level fault-sim recomputation."""
+
+    def test_fullscan_flow_warm_rerun_is_all_hits(self, tmp_path):
+        cache = FlowCache(tmp_path / "fc")
+        cases = [("figure1", 3, 400)]
+        cold = Runner(cache=cache).run(fullscan_flow(cases=cases))
+        assert cold.metrics.cache_misses == 3  # synth, fullscan, table
+
+        warm = Runner(cache=cache).run(fullscan_flow(cases=cases))
+        assert warm.metrics.cache_misses == 0
+        assert warm.metrics.cache_hits == 3
+        statuses = {m.stage: m.status for m in warm.metrics.stages}
+        assert statuses["fullscan:figure1"] == "hit"  # no fault-sim ran
+        assert warm["table"] == cold["table"]
+
+    def test_figure1_parallel_warm_equals_cold_serial(self, tmp_path):
+        cache = FlowCache(tmp_path / "fc")
+        cold = Runner(cache=cache).run(figure1_flow())
+        warm = Runner(cache=cache).run(figure1_flow(), jobs=2)
+        assert warm.metrics.cache_misses == 0
+        assert warm["table"] == cold["table"]
+
+
+class TestCli:
+    def test_run_figure1_with_cache_dir_and_metrics(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "m.json"
+        rc = flow_cli.main([
+            "run", "figure1", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "fc"),
+            "--metrics", str(metrics),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nontrivial cycles" in out
+        data = json.loads(metrics.read_text())
+        assert data["cache_misses"] > 0
+
+        rc = flow_cli.main([
+            "run", "figure1",
+            "--cache-dir", str(tmp_path / "fc"),
+            "--metrics", str(metrics), "--quiet",
+        ])
+        assert rc == 0
+        data = json.loads(metrics.read_text())
+        assert data["cache_misses"] == 0
+
+    def test_unknown_flow_is_an_error(self, capsys):
+        assert flow_cli.main(["run", "nope"]) == 2
+
+    def test_list_names_flows(self, capsys):
+        assert flow_cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "fullscan" in out
