@@ -7,13 +7,16 @@ Usage::
 
 Imports each ``bench_*.py`` module and calls its ``run_experiment()``;
 the rendered tables land in ``benchmarks/results/`` (the same files the
-pytest entries write), giving EXPERIMENTS.md a one-command refresh.
+pytest entries write, each with a machine-readable ``.json`` twin),
+giving EXPERIMENTS.md a one-command refresh.  Per-bench wall times are
+aggregated into ``benchmarks/results/run_all_timings.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import pathlib
 import sys
 import time
@@ -38,6 +41,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     names = args.only if args.only else bench_modules()
     failures: list[str] = []
+    timings: dict[str, dict] = {}
     t_all = time.perf_counter()
     for name in names:
         t0 = time.perf_counter()
@@ -45,6 +49,10 @@ def main(argv: list[str] | None = None) -> int:
             mod = importlib.import_module(name)
             table = mod.run_experiment()
             path = table.save()
+            timings[name] = {
+                "seconds": round(time.perf_counter() - t0, 3),
+                "status": "ok",
+            }
             if not args.quiet:
                 print(table.render())
                 print()
@@ -53,7 +61,17 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
         except Exception as exc:  # keep going; report at the end
             failures.append(f"{name}: {exc!r}")
+            timings[name] = {
+                "seconds": round(time.perf_counter() - t0, 3),
+                "status": "failed",
+            }
             print(f"[{name}] FAILED: {exc!r}", file=sys.stderr)
+    results_dir = HERE / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "run_all_timings.json").write_text(json.dumps({
+        "total_seconds": round(time.perf_counter() - t_all, 3),
+        "benches": timings,
+    }, indent=2) + "\n")
     print(
         f"{len(names) - len(failures)}/{len(names)} experiments in "
         f"{time.perf_counter() - t_all:.1f}s",

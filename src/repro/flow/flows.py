@@ -78,12 +78,13 @@ def synth_suite_design(design: str, width: int, slack: float):
     return dp
 
 
-def fullscan_row(dp, design: str, backtracks: int, max_faults: int):
+def fullscan_row(dp, design: str, backtracks: int, max_faults: int,
+                 backend: str | None = None):
     from repro.rtl import fullscan_report
 
     t0 = time.perf_counter()
     rep = fullscan_report(dp, backtrack_limit=backtracks,
-                          max_faults=max_faults)
+                          max_faults=max_faults, backend=backend)
     elapsed = time.perf_counter() - t0
     if elapsed > 0:
         record_metric("faults_per_s", round(rep.total_faults / elapsed, 1))
@@ -108,7 +109,8 @@ def fullscan_table(notes: Sequence[str] = (), **rows):
 
 
 def fullscan_flow(cases: Sequence[tuple[str, int, int]] | None = None,
-                  slack: float = 1.5, max_faults: int = 300) -> Flow:
+                  slack: float = 1.5, max_faults: int = 300,
+                  backend: str | None = None) -> Flow:
     cases = list(cases if cases is not None else FULLSCAN_CASES)
     f = Flow("fullscan")
     for i, (design, width, backtracks) in enumerate(cases):
@@ -123,7 +125,7 @@ def fullscan_flow(cases: Sequence[tuple[str, int, int]] | None = None,
             inputs={"dp": f"dp_{design}"},
             outputs=(f"row_{i}",),
             params={"design": design, "backtracks": backtracks,
-                    "max_faults": max_faults},
+                    "max_faults": max_faults, "backend": backend},
             code_deps=("repro.rtl", "repro.gatelevel"),
         )
     f.stage(
@@ -344,13 +346,13 @@ def hier_generate(hier_cdfg, hier_fub, width: int, budget: int):
 
 
 def hier_apply(hier_composite, hier_steps, hier_tests, hier_faults,
-               width: int):
+               width: int, backend: str | None = None):
     """Fault-simulate the composed tests at gate level (with fault
     dropping: a detected fault is never simulated again)."""
     from repro.gatelevel.fault_sim import fault_simulate
 
     t0 = time.perf_counter()
-    detected: set = set()
+    n_detected = 0
     remaining = list(hier_faults)
     pattern_cycles = 0
     for test in hier_tests:
@@ -363,16 +365,15 @@ def hier_apply(hier_composite, hier_steps, hier_tests, hier_faults,
         seq = [dict(piv, reset=1)] + [piv] * (hier_steps + 1)
         pattern_cycles += len(seq) * len(remaining)
         results = fault_simulate(
-            hier_composite, remaining, seq, width=1, drop_detected=True
+            hier_composite, remaining, seq, width=1, drop_detected=True,
+            backend=backend,
         )
-        for fault, hit in results.items():
-            if hit:
-                detected.add(fault)
-        remaining = [f for f in remaining if f not in detected]
+        n_detected += sum(1 for hit in results.values() if hit)
+        remaining = [f for f, hit in results.items() if not hit]
     elapsed = time.perf_counter() - t0
     if elapsed > 0:
         record_metric("patterns_per_s", round(pattern_cycles / elapsed, 1))
-    return len(detected)
+    return n_detected
 
 
 def hier_flat_atpg(hier_composite, hier_faults, max_frames: int,
@@ -420,7 +421,8 @@ def hier_table(hier_tests, hier_uncovered, hier_gen_seconds,
 
 def hierarchical_flow(width: int = HIER_WIDTH,
                       fault_sample: int = HIER_FAULT_SAMPLE,
-                      budget: int = 16) -> Flow:
+                      budget: int = 16,
+                      backend: str | None = None) -> Flow:
     f = Flow("hierarchical")
     f.stage(
         "build", hier_build,
@@ -441,8 +443,9 @@ def hierarchical_flow(width: int = HIER_WIDTH,
         inputs=("hier_composite", "hier_steps", "hier_tests",
                 "hier_faults"),
         outputs=("hier_detected",),
-        params={"width": width},
-        code_deps=("repro.gatelevel.fault_sim",),
+        params={"width": width, "backend": backend},
+        code_deps=("repro.gatelevel.fault_sim",
+                   "repro.gatelevel.kernel"),
     )
     f.stage(
         "flat_atpg", hier_flat_atpg,

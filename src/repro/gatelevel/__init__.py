@@ -12,7 +12,12 @@ backtrack budget, parallel-pattern fault simulation, and pseudorandom
 from repro.gatelevel.gates import Gate, Netlist, NetlistError
 from repro.gatelevel.simulate import simulate, parallel_simulate
 from repro.gatelevel.faults import Fault, all_faults, collapse_faults
-from repro.gatelevel.fault_sim import fault_simulate, detected_faults
+from repro.gatelevel.fault_sim import (
+    fault_simulate,
+    detected_faults,
+    resolve_backend,
+)
+from repro.gatelevel.kernel import CompiledNetlist, compiled, have_kernel
 from repro.gatelevel.expand import expand_datapath, expand_composite
 from repro.gatelevel.atpg import combinational_atpg, ATPGResult
 from repro.gatelevel.seq_atpg import sequential_atpg, SequentialATPGResult
@@ -32,6 +37,7 @@ from repro.gatelevel.transition_faults import (
     TransitionFault,
     all_transition_faults,
     transition_coverage,
+    transition_pair_masks,
 )
 from repro.gatelevel.bist_session import (
     BISTHardware,
@@ -57,6 +63,10 @@ __all__ = [
     "collapse_faults",
     "fault_simulate",
     "detected_faults",
+    "resolve_backend",
+    "CompiledNetlist",
+    "compiled",
+    "have_kernel",
     "expand_datapath",
     "expand_composite",
     "combinational_atpg",
@@ -76,6 +86,7 @@ __all__ = [
     "TransitionFault",
     "all_transition_faults",
     "transition_coverage",
+    "transition_pair_masks",
     "BISTHardware",
     "bist_fault_coverage",
     "build_bist_hardware",

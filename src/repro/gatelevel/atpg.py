@@ -68,10 +68,26 @@ def sim3(
     forced: Mapping[str, int] | None = None,
 ) -> dict[str, int | None]:
     """3-valued simulation; unassigned inputs and DFF outputs are X."""
+    return _sim3_gates(
+        [netlist.gate(n) for n in order], assign, forced
+    )
+
+
+def _sim3_gates(
+    gates: Sequence,
+    assign: Mapping[str, int],
+    forced: Mapping[str, int] | None = None,
+) -> dict[str, int | None]:
+    """:func:`sim3` over a pre-resolved topo-ordered gate list.
+
+    PODEM simulates both machines on every decision, so the per-call
+    name->gate dict resolution is hoisted out (the good-machine hot
+    path; :func:`combinational_atpg` builds the list once).
+    """
     forced = forced or {}
     values: dict[str, int | None] = {}
-    for name in order:
-        gate = netlist.gate(name)
+    for gate in gates:
+        name = gate.name
         if gate.kind in ("input", "dff"):
             v = assign.get(name, X)
         elif gate.kind == "const0":
@@ -127,6 +143,7 @@ def combinational_atpg(
     time-frame expansion, where the same fault exists in every frame).
     """
     order = netlist.topo_order()
+    gates = [netlist.gate(n) for n in order]
     if observe is None:
         observe = default_observe(netlist)
     if control is None:
@@ -146,8 +163,8 @@ def combinational_atpg(
             consumers.setdefault(src, []).append(g.name)
 
     while True:
-        good = sim3(netlist, order, assign)
-        bad = sim3(netlist, order, assign, forced=forced)
+        good = _sim3_gates(gates, assign)
+        bad = _sim3_gates(gates, assign, forced=forced)
         if _detected_at(observe, good, bad):
             return ATPGResult(fault, True, False, dict(assign),
                               backtracks, decisions)

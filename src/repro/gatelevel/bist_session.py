@@ -111,9 +111,11 @@ def run_signature(
     config: Mapping[str, int],
     cycles: int,
     forced: Mapping[str, int] | None = None,
+    backend: str | None = None,
 ) -> dict[str, int]:
     """Free-run one session; returns the final per-SR signatures."""
-    sigs = run_signatures(hardware, config, (cycles,), forced=forced)
+    sigs = run_signatures(hardware, config, (cycles,), forced=forced,
+                          backend=backend)
     return sigs[cycles]
 
 
@@ -122,18 +124,33 @@ def run_signatures(
     config: Mapping[str, int],
     checkpoints: Sequence[int],
     forced: Mapping[str, int] | None = None,
+    backend: str | None = None,
 ) -> dict[int, dict[str, int]]:
     """Free-run one session, snapshotting signatures at checkpoints.
 
     Comparing at several checkpoints is the standard guard against
     MISR aliasing (a w-bit MISR aliases with probability ~2^-w at any
-    single compare point).
+    single compare point).  Runs on the compiled kernel by default
+    (``backend="interp"`` or ``REPRO_FAULTSIM_BACKEND`` selects the
+    reference interpreter).
     """
+    from repro.gatelevel.fault_sim import resolve_backend
+
     nl = hardware.netlist
-    order = nl.topo_order()
-    state: dict[str, int] = {}
     piv = dict(config)
     marks = sorted(set(checkpoints))
+    if resolve_backend(backend) == "kernel":
+        from repro.gatelevel.kernel import compiled
+
+        states = compiled(nl).state_checkpoints(
+            piv, marks, width=1, forced=forced
+        )
+        return {
+            cycle: _read_signatures(hardware, state)
+            for cycle, state in states.items()
+        }
+    order = nl.topo_order()
+    state: dict[str, int] = {}
     out: dict[int, dict[str, int]] = {}
     for cycle in range(1, marks[-1] + 1):
         _vals, state = parallel_simulate(
@@ -161,6 +178,7 @@ def bist_fault_coverage(
     sessions: Sequence[Sequence[str]] | None = None,
     cycles: int = 64,
     faults: Sequence[Fault] | None = None,
+    backend: str | None = None,
 ) -> float:
     """Signature-based stuck-at coverage over the given sessions.
 
@@ -180,14 +198,15 @@ def bist_fault_coverage(
         session_configuration(hardware, units) for units in sessions
     ]
     goldens = [
-        run_signatures(hardware, cfg, checkpoints) for cfg in configs
+        run_signatures(hardware, cfg, checkpoints, backend=backend)
+        for cfg in configs
     ]
     detected = 0
     for f in faults:
         forced = {f.net: f.stuck_at}
         for cfg, golden in zip(configs, goldens):
             if run_signatures(hardware, cfg, checkpoints,
-                              forced=forced) != golden:
+                              forced=forced, backend=backend) != golden:
                 detected += 1
                 break
     return detected / len(faults) if faults else 1.0

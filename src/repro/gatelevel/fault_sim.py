@@ -2,16 +2,57 @@
 
 For each fault, the netlist is re-simulated with the faulty net forced
 and the outputs (plus scan-FF states, which are observable) compared
-against the good machine, 64 patterns at a time.
+against the good machine, ``width`` patterns at a time.
+
+Two engines produce bit-identical results:
+
+* the **compiled kernel** (:mod:`repro.gatelevel.kernel`): levelized
+  numpy program, arbitrary word width, cone-restricted faulty
+  evaluation — the default;
+* the **reference interpreter** below: per-gate dict walk, kept for
+  equivalence checking and numpy-free environments.
+
+Select with ``backend=`` (``"kernel"`` / ``"interp"``) or the
+``REPRO_FAULTSIM_BACKEND`` environment variable.  ``shards=`` (or
+``REPRO_FAULTSIM_SHARDS``) splits the fault list across worker
+processes; the merged result is byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Mapping, Sequence
 
+from repro.flow.metrics import record_metric
 from repro.gatelevel.faults import Fault
 from repro.gatelevel.gates import Netlist
 from repro.gatelevel.simulate import parallel_simulate
+
+BACKEND_ENV = "REPRO_FAULTSIM_BACKEND"
+SHARDS_ENV = "REPRO_FAULTSIM_SHARDS"
+#: below this many faults a process pool costs more than it saves
+MIN_FAULTS_PER_SHARD = 16
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Normalise a backend choice: explicit arg > env > kernel."""
+    from repro.gatelevel import kernel
+
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "") or "kernel"
+    backend = backend.lower()
+    if backend in ("interp", "interpreter", "reference"):
+        return "interp"
+    if backend != "kernel":
+        raise ValueError(f"unknown fault-sim backend {backend!r}")
+    return "kernel" if kernel.have_kernel() else "interp"
+
+
+def resolve_shards(shards: int | None = None) -> int:
+    if shards is None:
+        shards = int(os.environ.get(SHARDS_ENV, "1") or 1)
+    return max(1, int(shards))
 
 
 def _observable_difference(
@@ -37,11 +78,14 @@ def fault_simulate(
     width: int = 64,
     initial_state: Mapping[str, int] | None = None,
     drop_detected: bool = False,
+    backend: str | None = None,
+    shards: int | None = None,
 ) -> dict[Fault, bool]:
     """Simulate a vector sequence against every fault; fault -> detected."""
     cycles = fault_simulate_cycles(
         netlist, faults, pi_sequence, width=width,
         initial_state=initial_state, drop_detected=drop_detected,
+        backend=backend, shards=shards,
     )
     return {f: c is not None for f, c in cycles.items()}
 
@@ -53,6 +97,8 @@ def fault_simulate_cycles(
     width: int = 64,
     initial_state: Mapping[str, int] | None = None,
     drop_detected: bool = False,
+    backend: str | None = None,
+    shards: int | None = None,
 ) -> dict[Fault, int | None]:
     """Simulate a vector sequence against every fault.
 
@@ -70,8 +116,122 @@ def fault_simulate_cycles(
     first detection); only the amount of work for fully-detected fault
     lists differs.
 
-    Returns fault -> first detecting cycle index (None if undetected).
+    Returns fault -> first detecting cycle index (None if undetected),
+    in the order the faults were given.
     """
+    backend = resolve_backend(backend)
+    shards = resolve_shards(shards)
+    if shards > 1 and len(faults) >= 2 * MIN_FAULTS_PER_SHARD:
+        return _fault_simulate_sharded(
+            netlist, faults, pi_sequence, width, initial_state,
+            drop_detected, backend, shards,
+        )
+    t0 = time.perf_counter()
+    if backend == "kernel":
+        from repro.gatelevel.kernel import compiled
+
+        comp = compiled(netlist)
+        result = comp.fault_simulate_cycles(
+            faults, pi_sequence, width=width,
+            initial_state=initial_state, drop_detected=drop_detected,
+        )
+        _record_pps(comp._pattern_cycles, time.perf_counter() - t0)
+        return result
+    result = _fault_simulate_cycles_interp(
+        netlist, faults, pi_sequence, width, initial_state, drop_detected
+    )
+    work = sum(
+        width * (len(pi_sequence) if c is None else c + 1)
+        for c in result.values()
+    )
+    _record_pps(work, time.perf_counter() - t0)
+    return result
+
+
+def _record_pps(pattern_cycles: int, seconds: float, shard: int | None = None) -> None:
+    if seconds > 0 and pattern_cycles:
+        name = "patterns_per_s" if shard is None else f"shard{shard}_pps"
+        record_metric(name, round(pattern_cycles / seconds, 1))
+
+
+# ---------------------------------------------------------------------------
+# fault-parallel sharding
+
+def _shard_worker(args):
+    (netlist, chunk, pi_sequence, width, initial_state, drop_detected,
+     backend) = args
+    t0 = time.perf_counter()
+    res = fault_simulate_cycles(
+        netlist, chunk, pi_sequence, width=width,
+        initial_state=initial_state, drop_detected=drop_detected,
+        backend=backend, shards=1,
+    )
+    work = sum(
+        width * (len(pi_sequence) if c is None else c + 1)
+        for c in res.values()
+    )
+    return res, work, time.perf_counter() - t0
+
+
+def _fault_simulate_sharded(
+    netlist: Netlist,
+    faults: Sequence[Fault],
+    pi_sequence: Sequence[Mapping[str, int]],
+    width: int,
+    initial_state: Mapping[str, int] | None,
+    drop_detected: bool,
+    backend: str,
+    shards: int,
+) -> dict[Fault, int | None]:
+    """Split the fault list across worker processes; deterministic merge.
+
+    Faults are partitioned into contiguous chunks (fault independence
+    makes any partition exact, contiguity keeps each shard's locality);
+    the merged dict is rebuilt in the caller's fault order, so a sharded
+    run is byte-identical to a serial one.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    shards = min(shards, max(1, len(faults) // MIN_FAULTS_PER_SHARD))
+    if shards <= 1:
+        return fault_simulate_cycles(
+            netlist, faults, pi_sequence, width=width,
+            initial_state=initial_state, drop_detected=drop_detected,
+            backend=backend, shards=1,
+        )
+    bounds = [round(i * len(faults) / shards) for i in range(shards + 1)]
+    chunks = [list(faults[bounds[i]:bounds[i + 1]]) for i in range(shards)]
+    state = dict(initial_state) if initial_state else None
+    merged: dict[Fault, int | None] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=shards) as pool:
+            for i, (res, work, secs) in enumerate(pool.map(
+                _shard_worker,
+                [(netlist, chunk, list(pi_sequence), width, state,
+                  drop_detected, backend) for chunk in chunks],
+            )):
+                _record_pps(work, secs, shard=i)
+                merged.update(res)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
+        return fault_simulate_cycles(
+            netlist, faults, pi_sequence, width=width,
+            initial_state=state, drop_detected=drop_detected,
+            backend=backend, shards=1,
+        )
+    return {f: merged[f] for f in faults}
+
+
+# ---------------------------------------------------------------------------
+# reference interpreter
+
+def _fault_simulate_cycles_interp(
+    netlist: Netlist,
+    faults: Sequence[Fault],
+    pi_sequence: Sequence[Mapping[str, int]],
+    width: int = 64,
+    initial_state: Mapping[str, int] | None = None,
+    drop_detected: bool = False,
+) -> dict[Fault, int | None]:
     order = netlist.topo_order()
     mask = (1 << width) - 1
     scan_names = {g.name for g in netlist.scan_dffs()}

@@ -62,6 +62,9 @@ class Netlist:
         self.name = name
         self._gates: dict[str, Gate] = {}
         self.outputs: list[str] = []
+        self._version = 0
+        self._topo_cache: list[str] | None = None
+        self._levels_cache: dict[str, int] | None = None
 
     # ------------------------------------------------------------------
 
@@ -70,10 +73,41 @@ class Netlist:
         if name in self._gates:
             raise NetlistError(f"duplicate gate {name!r}")
         self._gates[name] = Gate(name, kind, tuple(inputs), scan=scan)
+        self.invalidate()
         return name
 
     def add_output(self, net: str) -> None:
         self.outputs.append(net)
+
+    def invalidate(self) -> None:
+        """Drop derived caches (topo order, levels, compiled kernels).
+
+        Called automatically by :meth:`add`; call it manually after
+        mutating ``_gates`` or gate attributes in place.
+        """
+        self._version += 1
+        self._topo_cache = None
+        self._levels_cache = None
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (cache key for derived structures)."""
+        return self._version
+
+    def __getstate__(self) -> dict:
+        # Derived caches are cheap to rebuild and would bloat pickles
+        # (flow-cache artifacts, process-pool shards); drop them.
+        state = self.__dict__.copy()
+        state["_topo_cache"] = None
+        state["_levels_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Pickles from before the cache fields existed.
+        self.__dict__.setdefault("_version", 0)
+        self.__dict__.setdefault("_topo_cache", None)
+        self.__dict__.setdefault("_levels_cache", None)
 
     # ------------------------------------------------------------------
 
@@ -110,8 +144,14 @@ class Netlist:
     def topo_order(self) -> list[str]:
         """Combinational evaluation order (DFF outputs are sources).
 
+        The result is cached on the netlist and invalidated by
+        :meth:`add` / :meth:`invalidate`; callers that loop over cycles
+        or faults no longer pay for repeated traversals.
+
         Raises :class:`NetlistError` on combinational cycles.
         """
+        if self._topo_cache is not None:
+            return self._topo_cache
         order: list[str] = []
         state = dict.fromkeys(self._gates, 0)  # 0 new, 1 visiting, 2 done
         stack: list[tuple[str, int]] = []
@@ -145,7 +185,27 @@ class Netlist:
                 else:
                     state[node] = 2
                     order.append(node)
+        self._topo_cache = order
         return order
+
+    def levels(self) -> dict[str, int]:
+        """Levelization: sources (inputs, constants, DFF outputs) are
+        level 0; a combinational gate is one past its deepest fanin.
+
+        This is the schedule the compiled kernel groups instructions
+        by; cached alongside :meth:`topo_order`.
+        """
+        if self._levels_cache is not None:
+            return self._levels_cache
+        levels: dict[str, int] = {}
+        for name in self.topo_order():
+            gate = self._gates[name]
+            if gate.kind in COMBINATIONAL_KINDS:
+                levels[name] = 1 + max(levels[i] for i in gate.inputs)
+            else:
+                levels[name] = 0
+        self._levels_cache = levels
+        return levels
 
     def validate(self) -> None:
         """Check outputs exist, DFF inputs are driven, no comb. cycles."""

@@ -26,12 +26,16 @@ def random_pattern_coverage(
     seed: int = 1,
     faults: Sequence[Fault] | None = None,
     sequence_length: int = 1,
+    backend: str | None = None,
 ) -> float:
     """Stuck-at coverage of ``n_patterns`` pseudorandom patterns.
 
     Patterns are packed 64 wide; with ``sequence_length > 1`` each
     packed pattern set runs for that many cycles (responses can
-    propagate through unscanned state).
+    propagate through unscanned state).  Fault dropping is on inside
+    each block too (``drop_detected``), so a fault detected by cycle
+    *c* never simulates cycles past *c*; ``backend`` selects the
+    compiled kernel (default) or the reference interpreter.
     """
     rng = random.Random(seed)
     if faults is None:
@@ -47,12 +51,13 @@ def random_pattern_coverage(
             for _ in range(sequence_length)
         ]
         results = fault_simulate(
-            netlist, remaining, seq, width=width
+            netlist, remaining, seq, width=width, drop_detected=True,
+            backend=backend,
         )
-        for f, d in results.items():
-            if d:
-                detected.add(f)
-        remaining = [f for f in remaining if f not in detected]
+        detected.update(f for f, d in results.items() if d)
+        # results preserves fault order, so the survivors fall straight
+        # out of it -- no O(n^2) re-listing against a membership list.
+        remaining = [f for f, d in results.items() if not d]
         done += width
     return coverage(len(detected), len(faults))
 

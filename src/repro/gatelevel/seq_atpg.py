@@ -16,6 +16,7 @@ depth" (survey section 3.1) -- calibrated in ``bench_atpg_cost``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 from repro.gatelevel.atpg import combinational_atpg
 from repro.gatelevel.faults import Fault
@@ -70,6 +71,29 @@ def unroll(netlist: Netlist, frames: int) -> tuple[Netlist, dict[int, dict[str, 
     return out, maps
 
 
+_UNROLL_CACHE: "WeakKeyDictionary[Netlist, dict]" = WeakKeyDictionary()
+
+
+def unroll_cached(
+    netlist: Netlist, frames: int
+) -> tuple[Netlist, dict[int, dict[str, str]]]:
+    """Memoized :func:`unroll`.
+
+    Sequential ATPG re-unrolls the same netlist for every fault and
+    every frame count; the unrolled good-machine structure (and its
+    cached topo order) is shared instead.  Keyed by the netlist's
+    mutation counter so in-place edits invalidate.
+    """
+    per_netlist = _UNROLL_CACHE.setdefault(netlist, {})
+    key = (netlist.version, frames)
+    hit = per_netlist.get(key)
+    if hit is None:
+        if any(k[0] != netlist.version for k in per_netlist):
+            per_netlist.clear()
+        hit = per_netlist[key] = unroll(netlist, frames)
+    return hit
+
+
 @dataclass
 class SequentialATPGResult:
     """Aggregate over the frame-growing attempts."""
@@ -93,7 +117,7 @@ def sequential_atpg(
     total_backtracks = 0
     aborted = False
     for frames in range(1, max_frames + 1):
-        unrolled, maps = unroll(netlist, frames)
+        unrolled, maps = unroll_cached(netlist, frames)
         forced_extra = {
             maps[t][fault.net]: fault.stuck_at for t in range(frames)
         }

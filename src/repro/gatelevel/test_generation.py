@@ -60,6 +60,7 @@ def generate_tests(
     netlist: Netlist,
     faults: Sequence[Fault] | None = None,
     backtrack_limit: int = 600,
+    backend: str | None = None,
 ) -> TestSet:
     """Generate a fault-dropping test set for the full-scan view.
 
@@ -91,7 +92,8 @@ def generate_tests(
         piv = {k: v for k, v in vec.items() if k not in scan_names}
         state = {k: v for k, v in vec.items() if k in scan_names}
         dropped = fault_simulate(
-            netlist, remaining, [piv], width=1, initial_state=state
+            netlist, remaining, [piv], width=1, initial_state=state,
+            backend=backend,
         )
         survivors = []
         for f in remaining:

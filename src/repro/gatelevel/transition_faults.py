@@ -66,6 +66,7 @@ def transition_fault_detected(
     pair: tuple[Mapping[str, int], Mapping[str, int]],
     width: int = 64,
     initial_state: Mapping[str, int] | None = None,
+    backend: str | None = None,
 ) -> int:
     """Packed mask of patterns in ``pair`` that detect ``fault``.
 
@@ -74,34 +75,80 @@ def transition_fault_detected(
     value on exactly the bit positions where the slow transition would
     occur.
     """
+    masks = transition_pair_masks(
+        netlist, pair, [fault], width=width,
+        initial_state=initial_state, backend=backend,
+    )
+    return masks[fault]
+
+
+def transition_pair_masks(
+    netlist: Netlist,
+    pair: tuple[Mapping[str, int], Mapping[str, int]],
+    faults: Sequence[TransitionFault],
+    width: int = 64,
+    initial_state: Mapping[str, int] | None = None,
+    backend: str | None = None,
+) -> dict[TransitionFault, int]:
+    """Detection masks for many faults under one vector pair.
+
+    The good machine runs once per pair; on the compiled-kernel backend
+    each faulty machine is a cone-restricted launch-cycle replay (the
+    interpreter re-evaluates the full netlist per fault).
+    """
+    from repro.gatelevel.fault_sim import resolve_backend
+
+    if resolve_backend(backend) == "kernel":
+        from repro.gatelevel.kernel import transition_pair_detect
+
+        raw = transition_pair_detect(
+            netlist, pair, [(f.net, f.rising) for f in faults],
+            width=width, initial_state=initial_state,
+        )
+        return {f: raw[(f.net, f.rising)] for f in faults}
+    return _transition_pair_masks_interp(
+        netlist, pair, faults, width, initial_state
+    )
+
+
+def _transition_pair_masks_interp(
+    netlist: Netlist,
+    pair: tuple[Mapping[str, int], Mapping[str, int]],
+    faults: Sequence[TransitionFault],
+    width: int = 64,
+    initial_state: Mapping[str, int] | None = None,
+) -> dict[TransitionFault, int]:
     v1, v2 = pair
     order = netlist.topo_order()
     state0 = dict(initial_state or {})
 
-    # Good machine.
+    # Good machine, shared across the pair's faults.
     g1, gs1 = parallel_simulate(netlist, v1, state0, width, order)
     g2, gs2 = parallel_simulate(netlist, v2, gs1, width, order)
 
-    # Faulty machine: cycle 1 identical (fault only delays transitions
-    # *launched* by the pair); cycle 2 with the net's transitioning bits
-    # frozen at their cycle-1 value.
-    before = g1[fault.net]
-    # First compute the would-be cycle-2 value to find transition bits.
-    would, _ = parallel_simulate(netlist, v2, gs1, width, order)
-    after = would[fault.net]
-    if fault.rising:
-        slow_bits = ~before & after  # 0 -> 1 transitions delayed
-    else:
-        slow_bits = before & ~after  # 1 -> 0 transitions delayed
     mask = (1 << width) - 1
-    slow_bits &= mask
-    if not slow_bits:
-        return 0
-    faulty_value = (after & ~slow_bits) | (before & slow_bits)
-    f2, fs2 = parallel_simulate(
-        netlist, v2, gs1, width, order, forced={fault.net: faulty_value}
-    )
-    return _observable(netlist, g2, gs2, f2, fs2) & slow_bits
+    out: dict[TransitionFault, int] = {}
+    for fault in faults:
+        # Faulty machine: cycle 1 identical (fault only delays
+        # transitions *launched* by the pair); cycle 2 with the net's
+        # transitioning bits frozen at their cycle-1 value.
+        before = g1[fault.net]
+        after = g2[fault.net]
+        if fault.rising:
+            slow_bits = ~before & after  # 0 -> 1 transitions delayed
+        else:
+            slow_bits = before & ~after  # 1 -> 0 transitions delayed
+        slow_bits &= mask
+        if not slow_bits:
+            out[fault] = 0
+            continue
+        faulty_value = (after & ~slow_bits) | (before & slow_bits)
+        f2, fs2 = parallel_simulate(
+            netlist, v2, gs1, width, order,
+            forced={fault.net: faulty_value},
+        )
+        out[fault] = _observable(netlist, g2, gs2, f2, fs2) & slow_bits
+    return out
 
 
 def transition_coverage(
@@ -109,6 +156,7 @@ def transition_coverage(
     pairs: Sequence[tuple[Mapping[str, int], Mapping[str, int]]],
     faults: Sequence[TransitionFault] | None = None,
     width: int = 64,
+    backend: str | None = None,
 ) -> float:
     """Fraction of transition faults detected by the vector pairs."""
     if faults is None:
@@ -118,9 +166,12 @@ def transition_coverage(
     for pair in pairs:
         if not remaining:
             break
+        masks = transition_pair_masks(
+            netlist, pair, remaining, width=width, backend=backend
+        )
         still = []
         for f in remaining:
-            if transition_fault_detected(netlist, f, pair, width=width):
+            if masks[f]:
                 detected += 1
             else:
                 still.append(f)
@@ -133,6 +184,7 @@ def random_pair_coverage(
     n_pairs: int = 64,
     seed: int = 1,
     faults: Sequence[TransitionFault] | None = None,
+    backend: str | None = None,
 ) -> float:
     """Transition coverage of pseudorandom launch-on-capture pairs."""
     import random
@@ -145,4 +197,6 @@ def random_pair_coverage(
         v1 = {pi: rng.getrandbits(width) for pi in pis}
         v2 = {pi: rng.getrandbits(width) for pi in pis}
         pairs.append((v1, v2))
-    return transition_coverage(netlist, pairs, faults=faults, width=width)
+    return transition_coverage(
+        netlist, pairs, faults=faults, width=width, backend=backend
+    )

@@ -52,7 +52,6 @@ class JTAGWrapper:
 
     def __init__(self, core: Netlist, idcode: int = 0x1996_0C0D) -> None:
         self.core = core
-        self._order = core.topo_order()
         self.idcode = idcode & 0xFFFFFFFF
         cells = [
             BoundaryCell(pi, "input") for pi in sorted(core.inputs())
@@ -84,9 +83,9 @@ class JTAGWrapper:
         return values
 
     def _core_eval(self, advance: bool) -> dict[str, int]:
+        # topo_order() is cached on the Netlist itself, so no local copy.
         vals, nxt = parallel_simulate(
-            self.core, self._core_inputs(), self.core_state,
-            width=1, order=self._order,
+            self.core, self._core_inputs(), self.core_state, width=1,
         )
         if advance:
             self.core_state = nxt

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.gatelevel.atpg import combinational_atpg
 from repro.gatelevel.expand import expand_datapath
 from repro.gatelevel.faults import all_faults
+from repro.gatelevel.test_generation import generate_tests
 from repro.hls.datapath import Datapath
 
 
@@ -45,30 +45,31 @@ def fullscan_report(
     datapath: Datapath,
     backtrack_limit: int = 300,
     max_faults: int | None = None,
+    backend: str | None = None,
 ) -> FullScanReport:
     """Scan every register, expand, and run combinational ATPG.
 
     ``max_faults`` caps the fault sample for large designs (faults are
-    taken in sorted order, deterministic).
+    taken in sorted order, deterministic).  ATPG runs with fault
+    dropping (:func:`repro.gatelevel.test_generation.generate_tests`):
+    each generated vector is fault-simulated against the remaining
+    faults on the compiled kernel, so only undetected faults reach
+    PODEM -- same counts as the old one-PODEM-per-fault loop, minus
+    the redundant searches.
     """
     datapath.mark_scan(*[r.name for r in datapath.registers])
     netlist, _ctrl = expand_datapath(datapath)
     faults = all_faults(netlist)
     if max_faults is not None:
         faults = faults[:max_faults]
-    detected = aborted = untestable = 0
-    for f in faults:
-        res = combinational_atpg(netlist, f, backtrack_limit=backtrack_limit)
-        if res.detected:
-            detected += 1
-        elif res.aborted:
-            aborted += 1
-        else:
-            untestable += 1
+    ts = generate_tests(
+        netlist, faults=faults, backtrack_limit=backtrack_limit,
+        backend=backend,
+    )
     return FullScanReport(
         design=datapath.name,
         total_faults=len(faults),
-        detected=detected,
-        aborted=aborted,
-        untestable=untestable,
+        detected=len(ts.detected),
+        aborted=len(ts.aborted),
+        untestable=len(ts.untestable),
     )
