@@ -20,14 +20,13 @@ from repro.controller_dft import (
     control_implications,
     infeasible_requirements,
     redesign_with_test_vectors,
-    requirements_from_tests,
+    requirements_from_netlist,
 )
 from repro.controller_dft.redesign import coverage_of_requirements
 from repro.hls import build_controller
 from repro.hls.estimate import area_estimate
 from repro.gatelevel import all_faults, expand_composite, expand_datapath
 from repro.gatelevel.seq_atpg import sequential_atpg
-from repro.gatelevel.test_generation import generate_tests
 
 WIDTH = 3
 SAMPLE = 14
@@ -43,12 +42,14 @@ def datapath_test_requirements(dp, ctrl):
     dp.mark_scan(*[r.name for r in dp.registers])
     nl, control_map = expand_datapath(dp)
     faults = all_faults(nl)[:80]
-    ts = generate_tests(nl, faults=faults, backtrack_limit=300)
+    # requirements_from_netlist runs ATPG with pre-drop disabled: the
+    # partial vectors carry only what each test requires of the
+    # controller; filled-in vectors would over-constrain
+    reqs = requirements_from_netlist(nl, control_map, faults=faults,
+                                     backtrack_limit=300)
     for r in dp.registers:
         r.scan = False
-    # partial vectors carry only what each test requires of the
-    # controller; the zero-filled completions would over-constrain
-    return requirements_from_tests(control_map, ts.partial_vectors)
+    return reqs
 
 
 def run_experiment() -> Table:

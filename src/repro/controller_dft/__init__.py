@@ -17,6 +17,7 @@ from repro.controller_dft.implications import (
     Implication,
     control_implications,
     infeasible_requirements,
+    requirements_from_netlist,
     requirements_from_tests,
 )
 from repro.controller_dft.redesign import (
@@ -28,6 +29,7 @@ __all__ = [
     "Implication",
     "control_implications",
     "infeasible_requirements",
+    "requirements_from_netlist",
     "requirements_from_tests",
     "redesign_with_test_vectors",
     "vectors_for_requirements",

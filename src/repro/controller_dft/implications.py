@@ -11,6 +11,7 @@ __all__ = [
     "Implication",
     "control_implications",
     "requirements_from_tests",
+    "requirements_from_netlist",
     "infeasible_requirements",
     "word_satisfies",
 ]
@@ -109,6 +110,33 @@ def requirements_from_tests(
         if req:
             out.append(req)
     return out
+
+
+def requirements_from_netlist(
+    netlist,
+    control_map: Mapping[str, object],
+    faults=None,
+    backtrack_limit: int = 300,
+    atpg_backend: str | None = None,
+    shards: int | None = None,
+) -> list[dict[str, object]]:
+    """Run the ATPG driver and translate its tests into requirements.
+
+    The implication analysis needs the *minimal* control assignment
+    each test requires, so the random-pattern pre-drop stage is
+    disabled here: pre-drop vectors specify every control net and
+    would over-constrain the derived requirements.  The PODEM engine
+    (``atpg_backend``) and residue sharding (``shards``) are free
+    accelerations -- the partial vectors are identical for every
+    combination.
+    """
+    from repro.gatelevel.test_generation import generate_tests
+
+    ts = generate_tests(
+        netlist, faults=faults, backtrack_limit=backtrack_limit,
+        atpg_backend=atpg_backend, shards=shards, predrop=0,
+    )
+    return requirements_from_tests(control_map, ts.partial_vectors)
 
 
 def _decode_index(

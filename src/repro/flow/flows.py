@@ -79,12 +79,17 @@ def synth_suite_design(design: str, width: int, slack: float):
 
 
 def fullscan_row(dp, design: str, backtracks: int, max_faults: int,
-                 backend: str | None = None):
+                 backend: str | None = None,
+                 atpg_backend: str | None = None,
+                 predrop: int | None = None,
+                 shards: int | None = None):
     from repro.rtl import fullscan_report
 
     t0 = time.perf_counter()
     rep = fullscan_report(dp, backtrack_limit=backtracks,
-                          max_faults=max_faults, backend=backend)
+                          max_faults=max_faults, backend=backend,
+                          atpg_backend=atpg_backend, predrop=predrop,
+                          shards=shards)
     elapsed = time.perf_counter() - t0
     if elapsed > 0:
         record_metric("faults_per_s", round(rep.total_faults / elapsed, 1))
@@ -110,7 +115,10 @@ def fullscan_table(notes: Sequence[str] = (), **rows):
 
 def fullscan_flow(cases: Sequence[tuple[str, int, int]] | None = None,
                   slack: float = 1.5, max_faults: int = 300,
-                  backend: str | None = None) -> Flow:
+                  backend: str | None = None,
+                  atpg_backend: str | None = None,
+                  predrop: int | None = None,
+                  shards: int | None = None) -> Flow:
     cases = list(cases if cases is not None else FULLSCAN_CASES)
     f = Flow("fullscan")
     for i, (design, width, backtracks) in enumerate(cases):
@@ -125,7 +133,9 @@ def fullscan_flow(cases: Sequence[tuple[str, int, int]] | None = None,
             inputs={"dp": f"dp_{design}"},
             outputs=(f"row_{i}",),
             params={"design": design, "backtracks": backtracks,
-                    "max_faults": max_faults, "backend": backend},
+                    "max_faults": max_faults, "backend": backend,
+                    "atpg_backend": atpg_backend, "predrop": predrop,
+                    "shards": shards},
             code_deps=("repro.rtl", "repro.gatelevel"),
         )
     f.stage(

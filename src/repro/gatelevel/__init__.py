@@ -19,7 +19,11 @@ from repro.gatelevel.fault_sim import (
 )
 from repro.gatelevel.kernel import CompiledNetlist, compiled, have_kernel
 from repro.gatelevel.expand import expand_datapath, expand_composite
-from repro.gatelevel.atpg import combinational_atpg, ATPGResult
+from repro.gatelevel.atpg import (
+    combinational_atpg,
+    ATPGResult,
+    resolve_atpg_backend,
+)
 from repro.gatelevel.seq_atpg import sequential_atpg, SequentialATPGResult
 from repro.gatelevel.random_patterns import (
     random_pattern_coverage,
@@ -71,6 +75,7 @@ __all__ = [
     "expand_composite",
     "combinational_atpg",
     "ATPGResult",
+    "resolve_atpg_backend",
     "sequential_atpg",
     "SequentialATPGResult",
     "random_pattern_coverage",

@@ -11,17 +11,48 @@ flip-flops (a scanned FF's captured value is unloadable); control
 points are the primary inputs plus scan-FF outputs.  This gives the
 standard scan-based combinational ATPG semantics used by the
 experiments.
+
+Two search-state engines produce *identical* results (same test, same
+decision and backtrack counts, property-tested in
+``tests/test_atpg_equivalence.py``):
+
+* the **event-driven engine** (default): on each decision or backtrack
+  only the fanout cone of the changed control point is re-evaluated,
+  for both machines, and the D-frontier and detection state are
+  maintained incrementally;
+* the **reference engine**: whole-netlist 3-valued re-simulation of
+  both machines on every search step, kept for equivalence checking.
+
+Select with ``backend=`` (``"event"`` / ``"reference"``) or the
+``REPRO_ATPG_BACKEND`` environment variable, mirroring the fault-sim
+kernel's knob.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Mapping, Sequence
 
 from repro.gatelevel.faults import Fault
 from repro.gatelevel.gates import Netlist
 
 X = None
+
+BACKEND_ENV = "REPRO_ATPG_BACKEND"
+
+
+def resolve_atpg_backend(backend: str | None = None) -> str:
+    """Normalise an ATPG backend choice: explicit arg > env > event."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "") or "event"
+    backend = backend.lower()
+    if backend in ("ref", "reference", "interp", "interpreter"):
+        return "reference"
+    if backend != "event":
+        raise ValueError(f"unknown ATPG backend {backend!r}")
+    return "event"
 
 _NONCONTROLLING = {"and": 1, "nand": 1, "or": 0, "nor": 0}
 _INVERTING = {"not", "nand", "nor", "xnor"}
@@ -136,14 +167,17 @@ def combinational_atpg(
     observe: Sequence[str] | None = None,
     control: set[str] | None = None,
     forced_extra: Mapping[str, int] | None = None,
+    backend: str | None = None,
 ) -> ATPGResult:
     """PODEM for one stuck-at fault.
 
     ``forced_extra`` injects the fault at additional nets (used by the
     time-frame expansion, where the same fault exists in every frame).
+    ``backend`` selects the search-state engine (see module docstring);
+    both engines return identical :class:`ATPGResult`\\ s.
     """
+    backend = resolve_atpg_backend(backend)
     order = netlist.topo_order()
-    gates = [netlist.gate(n) for n in order]
     if observe is None:
         observe = default_observe(netlist)
     if control is None:
@@ -151,24 +185,25 @@ def combinational_atpg(
     forced = {fault.net: fault.stuck_at}
     forced.update(forced_extra or {})
     reachable = _control_support(netlist, order, control)
+    if backend == "event":
+        engine: _ReferenceEngine | _EventEngine = _EventEngine(
+            netlist, forced, observe
+        )
+    else:
+        engine = _ReferenceEngine(netlist, forced, observe)
 
     assign: dict[str, int] = {}
     stack: list[list] = []  # [net, value, exhausted]
     backtracks = 0
     decisions = 0
 
-    consumers: dict[str, list[str]] = {}
-    for g in netlist:
-        for src in g.inputs:
-            consumers.setdefault(src, []).append(g.name)
-
     while True:
-        good = _sim3_gates(gates, assign)
-        bad = _sim3_gates(gates, assign, forced=forced)
-        if _detected_at(observe, good, bad):
+        engine.refresh(assign)
+        if engine.detected():
             return ATPGResult(fault, True, False, dict(assign),
                               backtracks, decisions)
-        obj = _objective(netlist, fault, good, bad, consumers, forced)
+        good = engine.good
+        obj = _objective(netlist, fault, engine)
         target = None
         if obj is not None:
             target = _backtrace(
@@ -179,6 +214,7 @@ def combinational_atpg(
             while stack and stack[-1][2]:
                 net, _v, _e = stack.pop()
                 del assign[net]
+                engine.unassign(net)
             if not stack:
                 aborted = backtracks >= backtrack_limit
                 return ATPGResult(fault, False, aborted, None,
@@ -186,6 +222,7 @@ def combinational_atpg(
             stack[-1][1] ^= 1
             stack[-1][2] = True
             assign[stack[-1][0]] = stack[-1][1]
+            engine.set(stack[-1][0], stack[-1][1])
             backtracks += 1
             if backtracks >= backtrack_limit:
                 return ATPGResult(fault, False, True, None,
@@ -193,6 +230,7 @@ def combinational_atpg(
             continue
         net, val = target
         assign[net] = val
+        engine.set(net, val)
         stack.append([net, val, False])
         decisions += 1
 
@@ -204,18 +242,19 @@ def _detected_at(observe, good, bad) -> bool:
     )
 
 
-def _objective(netlist, fault, good, bad, consumers, forced):
+def _objective(netlist, fault, engine):
     """Next PODEM objective: activate the fault, then advance the
     D-frontier.  Returns (net, value) or None when hopeless."""
+    good = engine.good
     site = good[fault.net]
     if site is X:
         return (fault.net, 1 - fault.stuck_at)
     if site == fault.stuck_at:
         return None  # activation conflict under current assignment
-    frontier = _d_frontier(netlist, good, bad)
-    if not frontier:
+    first = engine.frontier_first()
+    if first is None:
         return None
-    gate = netlist.gate(frontier[0])
+    gate = netlist.gate(first)
     nc = _NONCONTROLLING.get(gate.kind)
     for src in gate.inputs:
         if good[src] is X:
@@ -236,6 +275,192 @@ def _d_frontier(netlist, good, bad) -> list[str]:
                 out.append(g.name)
                 break
     return out
+
+
+class _ReferenceEngine:
+    """Whole-netlist re-simulation on every search step (the original
+    PODEM inner loop, kept as the equivalence baseline)."""
+
+    def __init__(self, netlist: Netlist, forced: Mapping[str, int],
+                 observe: Sequence[str]) -> None:
+        self.netlist = netlist
+        self.forced = forced
+        self.observe = list(observe)
+        self._gates = [netlist.gate(n) for n in netlist.topo_order()]
+        self.good: dict[str, int | None] = {}
+        self.bad: dict[str, int | None] = {}
+
+    def refresh(self, assign: Mapping[str, int]) -> None:
+        self.good = _sim3_gates(self._gates, assign)
+        self.bad = _sim3_gates(self._gates, assign, forced=self.forced)
+
+    def set(self, net: str, val: int) -> None:  # state read at refresh
+        pass
+
+    def unassign(self, net: str) -> None:
+        pass
+
+    def detected(self) -> bool:
+        return _detected_at(self.observe, self.good, self.bad)
+
+    def frontier_first(self) -> str | None:
+        frontier = _d_frontier(self.netlist, self.good, self.bad)
+        return frontier[0] if frontier else None
+
+
+_SOURCE_KINDS = ("input", "dff", "const0", "const1")
+
+
+class _EventEngine:
+    """Event-driven incremental search state.
+
+    Both machines are fully simulated once (under the empty
+    assignment); every subsequent decision/backtrack re-evaluates only
+    the fanout cone of the changed control point, in topological order,
+    stopping where values settle.  The D-frontier is a maintained set
+    (queried as "first gate in netlist insertion order", matching
+    :func:`_d_frontier`'s scan order exactly), and detection is a
+    maintained set of observation points currently showing a binary
+    good/bad difference.
+    """
+
+    def __init__(self, netlist: Netlist, forced: Mapping[str, int],
+                 observe: Sequence[str]) -> None:
+        self.netlist = netlist
+        gates = netlist.gates
+        self._gates = gates
+        self.forced = {n: v for n, v in forced.items() if n in gates}
+        order = netlist.topo_order()
+        self._topo_pos = {n: i for i, n in enumerate(order)}
+        self._order = order
+        # _d_frontier scans gates in insertion order; the maintained
+        # frontier must report its minimum under the same order.
+        self._scan_pos = {n: i for i, n in enumerate(gates)}
+        self._consumers = netlist.consumers()
+        self.assign: dict[str, int] = {}
+        topo_gates = [gates[n] for n in order]
+        self.good = _sim3_gates(topo_gates, {})
+        self.bad = _sim3_gates(topo_gates, {}, forced=self.forced)
+        self._observe_set = set(observe)
+        self._diff_obs = {
+            o for o in self._observe_set
+            if self.good[o] is not X and self.bad[o] is not X
+            and self.good[o] != self.bad[o]
+        }
+        self._frontier = {
+            g.name for g in netlist if self._is_frontier(g.name)
+        }
+
+    # -- engine interface ------------------------------------------------
+
+    def refresh(self, assign: Mapping[str, int]) -> None:
+        pass  # state is maintained by set()/unassign()
+
+    def set(self, net: str, val: int) -> None:
+        self.assign[net] = val
+        self._propagate(net)
+
+    def unassign(self, net: str) -> None:
+        del self.assign[net]
+        self._propagate(net)
+
+    def detected(self) -> bool:
+        return bool(self._diff_obs)
+
+    def frontier_first(self) -> str | None:
+        if not self._frontier:
+            return None
+        return min(self._frontier, key=self._scan_pos.__getitem__)
+
+    # -- incremental machinery -------------------------------------------
+
+    def _eval_good(self, name: str):
+        gate = self._gates[name]
+        kind = gate.kind
+        if kind in ("input", "dff"):
+            return self.assign.get(name, X)
+        if kind == "const0":
+            return 0
+        if kind == "const1":
+            return 1
+        good = self.good
+        return _eval3(kind, [good[i] for i in gate.inputs])
+
+    def _eval_bad(self, name: str):
+        gate = self._gates[name]
+        kind = gate.kind
+        if kind in ("input", "dff"):
+            return self.assign.get(name, X)
+        if kind == "const0":
+            return 0
+        if kind == "const1":
+            return 1
+        bad = self.bad
+        return _eval3(kind, [bad[i] for i in gate.inputs])
+
+    def _propagate(self, root: str) -> None:
+        """Re-evaluate the fanout cone of ``root`` in topological order,
+        then refresh frontier/detection views for the changed nets."""
+        topo_pos = self._topo_pos
+        consumers = self._consumers
+        forced = self.forced
+        heap = [topo_pos[root]]
+        queued = {root}
+        changed: list[str] = []
+        while heap:
+            name = self._order[heappop(heap)]
+            queued.discard(name)
+            delta = False
+            g = self._eval_good(name)
+            if g != self.good[name]:
+                self.good[name] = g
+                delta = True
+            if name in forced:
+                b = forced[name]
+            else:
+                b = self._eval_bad(name)
+            if b != self.bad[name]:
+                self.bad[name] = b
+                delta = True
+            if delta:
+                changed.append(name)
+                for c in consumers.get(name, ()):
+                    if c not in queued:
+                        queued.add(c)
+                        heappush(heap, topo_pos[c])
+        if changed:
+            self._update_views(changed)
+
+    def _update_views(self, changed: list[str]) -> None:
+        good, bad = self.good, self.bad
+        recheck = set(changed)
+        for name in changed:
+            if name in self._observe_set:
+                if (good[name] is not X and bad[name] is not X
+                        and good[name] != bad[name]):
+                    self._diff_obs.add(name)
+                else:
+                    self._diff_obs.discard(name)
+            recheck.update(self._consumers.get(name, ()))
+        frontier = self._frontier
+        for name in recheck:
+            if self._is_frontier(name):
+                frontier.add(name)
+            else:
+                frontier.discard(name)
+
+    def _is_frontier(self, name: str) -> bool:
+        gate = self._gates[name]
+        if gate.kind in _SOURCE_KINDS:
+            return False
+        good, bad = self.good, self.bad
+        if good[name] is not X and bad[name] is not X:
+            return False
+        for src in gate.inputs:
+            gs, bs = good[src], bad[src]
+            if gs is not X and bs is not X and gs != bs:
+                return True
+        return False
 
 
 def _control_support(netlist, order, control) -> set[str]:

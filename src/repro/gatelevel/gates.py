@@ -65,6 +65,7 @@ class Netlist:
         self._version = 0
         self._topo_cache: list[str] | None = None
         self._levels_cache: dict[str, int] | None = None
+        self._consumers_cache: dict[str, list[str]] | None = None
 
     # ------------------------------------------------------------------
 
@@ -88,6 +89,7 @@ class Netlist:
         self._version += 1
         self._topo_cache = None
         self._levels_cache = None
+        self._consumers_cache = None
 
     @property
     def version(self) -> int:
@@ -100,6 +102,7 @@ class Netlist:
         state = self.__dict__.copy()
         state["_topo_cache"] = None
         state["_levels_cache"] = None
+        state["_consumers_cache"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -108,6 +111,7 @@ class Netlist:
         self.__dict__.setdefault("_version", 0)
         self.__dict__.setdefault("_topo_cache", None)
         self.__dict__.setdefault("_levels_cache", None)
+        self.__dict__.setdefault("_consumers_cache", None)
 
     # ------------------------------------------------------------------
 
@@ -206,6 +210,23 @@ class Netlist:
                 levels[name] = 0
         self._levels_cache = levels
         return levels
+
+    def consumers(self) -> dict[str, list[str]]:
+        """Fanout map: net -> names of the gates reading it.
+
+        Consumers appear in gate-insertion order (matching ``iter(self)``),
+        and a DFF "consumes" its D input.  Cached with the same
+        version-based invalidation as :meth:`topo_order`; ATPG used to
+        rebuild this map for every single fault.
+        """
+        if self._consumers_cache is not None:
+            return self._consumers_cache
+        consumers: dict[str, list[str]] = {}
+        for g in self._gates.values():
+            for src in g.inputs:
+                consumers.setdefault(src, []).append(g.name)
+        self._consumers_cache = consumers
+        return consumers
 
     def validate(self) -> None:
         """Check outputs exist, DFF inputs are driven, no comb. cycles."""

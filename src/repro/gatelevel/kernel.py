@@ -467,6 +467,45 @@ class CompiledNetlist:
                 }
         return out
 
+    def detect_masks(
+        self,
+        faults: Sequence[Fault],
+        pi_values: Mapping[str, int],
+        state: Mapping[str, int] | None = None,
+        width: int = 64,
+    ) -> dict[Fault, int]:
+        """Per-fault packed masks of detecting patterns, one capture cycle.
+
+        The single-cycle analogue of :func:`transition_pair_detect`:
+        the good machine evaluates once for the whole packed block and
+        each fault replays only its cone.  Bit *p* of the returned mask
+        is set when pattern *p* of the block detects the fault at an
+        output or a scan flip-flop's captured state — exactly the
+        condition the interpreter's ``_observable_difference`` checks.
+        Used by the random-pattern pre-drop stage of
+        :func:`repro.gatelevel.test_generation.generate_tests`.
+        """
+        mask = self._mask_words(width)
+        pw = self._pi_matrix(pi_values, width)
+        sw = self._state_matrix(state, width)
+        VG, gnxt = self.good_cycle(pw, sw, width)
+        VS = VG.copy()
+        nw = _n_words(width)
+        zero = _np.zeros(nw, dtype=_np.uint64)
+        out: dict[Fault, int] = {}
+        for f in faults:
+            site = self.index.get(f.net)
+            if site is None:
+                out[f] = 0
+                continue
+            forced_words = zero if f.stuck_at == 0 else mask
+            cone = self.cone(site)
+            bnxt = self._faulty_cycle(VS, cone, sw, forced_words, mask)
+            diff = self.diff_words(VS, VG, bnxt, gnxt, cone)
+            self._restore(VS, VG, cone)
+            out[f] = self.int_from_words(diff)
+        return out
+
     # ------------------------------------------------------------------
     # fault simulation
 

@@ -111,8 +111,14 @@ def sequential_atpg(
     fault: Fault,
     max_frames: int = 8,
     backtrack_limit: int = 400,
+    backend: str | None = None,
 ) -> SequentialATPGResult:
-    """Try to detect ``fault`` with growing time-frame counts."""
+    """Try to detect ``fault`` with growing time-frame counts.
+
+    ``backend`` selects the PODEM search engine
+    (:data:`repro.gatelevel.atpg.BACKEND_ENV`); both engines report
+    identical detections and effort.
+    """
     total_effort = 0
     total_backtracks = 0
     aborted = False
@@ -126,7 +132,7 @@ def sequential_atpg(
         del forced_extra[f.net]
         res = combinational_atpg(
             unrolled, f, backtrack_limit=backtrack_limit,
-            forced_extra=forced_extra,
+            forced_extra=forced_extra, backend=backend,
         )
         total_effort += res.effort
         total_backtracks += res.backtracks

@@ -4,17 +4,69 @@ The driver the surveyed flows assume exists downstream: generate a
 compact stuck-at test set for a (scan-equipped) netlist by alternating
 targeted PODEM with parallel fault simulation so each generated vector
 drops every other fault it happens to detect.
+
+Three acceleration layers, each exactly-equivalent to the serial
+reference pipeline (property-tested in
+``tests/test_atpg_equivalence.py``):
+
+* **Random-pattern pre-drop** — before any fault is targeted with
+  PODEM, ``predrop`` kernel-backed pseudorandom patterns are
+  fault-simulated in bulk (:meth:`CompiledNetlist.detect_masks`); the
+  easy faults fall out of deterministic generation entirely, so PODEM
+  only runs on the random-resistant residue (the classical
+  random-then-deterministic staging).  Detecting random vectors join
+  ``TestSet.vectors`` with full bookkeeping; set ``predrop=0`` (or
+  ``REPRO_ATPG_PREDROP=0``) for benches that measure raw PODEM search.
+* **Event-driven PODEM** — ``atpg_backend`` selects the incremental
+  engine of :func:`repro.gatelevel.atpg.combinational_atpg`
+  (``REPRO_ATPG_BACKEND``).
+* **Fault-parallel generation** — ``shards`` (``REPRO_ATPG_SHARDS``)
+  spreads the residue's PODEM searches across a process pool; each
+  worker returns per-fault results and the parent replays them in
+  canonical fault order with kernel fault-dropping, so the final
+  :class:`TestSet` is byte-identical regardless of shard count (a
+  per-fault PODEM search depends only on the netlist and the fault,
+  never on which faults were dropped before it).
 """
 
 from __future__ import annotations
 
+import os
+import random
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
-from repro.gatelevel.atpg import combinational_atpg
+from repro.flow.metrics import record_metric
+from repro.gatelevel.atpg import ATPGResult, combinational_atpg
 from repro.gatelevel.faults import Fault, all_faults
-from repro.gatelevel.fault_sim import fault_simulate
+from repro.gatelevel.fault_sim import (
+    _observable_difference,
+    fault_simulate,
+    resolve_backend,
+)
 from repro.gatelevel.gates import Netlist
+from repro.gatelevel.simulate import parallel_simulate
+
+PREDROP_ENV = "REPRO_ATPG_PREDROP"
+SHARDS_ENV = "REPRO_ATPG_SHARDS"
+#: default random patterns simulated before deterministic generation
+DEFAULT_PREDROP = 64
+#: below this many residue faults a process pool costs more than it saves
+MIN_FAULTS_PER_SHARD = 8
+
+
+def resolve_predrop(predrop: int | None = None) -> int:
+    """Pre-drop pattern count: explicit arg > env > default."""
+    if predrop is None:
+        raw = os.environ.get(PREDROP_ENV, "")
+        predrop = int(raw) if raw else DEFAULT_PREDROP
+    return max(0, int(predrop))
+
+
+def resolve_atpg_shards(shards: int | None = None) -> int:
+    if shards is None:
+        shards = int(os.environ.get(SHARDS_ENV, "1") or 1)
+    return max(1, int(shards))
 
 
 @dataclass
@@ -24,7 +76,8 @@ class TestSet:
     netlist_name: str
     vectors: list[dict[str, int]] = field(default_factory=list)
     #: the PODEM assignments before free inputs were zero-filled --
-    #: these carry only what each test *requires*
+    #: these carry only what each test *requires* (pre-drop random
+    #: vectors require every bit and appear fully specified)
     partial_vectors: list[dict[str, int]] = field(default_factory=list)
     detected: set[Fault] = field(default_factory=set)
     untestable: list[Fault] = field(default_factory=list)
@@ -56,16 +109,174 @@ def _complete_vector(netlist: Netlist, partial: dict[str, int],
     return vec
 
 
+# ---------------------------------------------------------------------------
+# random-pattern pre-drop
+
+def _detect_masks(
+    netlist: Netlist,
+    faults: Sequence[Fault],
+    piv: Mapping[str, int],
+    state: Mapping[str, int],
+    width: int,
+    backend: str | None,
+) -> dict[Fault, int]:
+    """Per-fault packed detection masks for one capture cycle."""
+    if resolve_backend(backend) == "kernel":
+        from repro.gatelevel.kernel import compiled
+
+        return compiled(netlist).detect_masks(
+            faults, piv, state, width=width
+        )
+    order = netlist.topo_order()
+    mask = (1 << width) - 1
+    gvals, gnxt = parallel_simulate(
+        netlist, piv, state, width=width, order=order
+    )
+    out: dict[Fault, int] = {}
+    for f in faults:
+        if f.net not in netlist.gates:
+            out[f] = 0
+            continue
+        forced = {f.net: 0 if f.stuck_at == 0 else mask}
+        bvals, bnxt = parallel_simulate(
+            netlist, piv, state, width=width, order=order, forced=forced
+        )
+        out[f] = _observable_difference(netlist, gvals, gnxt, bvals, bnxt)
+    return out
+
+
+def _random_predrop(
+    netlist: Netlist,
+    remaining: list[Fault],
+    n_patterns: int,
+    seed: int,
+    result: TestSet,
+    backend: str | None,
+) -> list[Fault]:
+    """Detect the easy faults with pseudorandom patterns in bulk.
+
+    Patterns are packed 64 wide over the primary inputs *and* the scan
+    flip-flops (the chain loads random state).  Each fault is
+    attributed to the first pattern detecting it; only patterns that
+    detect at least one new fault are kept as vectors, in pattern
+    order, so the resulting bookkeeping is exactly what per-vector
+    serial fault-dropping would produce.  Returns the random-resistant
+    residue.
+    """
+    rng = random.Random(seed)
+    pis = netlist.inputs()
+    scans = [g.name for g in netlist.scan_dffs()]
+    done = 0
+    dropped = 0
+    while done < n_patterns and remaining:
+        width = min(64, n_patterns - done)
+        piv = {pi: rng.getrandbits(width) for pi in pis}
+        state = {s: rng.getrandbits(width) for s in scans}
+        masks = _detect_masks(netlist, remaining, piv, state, width,
+                              backend)
+        by_pattern: dict[int, list[Fault]] = {}
+        survivors: list[Fault] = []
+        for f in remaining:
+            m = masks.get(f, 0)
+            if m:
+                first = (m & -m).bit_length() - 1
+                by_pattern.setdefault(first, []).append(f)
+            else:
+                survivors.append(f)
+        for p in sorted(by_pattern):
+            vec = {pi: (piv[pi] >> p) & 1 for pi in pis}
+            vec.update({s: (state[s] >> p) & 1 for s in scans})
+            result.vectors.append(vec)
+            result.partial_vectors.append(dict(vec))
+            result.detected.update(by_pattern[p])
+            dropped += len(by_pattern[p])
+        remaining = survivors
+        done += width
+    if dropped:
+        record_metric("predrop_detected", dropped)
+    return remaining
+
+
+# ---------------------------------------------------------------------------
+# fault-parallel PODEM
+
+def _podem_worker(args) -> list[ATPGResult]:
+    netlist, chunk, backtrack_limit, atpg_backend = args
+    return [
+        combinational_atpg(
+            netlist, f, backtrack_limit=backtrack_limit,
+            backend=atpg_backend,
+        )
+        for f in chunk
+    ]
+
+
+def _parallel_podem(
+    netlist: Netlist,
+    faults: Sequence[Fault],
+    backtrack_limit: int,
+    atpg_backend: str | None,
+    shards: int,
+) -> dict[Fault, ATPGResult] | None:
+    """Speculative per-fault PODEM across a process pool.
+
+    Every residue fault is searched, including ones a later replay
+    will drop without using the result -- the speculation is the price
+    of parallelism, and it is exact: a PODEM search depends only on
+    (netlist, fault, backtrack limit), so the replayed merge is
+    byte-identical to the serial loop.  Returns None (serial fallback)
+    when pools are unavailable.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    shards = min(shards, max(1, len(faults) // MIN_FAULTS_PER_SHARD))
+    if shards <= 1:
+        return None
+    bounds = [round(i * len(faults) / shards) for i in range(shards + 1)]
+    chunks = [
+        list(faults[bounds[i]:bounds[i + 1]]) for i in range(shards)
+    ]
+    out: dict[Fault, ATPGResult] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=shards) as pool:
+            for res_list in pool.map(
+                _podem_worker,
+                [(netlist, chunk, backtrack_limit, atpg_backend)
+                 for chunk in chunks],
+            ):
+                for res in res_list:
+                    out[res.fault] = res
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
+        return None
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the driver
+
 def generate_tests(
     netlist: Netlist,
     faults: Sequence[Fault] | None = None,
     backtrack_limit: int = 600,
     backend: str | None = None,
+    atpg_backend: str | None = None,
+    predrop: int | None = None,
+    predrop_seed: int = 1,
+    shards: int | None = None,
 ) -> TestSet:
     """Generate a fault-dropping test set for the full-scan view.
 
     Scan flip-flop values in each vector are part of the test (loaded
     through the chain by :mod:`repro.gatelevel.scan_chain`).
+
+    ``backend`` selects the fault-simulation engine, ``atpg_backend``
+    the PODEM engine, ``predrop`` the number of random patterns
+    simulated before deterministic generation (0 disables), and
+    ``shards`` the process-pool width for the residue's PODEM
+    searches; every knob also has an environment-variable default
+    (``REPRO_FAULTSIM_BACKEND``, ``REPRO_ATPG_BACKEND``,
+    ``REPRO_ATPG_PREDROP``, ``REPRO_ATPG_SHARDS``).  The generated
+    test set is identical for any backend/shard combination.
     """
     if faults is None:
         faults = all_faults(netlist)
@@ -73,13 +284,31 @@ def generate_tests(
     remaining = list(faults)
     scan_names = {g.name for g in netlist.scan_dffs()}
 
-    while remaining:
-        target = remaining[0]
-        res = combinational_atpg(
-            netlist, target, backtrack_limit=backtrack_limit
+    predrop = resolve_predrop(predrop)
+    if predrop and remaining:
+        remaining = _random_predrop(
+            netlist, remaining, predrop, predrop_seed, result, backend
         )
+
+    shards = resolve_atpg_shards(shards)
+    searched: dict[Fault, ATPGResult] | None = None
+    if shards > 1 and len(remaining) >= 2 * MIN_FAULTS_PER_SHARD:
+        searched = _parallel_podem(
+            netlist, remaining, backtrack_limit, atpg_backend, shards
+        )
+
+    idx = 0  # cursor past classified faults -- no O(n^2) pop(0)
+    while idx < len(remaining):
+        target = remaining[idx]
+        if searched is not None:
+            res = searched[target]
+        else:
+            res = combinational_atpg(
+                netlist, target, backtrack_limit=backtrack_limit,
+                backend=atpg_backend,
+            )
         if not res.detected:
-            remaining.pop(0)
+            idx += 1
             (result.aborted if res.aborted else result.untestable).append(
                 target
             )
@@ -91,21 +320,24 @@ def generate_tests(
         # state applied; scan FFs observe.
         piv = {k: v for k, v in vec.items() if k not in scan_names}
         state = {k: v for k, v in vec.items() if k in scan_names}
+        active = remaining[idx:]
         dropped = fault_simulate(
-            netlist, remaining, [piv], width=1, initial_state=state,
+            netlist, active, [piv], width=1, initial_state=state,
             backend=backend,
         )
         survivors = []
-        for f in remaining:
+        for f in active:
             if dropped.get(f):
                 result.detected.add(f)
             else:
                 survivors.append(f)
-        if target not in result.detected:
+        if survivors and survivors[0] == target:
             # Defensive: PODEM said detected but the completed vector
-            # missed it (free-input fill interaction); drop explicitly
-            # to guarantee termination and flag via coverage.
-            survivors = [f for f in survivors if f != target]
+            # missed it (free-input fill interaction); classify the
+            # target exactly once -- as aborted -- and drop it from the
+            # survivors (it heads the list) to guarantee termination.
+            survivors.pop(0)
             result.aborted.append(target)
         remaining = survivors
+        idx = 0
     return result

@@ -258,9 +258,16 @@ def export_artifacts(
 
 
 def export_test_vectors(
-    name: str, slack: float, width: int, vectors_path: str
+    name: str, slack: float, width: int, vectors_path: str,
+    atpg_backend: str | None = None, predrop: int | None = None,
+    shards: int | None = None,
 ) -> None:
-    """Generate a full-scan ATPG test set and write it as a vector file."""
+    """Generate a full-scan ATPG test set and write it as a vector file.
+
+    ``atpg_backend`` / ``predrop`` / ``shards`` forward to
+    :func:`repro.gatelevel.test_generation.generate_tests`; the vector
+    file is identical for every combination.
+    """
     from repro.gatelevel import (
         expand_datapath,
         generate_tests,
@@ -271,7 +278,8 @@ def export_test_vectors(
     dp, _alloc, _lat = _conventional(cdfg, slack)
     dp.mark_scan(*[r.name for r in dp.registers])
     nl, _ = expand_datapath(dp)
-    ts = generate_tests(nl)
+    ts = generate_tests(nl, atpg_backend=atpg_backend, predrop=predrop,
+                        shards=shards)
     with open(vectors_path, "w") as fh:
         fh.write(write_vectors(nl, ts.vectors))
     print(
@@ -303,6 +311,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--vectors", metavar="FILE",
                         help="also run full-scan ATPG and export the "
                              "test vectors")
+    parser.add_argument("--atpg-backend", choices=["event", "reference"],
+                        help="PODEM engine for --vectors "
+                             "(default: event, or REPRO_ATPG_BACKEND)")
+    parser.add_argument("--predrop", type=int, metavar="N",
+                        help="random patterns simulated before "
+                             "deterministic ATPG for --vectors "
+                             "(0 disables; default 64, or "
+                             "REPRO_ATPG_PREDROP)")
+    parser.add_argument("--atpg-shards", type=int, metavar="N",
+                        help="worker processes for the deterministic "
+                             "ATPG residue (default 1, or "
+                             "REPRO_ATPG_SHARDS)")
     args = parser.parse_args(argv)
     if args.list or not args.design:
         for name in sorted(suite.standard_suite()):
@@ -318,7 +338,9 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.vectors:
         export_test_vectors(
-            args.design, args.latency_slack, args.width, args.vectors
+            args.design, args.latency_slack, args.width, args.vectors,
+            atpg_backend=args.atpg_backend, predrop=args.predrop,
+            shards=args.atpg_shards,
         )
     return 0
 

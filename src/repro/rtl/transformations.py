@@ -46,16 +46,21 @@ def fullscan_report(
     backtrack_limit: int = 300,
     max_faults: int | None = None,
     backend: str | None = None,
+    atpg_backend: str | None = None,
+    predrop: int | None = None,
+    shards: int | None = None,
 ) -> FullScanReport:
     """Scan every register, expand, and run combinational ATPG.
 
     ``max_faults`` caps the fault sample for large designs (faults are
     taken in sorted order, deterministic).  ATPG runs with fault
     dropping (:func:`repro.gatelevel.test_generation.generate_tests`):
-    each generated vector is fault-simulated against the remaining
-    faults on the compiled kernel, so only undetected faults reach
-    PODEM -- same counts as the old one-PODEM-per-fault loop, minus
-    the redundant searches.
+    random-pattern pre-drop detects the easy faults in bulk, each
+    generated vector is fault-simulated against the remaining faults
+    on the compiled kernel, and only random-resistant undetected
+    faults reach PODEM -- same counts as the old one-PODEM-per-fault
+    loop, minus the redundant searches.  ``atpg_backend``, ``predrop``
+    and ``shards`` forward to :func:`generate_tests`.
     """
     datapath.mark_scan(*[r.name for r in datapath.registers])
     netlist, _ctrl = expand_datapath(datapath)
@@ -64,7 +69,8 @@ def fullscan_report(
         faults = faults[:max_faults]
     ts = generate_tests(
         netlist, faults=faults, backtrack_limit=backtrack_limit,
-        backend=backend,
+        backend=backend, atpg_backend=atpg_backend, predrop=predrop,
+        shards=shards,
     )
     return FullScanReport(
         design=datapath.name,
