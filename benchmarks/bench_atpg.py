@@ -20,14 +20,17 @@ so its win is reported as a separate wall-time column rather than
 folded into the equivalence-gated speedup.
 
 Results land in ``benchmarks/results/PERF-atpg.{txt,json}`` and the
-repo-root ``BENCH_atpg.json`` scoreboard.  ``--quick`` runs a single
-small case (the CI job's equality gate).
+repo-root ``BENCH_atpg.json`` scoreboard.  ``--quick`` (or
+``REPRO_BENCH_QUICK=1``, honoured when ``run_all.py`` imports this
+module) runs a single small case -- the CI job's equality gate --
+instead of the ~150s reference-engine timing sweep.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import time
 
@@ -82,7 +85,13 @@ def _run(netlist, faults, **config):
 
 
 def run_experiment(cases=None, root_json: bool = True) -> Table:
-    cases = CASES if cases is None else cases
+    if cases is None:
+        if os.environ.get("REPRO_BENCH_QUICK"):
+            # Byte-identity gate on the smallest case only -- skip the
+            # reference-engine timing sweep, keep the scoreboard alone.
+            cases, root_json = QUICK_CASES, False
+        else:
+            cases = CASES
     t_bench = time.perf_counter()
     table = Table(
         "PERF-atpg",

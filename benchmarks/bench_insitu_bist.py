@@ -10,60 +10,20 @@ high coverage within a short session (the premise of [31,32]);
 unit into one session when an SR is shared -- the executable form of
 the [20] test-conflict argument; (c) coverage grows with session
 length (pseudorandom BIST economics).
+
+Ported onto ``repro.flow.flows.insitu_bist_flow``; coverage is computed
+by the fault-parallel compiled kernel (``PERF-bist`` gates its
+equivalence against the fault-serial interpreter).
 """
 
-from common import Table, conventional_flow
-from repro.cdfg import suite
-from repro.bist import assign_test_roles, schedule_sessions
-from repro.gatelevel.bist_session import (
-    bist_fault_coverage,
-    build_bist_hardware,
-)
-from repro.gatelevel.faults import all_faults
+from common import Table, run_flow_table
+from repro.flow.flows import INSITU_BIST_NAMES, insitu_bist_flow
 
-WIDTH = 4
-N_FAULTS = 90
+NAMES = INSITU_BIST_NAMES
 
 
 def run_experiment() -> Table:
-    t = Table(
-        "E-5.5",
-        "in-situ BIST: signature-based coverage of the logic blocks",
-        ["design", "sessions", "unit cov @16", "unit cov @64",
-         "all-in-one cov", "scheduled cov"],
-    )
-    for name in ("iir2", "ar4"):
-        c = suite.standard_suite(width=WIDTH)[name]
-        dp, *_ = conventional_flow(c, slack=1.5)
-        _cfg, envs = assign_test_roles(dp)
-        hw = build_bist_hardware(dp, envs)
-        sessions = schedule_sessions(list(envs))
-        unit_faults = [
-            f for f in all_faults(hw.netlist)
-            if f.net.startswith(("fa_", "pp_"))
-        ][:N_FAULTS]
-        cov16 = bist_fault_coverage(
-            hw, sessions=sessions, cycles=16, faults=unit_faults
-        )
-        cov64 = bist_fault_coverage(
-            hw, sessions=sessions, cycles=64, faults=unit_faults
-        )
-        all_faults_sample = all_faults(hw.netlist)[:N_FAULTS]
-        one = bist_fault_coverage(
-            hw, sessions=[[u.name for u in dp.units]],
-            cycles=48, faults=all_faults_sample,
-        )
-        multi = bist_fault_coverage(
-            hw, sessions=sessions, cycles=48, faults=all_faults_sample
-        )
-        t.add(name, len(sessions), f"{cov16:.3f}", f"{cov64:.3f}",
-              f"{one:.3f}", f"{multi:.3f}")
-    t.notes.append(
-        "claim shape: logic-block coverage high and growing with "
-        "session length; the conflict-free session schedule never "
-        "covers less than the all-in-one session"
-    )
-    return t
+    return run_flow_table(insitu_bist_flow(names=NAMES))
 
 
 def test_insitu_bist(benchmark):

@@ -4,12 +4,20 @@ Usage::
 
     python benchmarks/run_all.py            # print + write results/
     python benchmarks/run_all.py --quiet    # write results/ only
+    REPRO_BENCH_QUICK=1 python benchmarks/run_all.py   # < 60s sweep
 
 Imports each ``bench_*.py`` module and calls its ``run_experiment()``;
 the rendered tables land in ``benchmarks/results/`` (the same files the
 pytest entries write, each with a machine-readable ``.json`` twin),
 giving EXPERIMENTS.md a one-command refresh.  Per-bench wall times are
 aggregated into ``benchmarks/results/run_all_timings.json``.
+
+``REPRO_BENCH_QUICK=1`` (or ``--quick``) switches the slow scoreboard
+benches (``bench_atpg``'s ~150s reference-engine sweep,
+``bench_bist_faultsim``'s fault-serial baseline) to their smallest
+equality-gate case so the full suite finishes in well under a minute
+for CI and local sweeps; quick runs leave the committed ``BENCH_*.json``
+scoreboards untouched.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import os
 import pathlib
 import sys
 import time
@@ -35,10 +44,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quiet", action="store_true")
     parser.add_argument(
+        "--quick", action="store_true",
+        help="same as REPRO_BENCH_QUICK=1: slow benches run their "
+             "smallest equality-gate case only",
+    )
+    parser.add_argument(
         "--only", nargs="*", default=None,
         help="bench module stems to run (default: all)",
     )
     args = parser.parse_args(argv)
+    if args.quick:
+        os.environ["REPRO_BENCH_QUICK"] = "1"
+    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
     names = args.only if args.only else bench_modules()
     failures: list[str] = []
     timings: dict[str, dict] = {}
@@ -48,7 +65,11 @@ def main(argv: list[str] | None = None) -> int:
         try:
             mod = importlib.import_module(name)
             table = mod.run_experiment()
-            path = table.save()
+            # Quick runs use reduced cases; don't overwrite the
+            # committed full-sweep tables in results/.
+            where = "" if quick else (
+                f" -> {table.save().relative_to(HERE.parent)}"
+            )
             timings[name] = {
                 "seconds": round(time.perf_counter() - t0, 3),
                 "status": "ok",
@@ -56,9 +77,8 @@ def main(argv: list[str] | None = None) -> int:
             if not args.quiet:
                 print(table.render())
                 print()
-            print(f"[{name}] ok in {time.perf_counter() - t0:.1f}s "
-                  f"-> {path.relative_to(HERE.parent)}",
-                  file=sys.stderr)
+            print(f"[{name}] ok in {time.perf_counter() - t0:.1f}s"
+                  f"{where}", file=sys.stderr)
         except Exception as exc:  # keep going; report at the end
             failures.append(f"{name}: {exc!r}")
             timings[name] = {
@@ -70,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
     results_dir.mkdir(exist_ok=True)
     (results_dir / "run_all_timings.json").write_text(json.dumps({
         "total_seconds": round(time.perf_counter() - t_all, 3),
+        "quick": quick,
         "benches": timings,
     }, indent=2) + "\n")
     print(

@@ -47,6 +47,7 @@ from repro.bist.aliasing import (
     AliasingEstimate,
     checkpointed_aliasing,
     measure_aliasing,
+    measure_checkpoint_escapes,
     theoretical_aliasing_probability,
 )
 from repro.bist.arithmetic import (
@@ -69,6 +70,7 @@ __all__ = [
     "AliasingEstimate",
     "checkpointed_aliasing",
     "measure_aliasing",
+    "measure_checkpoint_escapes",
     "theoretical_aliasing_probability",
     "LFSR",
     "MISR",

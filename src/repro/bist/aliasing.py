@@ -100,3 +100,44 @@ def checkpointed_aliasing(
         if not detected:
             aliased += 1
     return AliasingEstimate(width, trials, aliased)
+
+
+def measure_checkpoint_escapes(
+    hardware,
+    sessions=None,
+    cycles: int = 64,
+    faults=None,
+    backend: str | None = None,
+    shards: int | None = None,
+) -> AliasingEstimate:
+    """Gate-level aliasing: faults that *would* escape a final-only
+    signature compare.
+
+    Runs :func:`~repro.gatelevel.bist_session.bist_fault_attribution`
+    twice over the same BIST hardware -- once with the default
+    quarter-session checkpoints, once comparing only the end-of-session
+    signature -- and counts the faults the intermediate checkpoints
+    rescue.  A fault detected under checkpointing but missed by the
+    final-only compare perturbed the signature registers mid-session
+    and then aliased back to the golden signature by the last cycle:
+    exactly the escape mode :func:`checkpointed_aliasing` models with
+    random streams, measured here on real fault machines.  ``trials``
+    is the number of faults detected with checkpointing, ``aliased``
+    the subset the final-only compare loses.
+    """
+    from repro.gatelevel.bist_session import bist_fault_attribution
+
+    full = bist_fault_attribution(
+        hardware, sessions=sessions, cycles=cycles, faults=faults,
+        backend=backend, shards=shards,
+    )
+    final_only = bist_fault_attribution(
+        hardware, sessions=sessions, cycles=cycles, faults=faults,
+        checkpoints=[cycles], backend=backend, shards=shards,
+    )
+    caught = {f for f, hit in full.items() if hit is not None}
+    survived = {f for f, hit in final_only.items() if hit is None}
+    width = sum(
+        len(bits) for bits in hardware.signature_bit_nets().values()
+    )
+    return AliasingEstimate(width, len(caught), len(caught & survived))

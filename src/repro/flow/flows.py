@@ -306,6 +306,102 @@ def bist_sessions_flow(names: Sequence[str] | None = None,
 
 
 # ---------------------------------------------------------------------------
+# in-situ BIST signature coverage (E-5.5)
+# ---------------------------------------------------------------------------
+
+INSITU_BIST_NAMES = ["iir2", "ar4"]
+INSITU_BIST_WIDTH = 4
+INSITU_BIST_FAULTS = 90
+
+
+def insitu_bist_row(design: str, slack: float, width: int,
+                    n_faults: int, backend: str | None = None,
+                    shards: int | None = None):
+    from repro.bist import assign_test_roles, schedule_sessions
+    from repro.cdfg import suite
+    from repro.gatelevel.bist_session import (
+        bist_fault_coverage,
+        build_bist_hardware,
+    )
+    from repro.gatelevel.faults import all_faults
+
+    cdfg = suite.standard_suite(width=width)[design]
+    dp, *_ = conventional_datapath(cdfg, slack=slack)
+    _cfg, envs = assign_test_roles(dp)
+    hw = build_bist_hardware(dp, envs)
+    sessions = schedule_sessions(list(envs))
+    unit_faults = [
+        f for f in all_faults(hw.netlist)
+        if f.net.startswith(("fa_", "pp_"))
+    ][:n_faults]
+    kw = dict(backend=backend, shards=shards)
+    t0 = time.perf_counter()
+    cov16 = bist_fault_coverage(
+        hw, sessions=sessions, cycles=16, faults=unit_faults, **kw
+    )
+    cov64 = bist_fault_coverage(
+        hw, sessions=sessions, cycles=64, faults=unit_faults, **kw
+    )
+    sample = all_faults(hw.netlist)[:n_faults]
+    one = bist_fault_coverage(
+        hw, sessions=[[u.name for u in dp.units]],
+        cycles=48, faults=sample, **kw
+    )
+    multi = bist_fault_coverage(
+        hw, sessions=sessions, cycles=48, faults=sample, **kw
+    )
+    elapsed = time.perf_counter() - t0
+    if elapsed > 0:
+        # four coverage runs over ~n_faults faults each
+        record_metric("faults_per_s",
+                      round((2 * len(unit_faults) + 2 * len(sample))
+                            / elapsed, 1))
+    return (design, len(sessions), f"{cov16:.3f}", f"{cov64:.3f}",
+            f"{one:.3f}", f"{multi:.3f}")
+
+
+def insitu_bist_table(**rows):
+    ordered = [rows[k] for k in sorted(rows, key=lambda k: int(k[4:]))]
+    return table_spec(
+        "E-5.5",
+        "in-situ BIST: signature-based coverage of the logic blocks",
+        ["design", "sessions", "unit cov @16", "unit cov @64",
+         "all-in-one cov", "scheduled cov"],
+        ordered,
+        ["claim shape: logic-block coverage high and growing with "
+         "session length; the conflict-free session schedule never "
+         "covers less than the all-in-one session"],
+    )
+
+
+def insitu_bist_flow(names: Sequence[str] | None = None,
+                     slack: float = 1.5,
+                     width: int = INSITU_BIST_WIDTH,
+                     n_faults: int = INSITU_BIST_FAULTS,
+                     backend: str | None = None,
+                     shards: int | None = None) -> Flow:
+    names = list(names if names is not None else INSITU_BIST_NAMES)
+    f = Flow("insitu_bist")
+    for i, design in enumerate(names):
+        f.stage(
+            f"bist:{design}", insitu_bist_row,
+            outputs=(f"row_{i}",),
+            params={"design": design, "slack": slack, "width": width,
+                    "n_faults": n_faults, "backend": backend,
+                    "shards": shards},
+            code_deps=("repro.cdfg", "repro.hls", "repro.bist",
+                       "repro.gatelevel.bist_session",
+                       "repro.gatelevel.kernel"),
+        )
+    f.stage(
+        "table", insitu_bist_table,
+        inputs=tuple(f"row_{i}" for i in range(len(names))),
+        outputs=("table",),
+    )
+    return f
+
+
+# ---------------------------------------------------------------------------
 # hierarchical test generation (E-6)
 # ---------------------------------------------------------------------------
 
@@ -356,7 +452,8 @@ def hier_generate(hier_cdfg, hier_fub, width: int, budget: int):
 
 
 def hier_apply(hier_composite, hier_steps, hier_tests, hier_faults,
-               width: int, backend: str | None = None):
+               width: int, backend: str | None = None,
+               shards: int | None = None):
     """Fault-simulate the composed tests at gate level (with fault
     dropping: a detected fault is never simulated again)."""
     from repro.gatelevel.fault_sim import fault_simulate
@@ -376,7 +473,7 @@ def hier_apply(hier_composite, hier_steps, hier_tests, hier_faults,
         pattern_cycles += len(seq) * len(remaining)
         results = fault_simulate(
             hier_composite, remaining, seq, width=1, drop_detected=True,
-            backend=backend,
+            backend=backend, shards=shards,
         )
         n_detected += sum(1 for hit in results.values() if hit)
         remaining = [f for f, hit in results.items() if not hit]
@@ -432,7 +529,8 @@ def hier_table(hier_tests, hier_uncovered, hier_gen_seconds,
 def hierarchical_flow(width: int = HIER_WIDTH,
                       fault_sample: int = HIER_FAULT_SAMPLE,
                       budget: int = 16,
-                      backend: str | None = None) -> Flow:
+                      backend: str | None = None,
+                      shards: int | None = None) -> Flow:
     f = Flow("hierarchical")
     f.stage(
         "build", hier_build,
@@ -453,7 +551,7 @@ def hierarchical_flow(width: int = HIER_WIDTH,
         inputs=("hier_composite", "hier_steps", "hier_tests",
                 "hier_faults"),
         outputs=("hier_detected",),
-        params={"width": width, "backend": backend},
+        params={"width": width, "backend": backend, "shards": shards},
         code_deps=("repro.gatelevel.fault_sim",
                    "repro.gatelevel.kernel"),
     )
@@ -604,6 +702,7 @@ FLOWS: dict[str, Callable[..., Flow]] = {
     "report": report_flow,
     "partial_scan": partial_scan_flow,
     "bist_sessions": bist_sessions_flow,
+    "insitu_bist": insitu_bist_flow,
     "hierarchical": hierarchical_flow,
     "figure1": figure1_flow,
     "table1": table1_flow,

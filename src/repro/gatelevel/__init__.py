@@ -45,8 +45,10 @@ from repro.gatelevel.transition_faults import (
 )
 from repro.gatelevel.bist_session import (
     BISTHardware,
+    bist_fault_attribution,
     bist_fault_coverage,
     build_bist_hardware,
+    jtag_session_signature,
 )
 from repro.gatelevel.vcd import dump_vcd, trace_to_vcd
 from repro.gatelevel.vectors import (
@@ -93,8 +95,10 @@ __all__ = [
     "transition_coverage",
     "transition_pair_masks",
     "BISTHardware",
+    "bist_fault_attribution",
     "bist_fault_coverage",
     "build_bist_hardware",
+    "jtag_session_signature",
     "dump_vcd",
     "trace_to_vcd",
     "VectorFile",

@@ -15,6 +15,18 @@ sharing one SR cannot be observed in the same session (the SR's data
 mux selects one of them), so the coverage of a one-session run with a
 shared SR is low -- the executable form of the test conflicts [20]
 minimises.
+
+Fault coverage runs **fault-parallel** on the compiled kernel by
+default: up to ``SEQ_FAULT_COLUMNS - 1`` faulty machines are packed as
+bit columns of one wide state vector (column 0 = golden) and the whole
+session free-runs once per batch
+(:meth:`repro.gatelevel.kernel.CompiledNetlist.sequential_fault_detect`),
+instead of once per fault.  A fault detected in an early session leaves
+the batch for later sessions (cross-session fault dropping).  The
+fault-serial interpreter loop is kept as the equivalence reference
+behind ``backend="interp"`` / ``REPRO_FAULTSIM_BACKEND``; ``shards=`` /
+``REPRO_FAULTSIM_SHARDS`` split the fault list across worker processes
+with a deterministic, byte-identical merge (PR 2/3 conventions).
 """
 
 from __future__ import annotations
@@ -48,6 +60,31 @@ class BISTHardware:
             r for r, role in self.role_map.items()
             if role in ("SR", "BILBO")
         ))
+
+    def signature_bit_nets(self) -> Mapping[str, tuple[str, ...]]:
+        """``{signature register: (bit-0 net, bit-1 net, ...)}``.
+
+        Computed once by scanning the netlist's flip-flops (register bit
+        *i* of ``reg`` is the DFF ``{reg}_b{i}``) and cached on the
+        instance; signature reads used to rescan the entire state dict
+        per register per checkpoint.
+        """
+        cached = self.__dict__.get("_signature_bits")
+        if cached is None:
+            regs = set(self.signature_registers)
+            by_reg: dict[str, list[tuple[int, str]]] = {
+                r: [] for r in regs
+            }
+            for g in self.netlist.dffs():
+                stem, sep, idx = g.name.rpartition("_b")
+                if sep and stem in regs and idx.isdigit():
+                    by_reg[stem].append((int(idx), g.name))
+            cached = {
+                reg: tuple(net for _i, net in sorted(bits))
+                for reg, bits in by_reg.items()
+            }
+            object.__setattr__(self, "_signature_bits", cached)
+        return cached
 
 
 def build_bist_hardware(
@@ -164,13 +201,157 @@ def run_signatures(
 def _read_signatures(
     hardware: BISTHardware, state: Mapping[str, int]
 ) -> dict[str, int]:
-    out: dict[str, int] = {}
-    for reg in hardware.signature_registers:
-        bits = [n for n in state if n.startswith(f"{reg}_b")]
-        out[reg] = sum(
-            (state[f"{reg}_b{i}"] & 1) << i for i in range(len(bits))
+    return {
+        reg: sum(
+            (state.get(net, 0) & 1) << i for i, net in enumerate(bits)
         )
-    return out
+        for reg, bits in hardware.signature_bit_nets().items()
+    }
+
+
+def _default_checkpoints(cycles: int) -> list[int]:
+    """The standard quarter-session signature compare points."""
+    return sorted(
+        {max(1, cycles // 4), max(1, cycles // 2),
+         max(1, 3 * cycles // 4), cycles}
+    )
+
+
+def bist_fault_attribution(
+    hardware: BISTHardware,
+    sessions: Sequence[Sequence[str]] | None = None,
+    cycles: int = 64,
+    faults: Sequence[Fault] | None = None,
+    checkpoints: Sequence[int] | None = None,
+    backend: str | None = None,
+    shards: int | None = None,
+) -> dict[Fault, tuple[int, int] | None]:
+    """First-detection bookkeeping for every fault.
+
+    Returns fault -> ``(session index, checkpoint cycle)`` of the first
+    session/checkpoint whose signatures differ from golden (``None``
+    when no session detects it), in the order the faults were given.
+
+    On the kernel backend all remaining faults of a session run as one
+    fault-parallel packed free-run per batch; a fault detected in an
+    early session is dropped from every later session's batch.  The
+    interpreter backend re-runs the session once per fault (the
+    equivalence reference).  ``shards`` (or ``REPRO_FAULTSIM_SHARDS``)
+    splits the fault list across worker processes; fault independence
+    makes the contiguous-chunk merge byte-identical to a serial run.
+    """
+    from repro.gatelevel.fault_sim import (
+        MIN_FAULTS_PER_SHARD,
+        resolve_backend,
+        resolve_shards,
+    )
+
+    if sessions is None:
+        sessions = schedule_sessions(list(hardware.envs))
+    sessions = [list(units) for units in sessions]
+    if faults is None:
+        faults = all_faults(hardware.netlist)
+    marks = (sorted({int(c) for c in checkpoints})
+             if checkpoints is not None else _default_checkpoints(cycles))
+    backend = resolve_backend(backend)
+    shards = resolve_shards(shards)
+    if shards > 1 and len(faults) >= 2 * MIN_FAULTS_PER_SHARD:
+        return _attribution_sharded(
+            hardware, sessions, faults, marks, backend, shards
+        )
+    configs = [
+        session_configuration(hardware, units) for units in sessions
+    ]
+    result: dict[Fault, tuple[int, int] | None] = {
+        f: None for f in faults
+    }
+    if backend == "kernel":
+        from repro.gatelevel.kernel import compiled
+
+        comp = compiled(hardware.netlist)
+        observe = [
+            net for bits in hardware.signature_bit_nets().values()
+            for net in bits
+        ]
+        remaining = list(faults)
+        for s, cfg in enumerate(configs):
+            if not remaining:
+                break
+            det = comp.sequential_fault_detect(
+                remaining, cfg, marks, observe
+            )
+            still = []
+            for f in remaining:
+                if det[f] is None:
+                    still.append(f)
+                else:
+                    result[f] = (s, det[f])
+            remaining = still
+        return result
+    goldens = [
+        run_signatures(hardware, cfg, marks, backend=backend)
+        for cfg in configs
+    ]
+    for f in faults:
+        forced = {f.net: f.stuck_at}
+        for s, cfg in enumerate(configs):
+            sigs = run_signatures(hardware, cfg, marks, forced=forced,
+                                  backend=backend)
+            hit = next(
+                (m for m in marks if sigs[m] != goldens[s][m]), None
+            )
+            if hit is not None:
+                result[f] = (s, hit)
+                break
+    return result
+
+
+def _attribution_shard_worker(args):
+    hardware, chunk, sessions, marks, backend = args
+    return bist_fault_attribution(
+        hardware, sessions=sessions, faults=chunk, checkpoints=marks,
+        backend=backend, shards=1,
+    )
+
+
+def _attribution_sharded(
+    hardware: BISTHardware,
+    sessions: Sequence[Sequence[str]],
+    faults: Sequence[Fault],
+    marks: Sequence[int],
+    backend: str,
+    shards: int,
+) -> dict[Fault, tuple[int, int] | None]:
+    """Fault-word sharding with deterministic merge (PR 2 convention):
+    contiguous fault chunks, per-fault independence makes any partition
+    exact, and the result dict is rebuilt in the caller's order."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.gatelevel.fault_sim import MIN_FAULTS_PER_SHARD
+
+    shards = min(shards, max(1, len(faults) // MIN_FAULTS_PER_SHARD))
+    if shards <= 1:
+        return bist_fault_attribution(
+            hardware, sessions=sessions, faults=faults,
+            checkpoints=marks, backend=backend, shards=1,
+        )
+    bounds = [round(i * len(faults) / shards) for i in range(shards + 1)]
+    chunks = [list(faults[bounds[i]:bounds[i + 1]]) for i in range(shards)]
+    merged: dict[Fault, tuple[int, int] | None] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=shards) as pool:
+            for res in pool.map(
+                _attribution_shard_worker,
+                [(hardware, chunk, [list(u) for u in sessions],
+                  list(marks), backend) for chunk in chunks],
+            ):
+                merged.update(res)
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
+        return bist_fault_attribution(
+            hardware, sessions=sessions, faults=faults,
+            checkpoints=marks, backend=backend, shards=1,
+        )
+    return {f: merged[f] for f in faults}
 
 
 def bist_fault_coverage(
@@ -179,34 +360,44 @@ def bist_fault_coverage(
     cycles: int = 64,
     faults: Sequence[Fault] | None = None,
     backend: str | None = None,
+    shards: int | None = None,
 ) -> float:
     """Signature-based stuck-at coverage over the given sessions.
 
     ``sessions`` defaults to the conflict-free partition from
     :func:`repro.bist.sessions.schedule_sessions`; a fault counts as
-    detected when any session's signature set differs from golden.
+    detected when any session's signature set differs from golden at
+    any checkpoint.  Backed by :func:`bist_fault_attribution`, so the
+    kernel backend simulates every remaining fault of a session in one
+    fault-parallel packed free-run per batch.
     """
-    if sessions is None:
-        sessions = schedule_sessions(list(hardware.envs))
     if faults is None:
         faults = all_faults(hardware.netlist)
-    checkpoints = sorted(
-        {max(1, cycles // 4), max(1, cycles // 2),
-         max(1, 3 * cycles // 4), cycles}
+    att = bist_fault_attribution(
+        hardware, sessions=sessions, cycles=cycles, faults=faults,
+        backend=backend, shards=shards,
     )
-    configs = [
-        session_configuration(hardware, units) for units in sessions
-    ]
-    goldens = [
-        run_signatures(hardware, cfg, checkpoints, backend=backend)
-        for cfg in configs
-    ]
-    detected = 0
-    for f in faults:
-        forced = {f.net: f.stuck_at}
-        for cfg, golden in zip(configs, goldens):
-            if run_signatures(hardware, cfg, checkpoints,
-                              forced=forced, backend=backend) != golden:
-                detected += 1
-                break
+    detected = sum(1 for v in att.values() if v is not None)
     return detected / len(faults) if faults else 1.0
+
+
+def jtag_session_signature(
+    hardware: BISTHardware,
+    config: Mapping[str, int],
+    cycles: int,
+    backend: str | None = None,
+) -> dict[str, int]:
+    """Run one BIST session through a JTAG wrapper and read signatures.
+
+    The silicon procedure for the session check: wrap the expanded
+    netlist in an IEEE 1149.1 boundary, preload the session's control
+    configuration through the boundary register under INTEST, free-run
+    ``cycles`` core clocks in Run-Test/Idle, and read the signature
+    registers out of the core state.  Must equal :func:`run_signature`
+    for the same configuration and cycle count.
+    """
+    from repro.jtag.wrapper import JTAGWrapper
+
+    wrapper = JTAGWrapper(hardware.netlist, backend=backend)
+    state = wrapper.free_run(config, cycles)
+    return _read_signatures(hardware, state)

@@ -77,6 +77,10 @@ def _n_words(width: int) -> int:
 #: faulty machines evaluated side by side per batched pass
 FAULT_BATCH = 32
 
+#: packed columns per fault-parallel *sequential* pass (column 0 is the
+#: golden machine, so each pass carries ``SEQ_FAULT_COLUMNS - 1`` faults)
+SEQ_FAULT_COLUMNS = 256
+
 
 class _FaultBatch:
     """Up to :data:`FAULT_BATCH` faulty machines sharing one pass.
@@ -204,6 +208,7 @@ class CompiledNetlist:
                 consumers[self.index[src]].append(i)
         self._consumers = consumers
         self._cones: dict[int, _Cone] = {}
+        self._level_program_cache: list[tuple[int, list]] | None = None
 
     # ------------------------------------------------------------------
     # word packing
@@ -466,6 +471,190 @@ class CompiledNetlist:
                     for pos, name in enumerate(self.dff_names)
                 }
         return out
+
+    # ------------------------------------------------------------------
+    # fault-parallel sequential simulation
+
+    def _level_program(self) -> list[tuple[int, list]]:
+        """:attr:`program` regrouped as ``[(level, [instructions])]``.
+
+        The fault-parallel sequential path re-forces fault columns once
+        per level, so it wants level boundaries rather than the flat
+        (level, opcode) stream.  Built once per compile.
+        """
+        cached = self._level_program_cache
+        if cached is None:
+            cached = []
+            for instr in self.program:
+                lvl = int(self.level[instr[1][0]])
+                if not cached or cached[-1][0] != lvl:
+                    cached.append((lvl, []))
+                cached[-1][1].append(instr)
+            self._level_program_cache = cached
+        return cached
+
+    def sequential_fault_detect(
+        self,
+        faults: Sequence[Fault],
+        pi_values: Mapping[str, int],
+        checkpoints: Sequence[int],
+        observe: Sequence[str],
+        forced: Mapping[str, int] | None = None,
+        initial_state: Mapping[str, int] | None = None,
+        columns: int | None = None,
+    ) -> dict[Fault, int | None]:
+        """Free-run every fault's full sequential machine **at once**.
+
+        Packs up to ``columns - 1`` faults as bit columns of one wide
+        state vector (column 0 is the golden machine; every column sees
+        the same constant ``pi_values``), injects each fault by
+        re-forcing its net's column whenever the net's level completes
+        -- the same per-level re-forcing trick the combinational path
+        uses -- and free-runs all cycles once.  At each checkpoint the
+        ``observe`` flip-flops (signature-register bits) of every fault
+        column are compared against column 0.
+
+        Returns fault -> first detecting checkpoint cycle (``None`` if
+        no checkpoint shows a difference), bit-identical to running the
+        interpreter once per fault with ``forced={fault.net: stuck}``.
+        A batch whose columns are all detected stops simulating early;
+        larger fault lists are processed in successive batches.
+        """
+        marks = sorted({int(c) for c in checkpoints})
+        result: dict[Fault, int | None] = {f: None for f in faults}
+        known = [f for f in faults if f.net in self.index]
+        pos: set[int] = set()
+        for name in observe:
+            row = self.index.get(name)
+            if row is not None and row in self.dff_pos:
+                pos.add(self.dff_pos[row])
+        obs_pos = _np.array(sorted(pos), dtype=_np.int64)
+        if not marks or not known or not len(obs_pos):
+            return result
+        per_batch = max(1, int(columns or SEQ_FAULT_COLUMNS) - 1)
+        for start in range(0, len(known), per_batch):
+            self._seq_fault_batch(
+                known[start:start + per_batch], pi_values, marks,
+                obs_pos, forced, initial_state, result,
+            )
+        return result
+
+    def _seq_fault_batch(self, batch, pi_values, marks, obs_pos, forced,
+                         initial_state, result) -> None:
+        """One packed free-run: golden in column 0, fault *b* in column
+        ``b + 1``; first-detection checkpoints land in ``result``."""
+        nbits = len(batch) + 1
+        nw = _n_words(nbits)
+        all1 = _np.uint64(0xFFFFFFFFFFFFFFFF)
+        ones = _np.full(nw, all1)
+        zeros = _np.zeros(nw, dtype=_np.uint64)
+
+        # Broadcast packing: every column runs the same session, so a
+        # pin held at 1 is all-ones across the whole word vector.
+        pw = _np.zeros((len(self.input_names), nw), dtype=_np.uint64)
+        for k, name in enumerate(self.input_names):
+            if pi_values.get(name, 0) & 1:
+                pw[k] = ones
+        state = _np.zeros((len(self.dff_names), nw), dtype=_np.uint64)
+        if initial_state:
+            for p, name in enumerate(self.dff_names):
+                if initial_state.get(name, 0) & 1:
+                    state[p] = ones
+
+        # Session-level pin forcing (broadcast, golden included),
+        # applied with good_cycle's level-completion semantics.
+        forced_by_level: dict[int, list[tuple[int, object]]] = {}
+        forced_state: list[tuple[int, object]] = []
+        if forced:
+            for name, v in forced.items():
+                row = self.index.get(name)
+                if row is None:
+                    continue
+                words = ones if v & 1 else zeros
+                forced_by_level.setdefault(
+                    int(self.level[row]), []
+                ).append((row, words))
+                p = self.dff_pos.get(row)
+                if p is not None:
+                    forced_state.append((p, words))
+
+        # Per-site column fixes: fault b's column of its net is re-set
+        # to the stuck value whenever the row is (re)written.  Multiple
+        # faults on one net (s-a-0 and s-a-1) share a masked update.
+        col_clear: dict[int, int] = {}
+        col_set: dict[int, int] = {}
+        for b, f in enumerate(batch):
+            site = self.index[f.net]
+            bit = 1 << (b + 1)
+            col_clear[site] = col_clear.get(site, 0) | bit
+            col_set[site] = col_set.get(site, 0) | (
+                bit if f.stuck_at else 0
+            )
+        source_fixes: list[tuple] = []
+        level_fixes: dict[int, list[tuple]] = {}
+        state_fixes: list[tuple] = []
+        width = 64 * nw
+        for site, clear_bits in col_clear.items():
+            keep = ~self.words_from_int(clear_bits, width)
+            setw = self.words_from_int(col_set[site], width)
+            fix = (site, keep, setw)
+            if int(self.opcode[site]) >= OP_BUF:
+                level_fixes.setdefault(
+                    int(self.level[site]), []
+                ).append(fix)
+            else:
+                source_fixes.append(fix)
+            p = self.dff_pos.get(site)
+            if p is not None:
+                state_fixes.append((p, keep, setw))
+
+        alive = (1 << nbits) - 2  # columns 1..len(batch)
+        levels = self._level_program()
+        V = _np.zeros((self.n_gates, nw), dtype=_np.uint64)
+        mark_set = set(marks)
+        for cycle in range(1, marks[-1] + 1):
+            V[:] = 0
+            if len(self.input_rows):
+                V[self.input_rows] = pw
+            if len(self.const1_rows):
+                V[self.const1_rows] = ones
+            if len(self.dff_rows):
+                V[self.dff_rows] = state
+            for row, words in forced_by_level.get(0, ()):
+                V[row] = words
+            for site, keep, setw in source_fixes:
+                V[site] = (V[site] & keep) | setw
+            for lvl, instrs in levels:
+                self._run_program(V, instrs, ones)
+                for row, words in forced_by_level.get(lvl, ()):
+                    V[row] = words
+                for site, keep, setw in level_fixes.get(lvl, ()):
+                    V[site] = (V[site] & keep) | setw
+            if len(self.dff_rows):
+                nxt = V[self.dff_d_rows].copy()
+                for p, words in forced_state:
+                    nxt[p] = words
+                for p, keep, setw in state_fixes:
+                    nxt[p] = (nxt[p] & keep) | setw
+                state = nxt
+            self._pattern_cycles = getattr(
+                self, "_pattern_cycles", 0
+            ) + bin(alive).count("1")
+            if cycle in mark_set:
+                S = state[obs_pos]
+                golden = (S[:, 0] & _np.uint64(1)).astype(bool)
+                bcast = _np.where(golden, all1, _np.uint64(0))
+                diff = _np.bitwise_or.reduce(
+                    S ^ bcast[:, None], axis=0
+                )
+                hits = self.int_from_words(diff) & alive
+                if hits:
+                    for b, f in enumerate(batch):
+                        if (hits >> (b + 1)) & 1:
+                            result[f] = cycle
+                    alive &= ~hits
+                    if not alive:
+                        break
 
     def detect_masks(
         self,

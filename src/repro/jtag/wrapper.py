@@ -50,9 +50,15 @@ class JTAGWrapper:
     #: Capture-IR loads this fixed pattern (LSBs 01 per the standard).
     IR_CAPTURE = 0b001
 
-    def __init__(self, core: Netlist, idcode: int = 0x1996_0C0D) -> None:
+    def __init__(self, core: Netlist, idcode: int = 0x1996_0C0D,
+                 backend: str | None = None) -> None:
+        from repro.gatelevel.fault_sim import resolve_backend
+
         self.core = core
         self.idcode = idcode & 0xFFFFFFFF
+        #: core-evaluation engine: the compiled kernel by default, the
+        #: interpreter via ``backend="interp"``/``REPRO_FAULTSIM_BACKEND``
+        self.backend = resolve_backend(backend)
         cells = [
             BoundaryCell(pi, "input") for pi in sorted(core.inputs())
         ] + [
@@ -83,10 +89,20 @@ class JTAGWrapper:
         return values
 
     def _core_eval(self, advance: bool) -> dict[str, int]:
-        # topo_order() is cached on the Netlist itself, so no local copy.
-        vals, nxt = parallel_simulate(
-            self.core, self._core_inputs(), self.core_state, width=1,
-        )
+        if self.backend == "kernel":
+            from repro.gatelevel.kernel import compiled
+
+            # compiled() caches per netlist, so long INTEST sessions
+            # (every Run-Test/Idle edge steps the core) pay the
+            # levelization once.
+            vals, nxt = compiled(self.core).simulate(
+                self._core_inputs(), self.core_state, width=1,
+            )
+        else:
+            # topo_order() is cached on the Netlist itself, no local copy.
+            vals, nxt = parallel_simulate(
+                self.core, self._core_inputs(), self.core_state, width=1,
+            )
         if advance:
             self.core_state = nxt
         return vals
@@ -246,6 +262,29 @@ class JTAGWrapper:
             for name, bit in self._parse_boundary_bits(bits).items()
             if self.boundary.cell(name).kind == "output"
         }
+
+    def free_run(
+        self,
+        core_inputs: Mapping[str, int],
+        cycles: int,
+    ) -> dict[str, int]:
+        """Free-run the core under INTEST for ``cycles`` clocks.
+
+        The BIST session check: preload ``core_inputs`` (a session's
+        control configuration) through the boundary register, spend
+        ``cycles`` rising edges in Run-Test/Idle -- each one
+        single-steps the core -- and return the resulting core state
+        (the signature registers' flip-flops included).  The state
+        after ``cycles`` edges equals a direct
+        :func:`~repro.gatelevel.simulate.parallel_simulate` free-run of
+        the same configuration.
+        """
+        if cycles < 1:
+            raise ValueError("cycles must be >= 1")
+        self.load_instruction(Instruction.INTEST)
+        self.shift_dr_bits(self.boundary.preload(dict(core_inputs)))
+        self.idle(cycles)
+        return dict(self.core_state)
 
     def _parse_boundary_bits(self, bits: list[int]) -> dict[str, int]:
         """TDO bits emerge last-cell-first."""
