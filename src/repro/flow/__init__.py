@@ -18,8 +18,10 @@ them from the command line.
 """
 
 from repro.flow.cache import FlowCache, stage_key, value_digest
+from repro.flow.chaos import ChaosError
 from repro.flow.graph import Flow, FlowDefinitionError
 from repro.flow.metrics import FlowMetrics, StageMetric, record_metric
+from repro.flow.resilience import backoff_seconds, run_sharded
 from repro.flow.runner import (
     FlowError,
     FlowResult,
@@ -30,6 +32,7 @@ from repro.flow.runner import (
 from repro.flow.stage import Stage
 
 __all__ = [
+    "ChaosError",
     "Flow",
     "FlowCache",
     "FlowDefinitionError",
@@ -40,8 +43,10 @@ __all__ = [
     "Stage",
     "StageMetric",
     "Unavailable",
+    "backoff_seconds",
     "is_unavailable",
     "record_metric",
+    "run_sharded",
     "stage_key",
     "value_digest",
 ]

@@ -19,6 +19,14 @@ Entries are pickled atomically (temp file + rename) so concurrent
 writers -- parallel stages, or two runs racing -- can only ever publish
 complete entries.  Unpicklable artifacts degrade gracefully: the stage
 result stays in memory for the current run and the entry is skipped.
+
+The cache **self-heals**: an entry that exists but cannot be loaded
+(truncated write, bit rot, format drift, injected chaos) is
+*quarantined* -- renamed to ``<key>.corrupt`` -- instead of silently
+re-read and re-failed on every subsequent run.  Quarantines are
+counted on the instance (``corrupt_quarantined``; the runner surfaces
+the number as ``cache_corrupt`` in flow metrics) and :meth:`fsck`
+scans the whole store on demand (``python -m repro.flow fsck``).
 """
 
 from __future__ import annotations
@@ -99,23 +107,73 @@ class FlowCache:
         if root is None:
             root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
         self.root = Path(root)
+        #: entries quarantined by this instance (monotone counter).
+        self.corrupt_quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> dict[str, Any] | None:
-        """Load the artifacts for ``key``, or None on miss/corruption."""
-        path = self._path(key)
+    @staticmethod
+    def _load_entry(path: Path) -> tuple[dict[str, Any] | None, bool]:
+        """``(artifacts, corrupt)`` for one entry file.
+
+        A missing file is a plain miss (``(None, False)``); a file that
+        exists but cannot be loaded or fails validation is corrupt.
+        """
         try:
-            with open(path, "rb") as fh:
+            fh = open(path, "rb")
+        except FileNotFoundError:
+            return None, False
+        except OSError:
+            return None, True
+        try:
+            with fh:
                 entry = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError):
-            return None
+                ImportError, IndexError, KeyError, MemoryError, TypeError,
+                ValueError):
+            return None, True
         if not isinstance(entry, dict) or entry.get("format") != _FORMAT:
-            return None
+            return None, True
         artifacts = entry.get("artifacts")
-        return artifacts if isinstance(artifacts, dict) else None
+        if not isinstance(artifacts, dict):
+            return None, True
+        return artifacts, False
+
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a corrupt entry aside so it is never re-read.
+
+        Renamed to ``<key>.corrupt`` next to the entry; a rename that
+        itself fails (read-only store) falls back to deletion, and a
+        failure of *that* leaves the file -- the caller already treats
+        it as a miss either way.
+        """
+        target = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return None
+            return None
+        return target
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Load the artifacts for ``key``; quarantine corrupt entries.
+
+        Returns None on a miss *and* on corruption -- but a corrupt
+        entry is also renamed to ``<key>.corrupt`` (so the next run is
+        a clean miss that recomputes and rewrites it) and counted in
+        ``corrupt_quarantined``.
+        """
+        path = self._path(key)
+        artifacts, corrupt = self._load_entry(path)
+        if corrupt:
+            self._quarantine(path)
+            self.corrupt_quarantined += 1
+            return None
+        return artifacts
 
     def size(self, key: str) -> int:
         """On-disk size of the entry for ``key`` (0 if absent)."""
@@ -168,3 +226,50 @@ class FlowCache:
             except OSError:
                 pass
         return n
+
+    def fsck(self, remove: bool = False) -> dict[str, Any]:
+        """Scan every entry; quarantine the unreadable ones.
+
+        Loads each ``*.pkl`` under the root the way :meth:`get` would;
+        corrupt entries are quarantined (renamed to ``<key>.corrupt``).
+        With ``remove=True`` corrupt entries -- including previously
+        quarantined ``*.corrupt`` files -- are deleted instead of kept.
+
+        Returns a report::
+
+            {"ok": int, "corrupt": [paths quarantined this scan],
+             "quarantined": [pre-existing *.corrupt files],
+             "removed": int}
+        """
+        report: dict[str, Any] = {
+            "ok": 0, "corrupt": [], "quarantined": [], "removed": 0,
+        }
+        if not self.root.exists():
+            return report
+        for path in sorted(self.root.rglob("*.pkl")):
+            _, corrupt = self._load_entry(path)
+            if not corrupt:
+                report["ok"] += 1
+                continue
+            if remove:
+                try:
+                    path.unlink()
+                    report["removed"] += 1
+                except OSError:
+                    pass
+                report["corrupt"].append(str(path))
+            else:
+                target = self._quarantine(path)
+                report["corrupt"].append(str(target or path))
+            self.corrupt_quarantined += 1
+        for path in sorted(self.root.rglob("*.corrupt")):
+            if str(path) in report["corrupt"]:
+                continue
+            report["quarantined"].append(str(path))
+            if remove:
+                try:
+                    path.unlink()
+                    report["removed"] += 1
+                except OSError:
+                    pass
+        return report

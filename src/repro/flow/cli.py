@@ -7,6 +7,8 @@ Usage::
     python -m repro.flow run fullscan --jobs 4 --metrics out.json
     python -m repro.flow run report --param design=iir2 --no-cache
     python -m repro.flow clean
+    python -m repro.flow fsck [--remove]
+    python -m repro.flow knobs
 """
 
 from __future__ import annotations
@@ -65,6 +67,16 @@ def main(argv: list[str] | None = None) -> int:
     p_clean = sub.add_parser("clean", help="drop the artifact cache")
     p_clean.add_argument("--cache-dir", default=None)
 
+    p_fsck = sub.add_parser(
+        "fsck", help="scan the cache and quarantine corrupt entries"
+    )
+    p_fsck.add_argument("--cache-dir", default=None)
+    p_fsck.add_argument("--remove", action="store_true",
+                        help="delete corrupt/quarantined entries instead "
+                             "of keeping them aside")
+
+    sub.add_parser("knobs", help="list the REPRO_* environment knobs")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -75,6 +87,26 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "clean":
         n = FlowCache(args.cache_dir).clear()
         print(f"removed {n} cache entries")
+        return 0
+
+    if args.command == "fsck":
+        cache = FlowCache(args.cache_dir)
+        report = cache.fsck(remove=args.remove)
+        for path in report["corrupt"]:
+            print(f"corrupt: {path}")
+        print(f"{report['ok']} ok, {len(report['corrupt'])} corrupt, "
+              f"{len(report['quarantined'])} quarantined, "
+              f"{report['removed']} removed ({cache.root})")
+        return 0
+
+    if args.command == "knobs":
+        from repro.knobs import KNOWN_KNOBS
+
+        rows = [(name, kind, default, desc)
+                for name, (kind, default, desc)
+                in sorted(KNOWN_KNOBS.items())]
+        print(render_table(["knob", "type", "default", "what it does"],
+                           rows))
         return 0
 
     try:

@@ -82,6 +82,14 @@ class FlowMetrics:
     started: float = field(default_factory=time.time)
     finished: float = 0.0
     stages: list[StageMetric] = field(default_factory=list)
+    #: resilience bookkeeping (see repro.flow.resilience): pools torn
+    #: down because a worker died, pools recycled to kill a runaway
+    #: (timed-out) worker, whether the runner gave up on pools and
+    #: finished serially, and cache entries quarantined as corrupt.
+    pool_rebuilds: int = 0
+    pool_recycles: int = 0
+    serial_fallback: bool = False
+    cache_corrupt: int = 0
 
     def metric(self, stage: str) -> StageMetric:
         for m in self.stages:
@@ -116,6 +124,10 @@ class FlowMetrics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "peak_artifact_bytes": self.peak_artifact_bytes,
+            "pool_rebuilds": self.pool_rebuilds,
+            "pool_recycles": self.pool_recycles,
+            "serial_fallback": self.serial_fallback,
+            "cache_corrupt": self.cache_corrupt,
             "stages": [m.to_dict() for m in self.stages],
         }
 
@@ -142,6 +154,17 @@ class FlowMetrics:
             f"{self.cache_misses} ran, jobs={self.jobs}, "
             f"wall {self.wall_seconds:.2f}s"
         ]
+        events = []
+        if self.pool_rebuilds:
+            events.append(f"pool_rebuilds={self.pool_rebuilds}")
+        if self.pool_recycles:
+            events.append(f"pool_recycles={self.pool_recycles}")
+        if self.serial_fallback:
+            events.append("serial_fallback")
+        if self.cache_corrupt:
+            events.append(f"cache_corrupt={self.cache_corrupt}")
+        if events:
+            lines.append("resilience: " + " ".join(events))
         lines.append(render_table(header, rows))
         return "\n".join(lines)
 

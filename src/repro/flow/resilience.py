@@ -1,0 +1,193 @@
+"""Process-pool resilience primitives shared by the runner and kernels.
+
+Three failure modes threaten every ``ProcessPoolExecutor`` path in the
+repository, and each one used to be fatal or leaky:
+
+* **worker death** (OOM kill, segfault, ``SIGKILL``) breaks the whole
+  pool -- every outstanding future raises
+  :class:`~concurrent.futures.process.BrokenProcessPool` and the pool
+  refuses further submissions;
+* **runaway work** (a hang, an accidental O(2^n) case) cannot be
+  pre-empted through the executor API -- abandoning the future leaves
+  the worker burning CPU until interpreter exit;
+* **pool creation failure** (sandboxes that forbid ``fork``) must fall
+  back to in-process execution rather than abort.
+
+This module centralises the answers: :func:`kill_pool` actually
+terminates worker processes so a recycled pool leaves no orphans;
+:func:`backoff_seconds` derives deterministic exponential backoff with
+hash-based jitter from a seed string (no global ``random`` state, so a
+retried flow stays reproducible given its recipe); and
+:func:`run_sharded` is the shared harness for fault-parallel kernel
+sharding -- a crashed or timed-out shard is retried once in a fresh
+pool, then executed in-process, preserving the byte-identical
+positional merge the kernels rely on.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+#: consecutive pool failures before the flow runner abandons process
+#: pools and finishes the remaining stages serially.
+POOL_FAILURE_LIMIT = 3
+
+#: default per-attempt backoff parameters (seconds).
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+
+_POLL_SECONDS = 0.05
+
+
+def is_pool_failure(exc: BaseException) -> bool:
+    """True when ``exc`` means the executor itself died (not the task).
+
+    ``BrokenProcessPool`` subclasses ``BrokenExecutor``; a worker that
+    vanished mid-task surfaces as one of these on *every* outstanding
+    future, so the task that triggered it is indistinguishable from
+    innocent victims -- callers should re-dispatch all of them.
+    """
+    return isinstance(exc, concurrent.futures.BrokenExecutor)
+
+
+def backoff_seconds(
+    seed: str,
+    attempt: int,
+    base: float = BACKOFF_BASE,
+    cap: float = BACKOFF_CAP,
+) -> float:
+    """Deterministic exponential backoff with hash-derived jitter.
+
+    ``attempt`` counts completed attempts (1 = first retry).  The delay
+    doubles per attempt and is jittered into ``[0.5, 1.5)`` of the raw
+    value using a hash of ``(seed, attempt)`` -- stable across runs and
+    processes, unlike ``random``-based jitter, so a flow recipe fully
+    determines its retry schedule.
+    """
+    if attempt <= 0 or base <= 0:
+        return 0.0
+    raw = base * (2.0 ** (attempt - 1))
+    digest = hashlib.sha256(f"{seed}:{attempt}".encode()).digest()
+    jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return min(cap, raw * jitter)
+
+
+def kill_pool(pool: ProcessPoolExecutor) -> int:
+    """Shut a pool down and *terminate* its worker processes.
+
+    ``shutdown(wait=False)`` alone leaves hung workers running forever;
+    this grabs the worker list first, shuts the executor down without
+    waiting, then terminates and joins every process that is still
+    alive.  Returns the number of workers that had to be terminated
+    (the pool-recycle bookkeeping the chaos suite asserts on).
+    """
+    procs = list((getattr(pool, "_processes", {}) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    killed = 0
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+            killed += 1
+    for p in procs:
+        p.join(timeout=5.0)
+    return killed
+
+
+def run_sharded(
+    worker: Callable[[Any], Any],
+    args_list: Sequence[Any],
+    max_workers: int | None = None,
+    retries: int = 1,
+    timeout: float | None = None,
+) -> tuple[list[Any], dict[str, int]]:
+    """Run ``worker(args)`` per element across a process pool, resiliently.
+
+    Results come back positionally (``results[i]`` for ``args_list[i]``)
+    so callers keep their deterministic, byte-identical merges.  Any
+    shard whose worker crashes (exception), dies (broken pool), or
+    exceeds ``timeout`` seconds is retried -- up to ``retries`` extra
+    pool attempts, after which it runs **in-process** (last resort: the
+    result is identical, only the parallelism is lost).  A broken or
+    timed-out pool is killed (no orphaned workers) and rebuilt for the
+    remaining shards.
+
+    Returns ``(results, info)`` where ``info`` counts ``shard_retries``
+    (extra pool submissions), ``shard_fallbacks`` (shards finished
+    in-process), and ``pool_rebuilds``.
+    """
+    n = len(args_list)
+    results: list[Any] = [None] * n
+    attempts = [0] * n
+    info = {"shard_retries": 0, "shard_fallbacks": 0, "pool_rebuilds": 0}
+    pending = list(range(n))
+    if max_workers is None:
+        max_workers = n
+    pool: ProcessPoolExecutor | None = None
+    pool_usable = True
+    try:
+        while pending:
+            # Shards out of pool budget run in-process, in order.
+            exhausted = [i for i in pending
+                         if attempts[i] > retries or not pool_usable]
+            for i in exhausted:
+                results[i] = worker(args_list[i])
+                info["shard_fallbacks"] += 1
+            pending = [i for i in pending if i not in exhausted]
+            if not pending:
+                break
+            if pool is None:
+                try:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(max_workers, len(pending))
+                    )
+                except (OSError, PermissionError):
+                    # No pools in this environment at all.
+                    pool_usable = False
+                    continue
+            futures: dict[concurrent.futures.Future, int] = {}
+            broken = False
+            try:
+                for i in pending:
+                    if attempts[i]:
+                        info["shard_retries"] += 1
+                    attempts[i] += 1
+                    futures[pool.submit(worker, args_list[i])] = i
+            except concurrent.futures.BrokenExecutor:
+                broken = True
+            deadline = (time.monotonic() + timeout) if timeout else None
+            waiting = set(futures)
+            while waiting and not broken:
+                step = _POLL_SECONDS
+                if deadline is not None:
+                    step = min(step, max(0.0, deadline - time.monotonic()))
+                done, waiting = concurrent.futures.wait(
+                    waiting, timeout=step,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for fut in done:
+                    i = futures[fut]
+                    try:
+                        results[i] = fut.result()
+                    except concurrent.futures.BrokenExecutor:
+                        broken = True
+                    except Exception:
+                        pass  # stays pending; retried or run in-process
+                    else:
+                        pending.remove(i)
+                if (deadline is not None and waiting
+                        and time.monotonic() >= deadline):
+                    # Runaway workers: the executor API cannot pre-empt
+                    # them, so the whole pool is recycled.
+                    broken = True
+            if broken or (pool is not None and getattr(pool, "_broken", False)):
+                kill_pool(pool)
+                pool = None
+                info["pool_rebuilds"] += 1
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+    return results, info

@@ -18,13 +18,33 @@ Execution modes:
     results merge deterministically because artifacts are keyed by
     name and each has exactly one producer.
 
-Failure policy per stage: up to ``retries`` re-runs; a stage that still
-fails either aborts the flow (:class:`FlowError`) or -- when marked
-``optional`` -- publishes :class:`Unavailable` markers for its outputs,
-and every stage downstream of an unavailable artifact is skipped rather
-than run on garbage.  Timeouts are enforced in parallel mode (the
-waiter abandons the future and treats the attempt as failed); serial
-mode cannot pre-empt and records overruns in metrics only.
+Failure policy per stage: up to ``retries`` re-runs (with seeded
+exponential backoff + jitter derived from the stage's recipe key, so
+the schedule is deterministic); a stage that still fails either aborts
+the flow (:class:`FlowError`) or -- when marked ``optional`` --
+publishes :class:`Unavailable` markers for its outputs, and every
+stage downstream of an unavailable artifact is skipped rather than run
+on garbage.
+
+Resilience (parallel mode; see :mod:`repro.flow.resilience`):
+
+* **worker death** -- a broken pool (``BrokenProcessPool``) is torn
+  down and rebuilt, and every in-flight stage is re-dispatched without
+  consuming its retry budget (the victim of a dead sibling is
+  indistinguishable from the culprit).  After
+  ``pool_failure_limit`` *consecutive* pool deaths the runner stops
+  trusting pools and finishes the remaining stages serially --
+  bit-identical results, recorded as ``serial_fallback`` in metrics.
+* **timeouts** -- a stage that overruns its ``timeout`` has its whole
+  pool *recycled*: the runaway worker is actually killed (no orphan
+  burning CPU), innocent in-flight stages are re-dispatched free of
+  charge, and the overdue stage retries or degrades.  Serial mode
+  cannot pre-empt and records overruns in metrics only.
+
+Chaos hooks: :func:`_execute` passes through
+:func:`repro.flow.chaos.checkpoint` (site ``stage:<name>``) so the
+fault-injection suite can attack stages in either execution mode at
+zero cost to production runs.
 """
 
 from __future__ import annotations
@@ -44,6 +64,14 @@ from repro.flow.cache import (
 )
 from repro.flow.graph import Flow
 from repro.flow.metrics import FlowMetrics, StageMetric, collect
+from repro.flow.resilience import (
+    BACKOFF_BASE,
+    BACKOFF_CAP,
+    POOL_FAILURE_LIMIT,
+    backoff_seconds,
+    is_pool_failure,
+    kill_pool,
+)
 from repro.flow.stage import Stage
 
 
@@ -98,6 +126,9 @@ class FlowResult:
 
 def _execute(stage: Stage, inputs: dict[str, Any]):
     """Run one stage; also the picklable worker-process entry point."""
+    from repro.flow import chaos
+
+    chaos.checkpoint(f"stage:{stage.name}")
     with collect() as custom:
         t0 = time.perf_counter()
         artifacts = stage.call(inputs)
@@ -109,10 +140,19 @@ _POLL_SECONDS = 0.05
 
 
 class Runner:
-    """Executes flows with caching, retries, and fan-out."""
+    """Executes flows with caching, retries, recovery, and fan-out."""
 
-    def __init__(self, cache: FlowCache | None = None) -> None:
+    def __init__(
+        self,
+        cache: FlowCache | None = None,
+        retry_base: float = BACKOFF_BASE,
+        retry_cap: float = BACKOFF_CAP,
+        pool_failure_limit: int = POOL_FAILURE_LIMIT,
+    ) -> None:
         self.cache = cache
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.pool_failure_limit = max(1, pool_failure_limit)
 
     # -- keying ------------------------------------------------------
 
@@ -162,12 +202,16 @@ class Runner:
 
     # Shared bookkeeping ------------------------------------------------
 
-    def _try_cache(self, stage: Stage, key: str,
-                   metric: StageMetric) -> dict[str, Any] | None:
+    def _try_cache(self, stage: Stage, key: str, metric: StageMetric,
+                   metrics: FlowMetrics) -> dict[str, Any] | None:
         if self.cache is None or not stage.cacheable:
             return None
         t0 = time.perf_counter()
+        before = getattr(self.cache, "corrupt_quarantined", 0)
         got = self.cache.get(key)
+        metrics.cache_corrupt += (
+            getattr(self.cache, "corrupt_quarantined", 0) - before
+        )
         if got is None or set(got) != set(stage.outputs):
             return None
         metric.status = "hit"
@@ -205,8 +249,14 @@ class Runner:
     # Serial ------------------------------------------------------------
 
     def _run_serial(self, flow: Flow, artifacts: dict[str, Any],
-                    keys: dict[str, str], metrics: FlowMetrics) -> None:
-        for stage in flow.topo_order():
+                    keys: dict[str, str], metrics: FlowMetrics,
+                    stages: list[Stage] | None = None) -> None:
+        """Run ``stages`` (default: the whole flow) in topological order.
+
+        Also the fallback executor the parallel path hands the
+        *remaining* stages to once it has given up on process pools.
+        """
+        for stage in (flow.topo_order() if stages is None else stages):
             metric = metrics.metric(stage.name)
             metric.key = keys[stage.name]
             blocked = self._blocked_reason(stage, artifacts)
@@ -214,13 +264,18 @@ class Runner:
                 self._degrade(stage, blocked, artifacts, metric,
                               status="skipped")
                 continue
-            cached = self._try_cache(stage, metric.key, metric)
+            cached = self._try_cache(stage, metric.key, metric, metrics)
             if cached is not None:
                 artifacts.update(cached)
                 continue
             ins = {a: copy.deepcopy(artifacts[a]) for a in stage.inputs}
             last_err = ""
             for attempt in range(stage.retries + 1):
+                if attempt:
+                    time.sleep(backoff_seconds(
+                        keys[stage.name], metric.attempts,
+                        self.retry_base, self.retry_cap,
+                    ))
                 metric.attempts += 1
                 try:
                     outs, custom, seconds = _execute(stage, ins)
@@ -250,21 +305,71 @@ class Runner:
         pending: dict[str, Stage] = {s.name: s for s in order}
         running: dict[concurrent.futures.Future, Stage] = {}
         deadlines: dict[concurrent.futures.Future, float] = {}
-        abandoned: set[concurrent.futures.Future] = set()
+        delayed: list[tuple[float, Stage]] = []  # backoff retry queue
+        pool: concurrent.futures.ProcessPoolExecutor | None = None
+        pool_failures = 0  # consecutive worker-death rebuilds
 
-        def submit(pool, stage: Stage) -> None:
+        def new_pool() -> concurrent.futures.ProcessPoolExecutor:
+            return concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+
+        def submit(stage: Stage, count_attempt: bool = True) -> bool:
+            """Dispatch one stage; False when the pool is broken."""
             metric = metrics.metric(stage.name)
-            metric.attempts += 1
+            if count_attempt:
+                metric.attempts += 1
             ins = {a: artifacts[a] for a in stage.inputs}
-            fut = pool.submit(_execute, stage, ins)
+            try:
+                fut = pool.submit(_execute, stage, ins)
+            except (concurrent.futures.BrokenExecutor, RuntimeError):
+                if count_attempt:
+                    metric.attempts -= 1  # never actually ran
+                return False
             running[fut] = stage
             if stage.timeout:
                 deadlines[fut] = time.monotonic() + stage.timeout
+            return True
 
-        pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+        def retry_or_degrade(stage: Stage, err: str,
+                             metric: StageMetric) -> None:
+            metric.error = err
+            if metric.attempts <= stage.retries:
+                delay = backoff_seconds(
+                    keys[stage.name], metric.attempts,
+                    self.retry_base, self.retry_cap,
+                )
+                delayed.append((time.monotonic() + delay, stage))
+            else:
+                self._degrade(stage, err, artifacts, metric)
+
+        def remaining_stages() -> list[Stage]:
+            """Every stage not yet settled, in topological order."""
+            done = {
+                m.stage for m in metrics.stages
+                if m.status in ("hit", "ran", "failed", "skipped")
+            }
+            return [s for s in order if s.name not in done]
+
         try:
-            while pending or running:
-                # Launch every stage whose inputs are settled.
+            pool = new_pool()
+        except (OSError, PermissionError):
+            # Environments that forbid fork/spawn get a serial run.
+            metrics.serial_fallback = True
+            self._run_serial(flow, artifacts, keys, metrics)
+            return
+        try:
+            while pending or running or delayed:
+                now = time.monotonic()
+                pool_broken = False
+
+                # Re-launch delayed retries that are due.
+                due = [s for t, s in delayed if t <= now]
+                delayed = [(t, s) for t, s in delayed if t > now]
+                for stage in due:
+                    if not submit(stage):
+                        pool_broken = True
+                        delayed.append((now, stage))
+
+                # Launch every pending stage whose inputs are settled.
                 for name in sorted(pending):
                     stage = pending[name]
                     if any(a not in artifacts for a in stage.inputs):
@@ -277,66 +382,115 @@ class Runner:
                         self._degrade(stage, blocked, artifacts,
                                       metric, status="skipped")
                         continue
-                    cached = self._try_cache(stage, metric.key, metric)
+                    cached = self._try_cache(stage, metric.key, metric,
+                                             metrics)
                     if cached is not None:
                         artifacts.update(cached)
                         continue
-                    submit(pool, stage)
-                if not running:
+                    if not submit(stage):
+                        pool_broken = True
+                        pending[name] = stage
+
+                if not running and not pool_broken:
+                    if delayed:
+                        soonest = min(t for t, _ in delayed)
+                        time.sleep(max(0.0, min(
+                            soonest - time.monotonic(), _POLL_SECONDS
+                        )))
+                        continue
                     if pending:  # every remaining stage is blocked
                         continue
                     break
-                finished, _ = concurrent.futures.wait(
-                    running,
-                    timeout=_POLL_SECONDS,
-                    return_when=concurrent.futures.FIRST_COMPLETED,
-                )
+
+                finished: set[concurrent.futures.Future] = set()
+                if running and not pool_broken:
+                    finished, _ = concurrent.futures.wait(
+                        running,
+                        timeout=_POLL_SECONDS,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
                 now = time.monotonic()
-                for fut in list(running):
-                    stage = running[fut]
+
+                redispatch: list[Stage] = []
+                for fut in finished:
+                    stage = running.pop(fut)
+                    deadlines.pop(fut, None)
                     metric = metrics.metric(stage.name)
-                    if fut in finished:
-                        del running[fut]
-                        deadlines.pop(fut, None)
-                        try:
-                            outs, custom, seconds = fut.result()
-                        except Exception as exc:
-                            err = f"{type(exc).__name__}: {exc}"
-                            metric.error = err
-                            if metric.attempts <= stage.retries:
-                                submit(pool, stage)
-                            else:
-                                self._degrade(stage, err, artifacts,
-                                              metric)
+                    try:
+                        outs, custom, seconds = fut.result()
+                    except Exception as exc:
+                        if is_pool_failure(exc):
+                            # The worker died; culprit and victims are
+                            # indistinguishable -- re-dispatch all, free.
+                            pool_broken = True
+                            redispatch.append(stage)
                             continue
-                        metric.status = "ran"
-                        metric.seconds += seconds
-                        metric.custom.update(custom)
-                        artifacts.update(outs)
-                        self._store(stage, metric.key, outs, metric)
-                    elif (fut in deadlines
-                            and now > deadlines[fut]
-                            and fut not in abandoned):
-                        # Can't kill a busy worker; stop waiting on it.
-                        abandoned.add(fut)
-                        del running[fut]
-                        del deadlines[fut]
-                        fut.cancel()
-                        err = (f"timeout after "
-                               f"{stage.timeout:.1f}s")
-                        metric.error = err
-                        if metric.attempts <= stage.retries:
-                            submit(pool, stage)
+                        retry_or_degrade(
+                            stage, f"{type(exc).__name__}: {exc}", metric
+                        )
+                        continue
+                    pool_failures = 0
+                    metric.status = "ran"
+                    metric.seconds += seconds
+                    metric.custom.update(custom)
+                    artifacts.update(outs)
+                    self._store(stage, metric.key, outs, metric)
+
+                overdue = {
+                    fut for fut, dl in deadlines.items()
+                    if fut in running and now > dl
+                }
+                if pool_broken or overdue:
+                    # Tear the pool down for real: a broken pool is
+                    # useless, and a timed-out worker can only be
+                    # stopped by killing it.  In-flight innocents are
+                    # re-dispatched without spending their retries.
+                    for fut, stage in list(running.items()):
+                        if fut in overdue:
+                            metric = metrics.metric(stage.name)
+                            retry_or_degrade(
+                                stage,
+                                f"timeout after {stage.timeout:.1f}s "
+                                f"(worker killed)",
+                                metric,
+                            )
                         else:
-                            self._degrade(stage, err, artifacts,
-                                          metric)
+                            redispatch.append(stage)
+                    running.clear()
+                    deadlines.clear()
+                    kill_pool(pool)
+                    pool = None
+                    if pool_broken:
+                        metrics.pool_rebuilds += 1
+                        pool_failures += 1
+                    else:
+                        metrics.pool_recycles += 1
+                    if pool_failures >= self.pool_failure_limit:
+                        # Pools keep dying under us; finish the flow
+                        # in-process.  Results are bit-identical, only
+                        # the parallelism is lost.
+                        metrics.serial_fallback = True
+                        delayed.clear()
+                        self._run_serial(flow, artifacts, keys, metrics,
+                                         stages=remaining_stages())
+                        return
+                    try:
+                        pool = new_pool()
+                    except (OSError, PermissionError):
+                        metrics.serial_fallback = True
+                        delayed.clear()
+                        self._run_serial(flow, artifacts, keys, metrics,
+                                         stages=remaining_stages())
+                        return
+                    for stage in redispatch:
+                        submit(stage, count_attempt=False)
         except BaseException:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if pool is not None:
+                kill_pool(pool)
             raise
         else:
-            # Abandoned (timed-out) workers can't be killed; don't block
-            # on them -- they are joined at interpreter exit instead.
-            pool.shutdown(wait=not abandoned, cancel_futures=True)
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
 
 
 def format_failure(exc: BaseException) -> str:

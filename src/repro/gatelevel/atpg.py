@@ -30,7 +30,6 @@ kernel's knob.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Mapping, Sequence
@@ -43,16 +42,25 @@ X = None
 BACKEND_ENV = "REPRO_ATPG_BACKEND"
 
 
+#: canonical ATPG engine names and their accepted aliases.
+_ATPG_BACKEND_CHOICES = {
+    "event": (),
+    "reference": ("ref", "interp", "interpreter"),
+}
+
+
 def resolve_atpg_backend(backend: str | None = None) -> str:
-    """Normalise an ATPG backend choice: explicit arg > env > event."""
+    """Normalise an ATPG backend choice: explicit arg > env > event.
+
+    Validated through :mod:`repro.knobs`, so a typo in
+    ``REPRO_ATPG_BACKEND`` raises one actionable line up front instead
+    of a bare ``ValueError`` inside a shard worker.
+    """
+    from repro.knobs import env_choice, normalize_choice
+
     if backend is None:
-        backend = os.environ.get(BACKEND_ENV, "") or "event"
-    backend = backend.lower()
-    if backend in ("ref", "reference", "interp", "interpreter"):
-        return "reference"
-    if backend != "event":
-        raise ValueError(f"unknown ATPG backend {backend!r}")
-    return "event"
+        return env_choice(BACKEND_ENV, "event", _ATPG_BACKEND_CHOICES)
+    return normalize_choice(backend, "backend", _ATPG_BACKEND_CHOICES)
 
 _NONCONTROLLING = {"and": 1, "nand": 1, "or": 0, "nor": 0}
 _INVERTING = {"not", "nand", "nor", "xnor"}

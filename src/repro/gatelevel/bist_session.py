@@ -307,7 +307,10 @@ def bist_fault_attribution(
 
 
 def _attribution_shard_worker(args):
-    hardware, chunk, sessions, marks, backend = args
+    shard_index, hardware, chunk, sessions, marks, backend = args
+    from repro.flow import chaos
+
+    chaos.checkpoint(f"bist_shard:{shard_index}")
     return bist_fault_attribution(
         hardware, sessions=sessions, faults=chunk, checkpoints=marks,
         backend=backend, shards=1,
@@ -324,10 +327,17 @@ def _attribution_sharded(
 ) -> dict[Fault, tuple[int, int] | None]:
     """Fault-word sharding with deterministic merge (PR 2 convention):
     contiguous fault chunks, per-fault independence makes any partition
-    exact, and the result dict is rebuilt in the caller's order."""
-    from concurrent.futures import ProcessPoolExecutor
+    exact, and the result dict is rebuilt in the caller's order.
 
-    from repro.gatelevel.fault_sim import MIN_FAULTS_PER_SHARD
+    A crashed, killed, or pool-less shard is retried once and then run
+    in-process (:func:`repro.flow.resilience.run_sharded`); the merge
+    stays byte-identical and the fallback shows up in flow metrics.
+    """
+    from repro.flow.resilience import run_sharded
+    from repro.gatelevel.fault_sim import (
+        MIN_FAULTS_PER_SHARD,
+        _record_shard_info,
+    )
 
     shards = min(shards, max(1, len(faults) // MIN_FAULTS_PER_SHARD))
     if shards <= 1:
@@ -337,20 +347,16 @@ def _attribution_sharded(
         )
     bounds = [round(i * len(faults) / shards) for i in range(shards + 1)]
     chunks = [list(faults[bounds[i]:bounds[i + 1]]) for i in range(shards)]
+    results, info = run_sharded(
+        _attribution_shard_worker,
+        [(i, hardware, chunk, [list(u) for u in sessions],
+          list(marks), backend) for i, chunk in enumerate(chunks)],
+        max_workers=shards,
+    )
     merged: dict[Fault, tuple[int, int] | None] = {}
-    try:
-        with ProcessPoolExecutor(max_workers=shards) as pool:
-            for res in pool.map(
-                _attribution_shard_worker,
-                [(hardware, chunk, [list(u) for u in sessions],
-                  list(marks), backend) for chunk in chunks],
-            ):
-                merged.update(res)
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
-        return bist_fault_attribution(
-            hardware, sessions=sessions, faults=faults,
-            checkpoints=marks, backend=backend, shards=1,
-        )
+    for res in results:
+        merged.update(res)
+    _record_shard_info(info)
     return {f: merged[f] for f in faults}
 
 

@@ -20,7 +20,6 @@ processes; the merged result is byte-identical to a serial run.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Mapping, Sequence
 
@@ -35,24 +34,38 @@ SHARDS_ENV = "REPRO_FAULTSIM_SHARDS"
 MIN_FAULTS_PER_SHARD = 16
 
 
+#: canonical backend names and their accepted aliases.
+_BACKEND_CHOICES = {
+    "kernel": (),
+    "interp": ("interpreter", "reference"),
+}
+
+
 def resolve_backend(backend: str | None = None) -> str:
-    """Normalise a backend choice: explicit arg > env > kernel."""
+    """Normalise a backend choice: explicit arg > env > kernel.
+
+    Bad values -- from either source -- raise a one-line
+    :class:`repro.knobs.KnobError` naming the knob, instead of a bare
+    ``ValueError`` deep inside a worker process.
+    """
     from repro.gatelevel import kernel
+    from repro.knobs import env_choice, normalize_choice
 
     if backend is None:
-        backend = os.environ.get(BACKEND_ENV, "") or "kernel"
-    backend = backend.lower()
-    if backend in ("interp", "interpreter", "reference"):
+        backend = env_choice(BACKEND_ENV, "kernel", _BACKEND_CHOICES)
+    else:
+        backend = normalize_choice(backend, "backend", _BACKEND_CHOICES)
+    if backend == "interp":
         return "interp"
-    if backend != "kernel":
-        raise ValueError(f"unknown fault-sim backend {backend!r}")
     return "kernel" if kernel.have_kernel() else "interp"
 
 
 def resolve_shards(shards: int | None = None) -> int:
+    from repro.knobs import coerce_int, env_int
+
     if shards is None:
-        shards = int(os.environ.get(SHARDS_ENV, "1") or 1)
-    return max(1, int(shards))
+        return env_int(SHARDS_ENV, 1, minimum=1)
+    return coerce_int(shards, "shards", minimum=1)
 
 
 def _observable_difference(
@@ -158,8 +171,11 @@ def _record_pps(pattern_cycles: int, seconds: float, shard: int | None = None) -
 # fault-parallel sharding
 
 def _shard_worker(args):
-    (netlist, chunk, pi_sequence, width, initial_state, drop_detected,
-     backend) = args
+    (shard_index, netlist, chunk, pi_sequence, width, initial_state,
+     drop_detected, backend) = args
+    from repro.flow import chaos
+
+    chaos.checkpoint(f"faultsim_shard:{shard_index}")
     t0 = time.perf_counter()
     res = fault_simulate_cycles(
         netlist, chunk, pi_sequence, width=width,
@@ -189,8 +205,14 @@ def _fault_simulate_sharded(
     makes any partition exact, contiguity keeps each shard's locality);
     the merged dict is rebuilt in the caller's fault order, so a sharded
     run is byte-identical to a serial one.
+
+    Runs on :func:`repro.flow.resilience.run_sharded`: a shard whose
+    worker crashes or dies is retried once in a fresh pool and then
+    executed in-process, so worker loss degrades throughput, never the
+    result.  Fallbacks are visible as the ``shard_fallbacks`` /
+    ``shard_pool_rebuilds`` flow metrics.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.flow.resilience import run_sharded
 
     shards = min(shards, max(1, len(faults) // MIN_FAULTS_PER_SHARD))
     if shards <= 1:
@@ -202,23 +224,26 @@ def _fault_simulate_sharded(
     bounds = [round(i * len(faults) / shards) for i in range(shards + 1)]
     chunks = [list(faults[bounds[i]:bounds[i + 1]]) for i in range(shards)]
     state = dict(initial_state) if initial_state else None
+    results, info = run_sharded(
+        _shard_worker,
+        [(i, netlist, chunk, list(pi_sequence), width, state,
+          drop_detected, backend) for i, chunk in enumerate(chunks)],
+        max_workers=shards,
+    )
     merged: dict[Fault, int | None] = {}
-    try:
-        with ProcessPoolExecutor(max_workers=shards) as pool:
-            for i, (res, work, secs) in enumerate(pool.map(
-                _shard_worker,
-                [(netlist, chunk, list(pi_sequence), width, state,
-                  drop_detected, backend) for chunk in chunks],
-            )):
-                _record_pps(work, secs, shard=i)
-                merged.update(res)
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
-        return fault_simulate_cycles(
-            netlist, faults, pi_sequence, width=width,
-            initial_state=state, drop_detected=drop_detected,
-            backend=backend, shards=1,
-        )
+    for i, (res, work, secs) in enumerate(results):
+        _record_pps(work, secs, shard=i)
+        merged.update(res)
+    _record_shard_info(info)
     return {f: merged[f] for f in faults}
+
+
+def _record_shard_info(info: Mapping[str, int]) -> None:
+    """Surface shard-recovery events in the current flow metrics."""
+    for name in ("shard_retries", "shard_fallbacks", "pool_rebuilds"):
+        if info.get(name):
+            key = "shard_pool_rebuilds" if name == "pool_rebuilds" else name
+            record_metric(key, info[name])
 
 
 # ---------------------------------------------------------------------------

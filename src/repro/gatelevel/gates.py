@@ -228,8 +228,33 @@ class Netlist:
         self._consumers_cache = consumers
         return consumers
 
-    def validate(self) -> None:
-        """Check outputs exist, DFF inputs are driven, no comb. cycles."""
+    def validate(self, strict: bool = False) -> None:
+        """Structural well-formedness check.
+
+        Always verifies: primary outputs and DFF inputs are driven, no
+        combinational cycles (via :meth:`topo_order`), and no
+        multi-driven nets -- two gates claiming the same output net,
+        which :meth:`add` prevents but in-place ``_gates`` surgery can
+        reintroduce; multi-drive otherwise surfaces much later as a
+        numpy shape error inside the compiled kernel.
+
+        With ``strict=True`` also rejects dangling internal nets --
+        combinational or constant gates that drive nothing (no
+        consumer, not a primary output).  Dangling logic is legal (see
+        :func:`sweep_dead_logic`, which removes it) but untestable by
+        construction, so DFT entry points opt into the check.
+        """
+        seen_names: dict[str, str] = {}
+        for key, g in self._gates.items():
+            if g.name != key:
+                raise NetlistError(
+                    f"net {key!r} is driven by a gate named {g.name!r} "
+                    f"(multi-driven net or in-place rename; every gate "
+                    f"must drive the net of its own name)"
+                )
+            if g.name in seen_names:
+                raise NetlistError(f"net {g.name!r} is multi-driven")
+            seen_names[g.name] = key
         for net in self.outputs:
             if net not in self._gates:
                 raise NetlistError(f"primary output {net!r} is undriven")
@@ -239,6 +264,24 @@ class Netlist:
                     f"dff {g.name!r} reads undriven net {g.inputs[0]!r}"
                 )
         self.topo_order()
+        if strict:
+            consumed = {
+                src for g in self._gates.values() for src in g.inputs
+            }
+            observed = set(self.outputs)
+            dangling = sorted(
+                g.name for g in self._gates.values()
+                if g.kind in COMBINATIONAL_KINDS
+                or g.kind in ("const0", "const1")
+                if g.name not in consumed and g.name not in observed
+            )
+            if dangling:
+                raise NetlistError(
+                    f"dangling internal nets (driven but never read or "
+                    f"observed): {dangling[:8]}"
+                    f"{' ...' if len(dangling) > 8 else ''}; run "
+                    f"sweep_dead_logic() or wire them up"
+                )
 
     def stats(self) -> dict[str, int]:
         kinds: dict[str, int] = {}

@@ -131,6 +131,10 @@ class CompiledNetlist:
     def __init__(self, netlist: Netlist) -> None:
         if _np is None:
             raise NetlistError("compiled kernel requires numpy")
+        # Fail on malformed structure here, with a NetlistError naming
+        # the offending net, rather than as a numpy shape error three
+        # layers down in the levelized program.
+        netlist.validate()
         self.netlist = netlist
         order = netlist.topo_order()
         levels = netlist.levels()

@@ -31,7 +31,6 @@ reference pipeline (property-tested in
 
 from __future__ import annotations
 
-import os
 import random
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -56,17 +55,24 @@ MIN_FAULTS_PER_SHARD = 8
 
 
 def resolve_predrop(predrop: int | None = None) -> int:
-    """Pre-drop pattern count: explicit arg > env > default."""
+    """Pre-drop pattern count: explicit arg > env > default.
+
+    Validated through :mod:`repro.knobs`; a malformed value raises a
+    one-line actionable error in the caller's process.
+    """
+    from repro.knobs import coerce_int, env_int
+
     if predrop is None:
-        raw = os.environ.get(PREDROP_ENV, "")
-        predrop = int(raw) if raw else DEFAULT_PREDROP
-    return max(0, int(predrop))
+        return env_int(PREDROP_ENV, DEFAULT_PREDROP, minimum=0)
+    return coerce_int(predrop, "predrop", minimum=0)
 
 
 def resolve_atpg_shards(shards: int | None = None) -> int:
+    from repro.knobs import coerce_int, env_int
+
     if shards is None:
-        shards = int(os.environ.get(SHARDS_ENV, "1") or 1)
-    return max(1, int(shards))
+        return env_int(SHARDS_ENV, 1, minimum=1)
+    return coerce_int(shards, "shards", minimum=1)
 
 
 @dataclass
@@ -201,7 +207,10 @@ def _random_predrop(
 # fault-parallel PODEM
 
 def _podem_worker(args) -> list[ATPGResult]:
-    netlist, chunk, backtrack_limit, atpg_backend = args
+    shard_index, netlist, chunk, backtrack_limit, atpg_backend = args
+    from repro.flow import chaos
+
+    chaos.checkpoint(f"podem_shard:{shard_index}")
     return [
         combinational_atpg(
             netlist, f, backtrack_limit=backtrack_limit,
@@ -224,10 +233,15 @@ def _parallel_podem(
     will drop without using the result -- the speculation is the price
     of parallelism, and it is exact: a PODEM search depends only on
     (netlist, fault, backtrack limit), so the replayed merge is
-    byte-identical to the serial loop.  Returns None (serial fallback)
-    when pools are unavailable.
+    byte-identical to the serial loop.
+
+    Resilient via :func:`repro.flow.resilience.run_sharded`: a crashed
+    or killed shard is retried once in a fresh pool, then its chunk is
+    searched in-process -- same results, fallback recorded in flow
+    metrics.  Returns None only when sharding is not worthwhile.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.flow.resilience import run_sharded
+    from repro.gatelevel.fault_sim import _record_shard_info
 
     shards = min(shards, max(1, len(faults) // MIN_FAULTS_PER_SHARD))
     if shards <= 1:
@@ -236,18 +250,17 @@ def _parallel_podem(
     chunks = [
         list(faults[bounds[i]:bounds[i + 1]]) for i in range(shards)
     ]
+    results, info = run_sharded(
+        _podem_worker,
+        [(i, netlist, chunk, backtrack_limit, atpg_backend)
+         for i, chunk in enumerate(chunks)],
+        max_workers=shards,
+    )
     out: dict[Fault, ATPGResult] = {}
-    try:
-        with ProcessPoolExecutor(max_workers=shards) as pool:
-            for res_list in pool.map(
-                _podem_worker,
-                [(netlist, chunk, backtrack_limit, atpg_backend)
-                 for chunk in chunks],
-            ):
-                for res in res_list:
-                    out[res.fault] = res
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed envs
-        return None
+    for res_list in results:
+        for res in res_list:
+            out[res.fault] = res
+    _record_shard_info(info)
     return out
 
 

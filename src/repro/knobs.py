@@ -1,0 +1,149 @@
+"""Validated parsing for the repository's ``REPRO_*`` environment knobs.
+
+Every tunable that used to be parsed ad hoc (``int(os.environ.get(...))``
+deep inside a worker process, where a typo surfaced as a bare
+``ValueError`` with no hint of which variable was wrong) goes through
+this module instead.  Bad values raise :class:`KnobError` with a
+one-line, actionable message naming the variable, the offending value,
+and a valid example -- *before* any pool is spawned, so the error
+arrives in the caller's process.
+
+The :data:`KNOWN_KNOBS` registry doubles as documentation;
+``python -m repro.flow knobs`` renders it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Sequence
+
+__all__ = [
+    "KnobError",
+    "KNOWN_KNOBS",
+    "env_int",
+    "env_choice",
+    "coerce_int",
+    "normalize_choice",
+]
+
+
+class KnobError(ValueError):
+    """A ``REPRO_*`` variable (or the matching argument) is invalid."""
+
+
+#: name -> (kind, default, description).  Purely informational; the
+#: accessors below do the actual validation.
+KNOWN_KNOBS: dict[str, tuple[str, str, str]] = {
+    "REPRO_FAULTSIM_BACKEND": (
+        "choice: kernel|interp", "kernel",
+        "fault-simulation engine (compiled numpy kernel or the "
+        "reference interpreter)",
+    ),
+    "REPRO_FAULTSIM_SHARDS": (
+        "int >= 1", "1",
+        "worker processes for fault-parallel fault simulation and "
+        "BIST fault attribution",
+    ),
+    "REPRO_ATPG_BACKEND": (
+        "choice: event|reference", "event",
+        "PODEM engine (event-driven incremental or the reference "
+        "implementation)",
+    ),
+    "REPRO_ATPG_SHARDS": (
+        "int >= 1", "1",
+        "worker processes for the deterministic-ATPG residue searches",
+    ),
+    "REPRO_ATPG_PREDROP": (
+        "int >= 0", "64",
+        "random patterns fault-simulated before deterministic ATPG "
+        "(0 disables the pre-drop stage)",
+    ),
+    "REPRO_FLOWCACHE": (
+        "path", ".flowcache",
+        "flow artifact cache directory",
+    ),
+    "REPRO_CHAOS_PLAN": (
+        "path", "(unset)",
+        "JSON chaos plan for deterministic fault injection "
+        "(tests only; unset in production)",
+    ),
+    "REPRO_BENCH_QUICK": (
+        "flag", "(unset)",
+        "benchmarks run reduced sweeps and skip scoreboard rewrites",
+    ),
+}
+
+
+def coerce_int(
+    value: object,
+    name: str,
+    minimum: int | None = None,
+    maximum: int | None = None,
+) -> int:
+    """Validate an int-like value; ``name`` labels the error message.
+
+    Out-of-range values are clamped (matching the historical
+    ``max(1, shards)`` behaviour); unparseable ones raise
+    :class:`KnobError`.
+    """
+    try:
+        result = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        example = minimum if minimum is not None else 1
+        raise KnobError(
+            f"{name}={value!r} is not an integer; "
+            f"try e.g. {name}={example}"
+        ) from None
+    if minimum is not None:
+        result = max(minimum, result)
+    if maximum is not None:
+        result = min(maximum, result)
+    return result
+
+
+def env_int(
+    name: str,
+    default: int,
+    minimum: int | None = None,
+    maximum: int | None = None,
+) -> int:
+    """Read an integer knob from the environment, validated."""
+    raw = os.environ.get(name, "")
+    if not raw.strip():
+        return default
+    return coerce_int(raw.strip(), name, minimum=minimum,
+                      maximum=maximum)
+
+
+def normalize_choice(
+    value: str,
+    name: str,
+    canon: Mapping[str, Sequence[str]],
+) -> str:
+    """Map ``value`` (case-insensitive, with aliases) to its canonical
+    choice, or raise a one-line :class:`KnobError`.
+
+    ``canon`` maps each canonical choice to its accepted aliases (the
+    canonical spelling itself is always accepted).
+    """
+    lowered = value.strip().lower()
+    for canonical, aliases in canon.items():
+        if lowered == canonical or lowered in aliases:
+            return canonical
+    options = "|".join(sorted(canon))
+    raise KnobError(
+        f"{name}={value!r} is not a valid choice; "
+        f"expected one of {options}"
+    )
+
+
+def env_choice(
+    name: str,
+    default: str,
+    canon: Mapping[str, Sequence[str]],
+) -> str:
+    """Read a choice knob from the environment, validated."""
+    raw = os.environ.get(name, "")
+    if not raw.strip():
+        return default
+    return normalize_choice(raw, name, canon)

@@ -1,0 +1,340 @@
+"""Chaos suite: the resilience layer's promises, made falsifiable.
+
+Every scenario here injects a failure on purpose -- worker death
+(``SIGKILL``), stage crashes, hangs past a timeout, corrupted cache
+entries -- through the deterministic :mod:`repro.flow.chaos` injector,
+then asserts the flow engine's contract: flows complete (degrading only
+optional stages), recovered artifacts are byte-identical to an
+uninjected serial run, recovery is visible in metrics, and no worker
+process is left behind.
+
+Stage functions live at module level so worker processes can unpickle
+them by reference.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.flow import (
+    ChaosError,
+    Flow,
+    FlowCache,
+    FlowError,
+    Runner,
+    backoff_seconds,
+    is_unavailable,
+)
+from repro.flow import chaos
+from repro.flow.chaos import ChaosPlan, Injection, corrupt_cache_entries
+
+JOBS = [1, 4]
+
+
+# -- module-level stage functions (picklable) ------------------------------
+
+def emit(value):
+    return value
+
+
+def double(x):
+    return 2 * x
+
+
+def add(a, b):
+    return a + b
+
+
+def slow_emit(value, seconds=0.0):
+    time.sleep(seconds)
+    return value
+
+
+def diamond_flow() -> Flow:
+    """source -> (left, right) -> join; enough width to keep a pool busy."""
+    f = Flow("diamond")
+    f.stage("source", emit, outputs=("x",), params={"value": 10})
+    f.stage("left", double, inputs=("x",), outputs=("l",))
+    f.stage("right", double, inputs=("x",), outputs=("r",))
+    f.stage("join", add, inputs={"a": "l", "b": "r"}, outputs=("sum",))
+    return f
+
+
+def clean_artifacts(flow_builder, **kwargs):
+    """The uninjected serial truth a chaos run must reproduce exactly."""
+    return Runner().run(flow_builder(), **kwargs).artifacts
+
+
+def assert_no_orphans():
+    """Every pool worker must be gone once the runner returns."""
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children():
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"orphaned workers: {multiprocessing.active_children()}"
+            )
+        time.sleep(0.02)
+
+
+# -- the injector itself ---------------------------------------------------
+
+class TestChaosPlan:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos mode"):
+            Injection("stage:x", "explode")
+
+    def test_round_trip(self, tmp_path):
+        plan = ChaosPlan(
+            [Injection("stage:a", "crash", times=2),
+             Injection("faultsim_shard:1", "kill")],
+            tmp_path / "markers",
+        )
+        path = plan.write(tmp_path / "plan.json")
+        loaded = ChaosPlan.load(path)
+        assert loaded.injections == plan.injections
+        assert loaded.workdir == plan.workdir
+
+    def test_claims_are_atomic_and_monotonic(self, tmp_path):
+        plan = ChaosPlan([], tmp_path / "markers")
+        assert [plan.claim("s") for _ in range(4)] == [0, 1, 2, 3]
+        assert plan.invocations("s") == 4
+        assert plan.invocations("other") == 0
+
+    def test_checkpoint_noop_without_plan(self, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+        chaos.checkpoint("stage:anything")  # must not raise
+
+    def test_crash_fires_exactly_times_then_behaves(self, tmp_path):
+        with chaos.active(
+            [Injection("stage:t", "crash", times=2)], tmp_path
+        ) as plan:
+            for _ in range(2):
+                with pytest.raises(ChaosError, match="injected crash"):
+                    chaos.checkpoint("stage:t")
+            chaos.checkpoint("stage:t")  # third invocation behaves
+            chaos.checkpoint("stage:other")  # unmatched site: no-op
+            assert plan.invocations("stage:t") == 3
+        assert chaos.CHAOS_ENV not in os.environ
+
+    def test_kill_degrades_to_crash_in_main_process(self, tmp_path):
+        with chaos.active([Injection("stage:k", "kill")], tmp_path):
+            with pytest.raises(ChaosError, match="main process"):
+                chaos.checkpoint("stage:k")
+
+
+class TestBackoff:
+    def test_deterministic_and_exponential(self):
+        a1 = backoff_seconds("seed", 1, base=0.1, cap=100.0)
+        assert a1 == backoff_seconds("seed", 1, base=0.1, cap=100.0)
+        assert backoff_seconds("seed", 0) == 0.0
+        # Jitter spans [0.5, 1.5) of the doubling raw value, so four
+        # attempts later the delay must exceed any jitter of attempt 1.
+        assert backoff_seconds("seed", 5, base=0.1, cap=100.0) > a1
+        assert backoff_seconds("other", 1, base=0.1, cap=100.0) != a1
+
+    def test_cap(self):
+        assert backoff_seconds("s", 30, base=1.0, cap=2.0) == 2.0
+
+
+# -- worker death ----------------------------------------------------------
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_is_survived(self, tmp_path):
+        """SIGKILL breaks the whole pool; the runner rebuilds it,
+        re-dispatches (for free), and the result matches a clean
+        serial run byte for byte."""
+        truth = clean_artifacts(diamond_flow)
+        with chaos.active(
+            [Injection("stage:left", "kill", times=1)], tmp_path
+        ):
+            result = Runner().run(diamond_flow(), jobs=2)
+        assert result.artifacts == truth
+        assert result.artifacts["sum"] == 40
+        assert result.metrics.pool_rebuilds >= 1
+        assert not result.metrics.serial_fallback
+        # Re-dispatch must not consume the retry budget (retries=0).
+        assert result.metrics.metric("left").status == "ran"
+        assert_no_orphans()
+
+    def test_repeated_death_falls_back_to_serial(self, tmp_path):
+        """After ``pool_failure_limit`` consecutive pool deaths the
+        runner finishes in-process -- same artifacts, recorded in
+        metrics.  In the main process ``kill`` degrades to a crash, so
+        the stage needs retries to outlast the injection."""
+        truth = clean_artifacts(diamond_flow)
+        flow = diamond_flow()
+        flow.stages["left"].retries = 4
+        with chaos.active(
+            [Injection("stage:left", "kill", times=4)], tmp_path
+        ):
+            result = Runner(pool_failure_limit=2).run(flow, jobs=2)
+        assert result.artifacts == truth
+        assert result.metrics.serial_fallback
+        # At least the failure-limit's worth of rebuilds; successes of
+        # innocent stages in between may reset the consecutive counter,
+        # so the exact total is timing-dependent.
+        assert result.metrics.pool_rebuilds >= 2
+        assert_no_orphans()
+
+
+# -- stage crashes ---------------------------------------------------------
+
+class TestStageCrash:
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_crash_then_retry_succeeds(self, tmp_path, jobs):
+        truth = clean_artifacts(diamond_flow)
+        flow = diamond_flow()
+        flow.stages["right"].retries = 1
+        with chaos.active(
+            [Injection("stage:right", "crash", times=1)], tmp_path
+        ):
+            result = Runner(retry_base=0.001).run(flow, jobs=jobs)
+        assert result.artifacts == truth
+        assert result.metrics.metric("right").attempts == 2
+        assert_no_orphans()
+
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_optional_stage_degrades_not_aborts(self, tmp_path, jobs):
+        flow = diamond_flow()
+        flow.stages["right"].optional = True
+        with chaos.active(
+            [Injection("stage:right", "crash", times=5)], tmp_path
+        ):
+            result = Runner().run(flow, jobs=jobs)
+        assert is_unavailable(result.artifacts["r"])
+        assert is_unavailable(result.artifacts["sum"])  # downstream skipped
+        assert result.artifacts["l"] == 20  # siblings unharmed
+        assert result.metrics.metric("join").status == "skipped"
+        assert not result.ok
+        assert_no_orphans()
+
+    def test_required_stage_crash_aborts(self, tmp_path):
+        with chaos.active(
+            [Injection("stage:source", "crash", times=5)], tmp_path
+        ):
+            with pytest.raises(FlowError, match="source"):
+                Runner().run(diamond_flow(), jobs=2)
+        assert_no_orphans()
+
+
+# -- hangs and timeouts ----------------------------------------------------
+
+class TestHangs:
+    def test_hung_worker_is_killed_and_stage_retried(self, tmp_path):
+        """A stage hanging past its timeout gets its pool recycled --
+        the runaway worker is really gone -- and the retry succeeds."""
+        truth = clean_artifacts(diamond_flow)
+        flow = diamond_flow()
+        flow.stages["right"].timeout = 0.4
+        flow.stages["right"].retries = 1
+        with chaos.active(
+            [Injection("stage:right", "hang", times=1,
+                       hang_seconds=60.0)],
+            tmp_path,
+        ):
+            t0 = time.monotonic()
+            result = Runner(retry_base=0.001).run(flow, jobs=2)
+            elapsed = time.monotonic() - t0
+        assert result.artifacts == truth
+        assert result.metrics.pool_recycles >= 1
+        assert elapsed < 30.0  # nobody waited out the 60 s sleep
+        assert_no_orphans()
+
+    def test_hang_on_optional_stage_degrades(self, tmp_path):
+        flow = diamond_flow()
+        flow.stages["right"].timeout = 0.4
+        flow.stages["right"].optional = True
+        with chaos.active(
+            [Injection("stage:right", "hang", times=3,
+                       hang_seconds=60.0)],
+            tmp_path,
+        ):
+            result = Runner().run(flow, jobs=2)
+        assert is_unavailable(result.artifacts["r"])
+        assert "timeout" in result.metrics.metric("right").error
+        assert result.artifacts["l"] == 20
+        assert_no_orphans()
+
+
+# -- cache corruption ------------------------------------------------------
+
+class TestCacheCorruption:
+    @pytest.mark.parametrize("mode", ["truncate", "garbage"])
+    def test_corrupt_entries_quarantined_and_recomputed(
+        self, tmp_path, mode
+    ):
+        cache = FlowCache(tmp_path / "cache")
+        runner = Runner(cache=cache)
+        first = runner.run(diamond_flow())
+        damaged = corrupt_cache_entries(cache.root, mode=mode)
+        assert damaged
+
+        again = runner.run(diamond_flow())
+        assert again.artifacts == first.artifacts
+        assert again.metrics.cache_corrupt >= len(damaged)
+        for m in again.metrics.stages:
+            assert m.status == "ran"  # nothing served from damage
+        quarantined = list(cache.root.rglob("*.corrupt"))
+        assert len(quarantined) >= len(damaged)
+
+        # Healed: the rerun repopulated the cache, third run hits it.
+        third = runner.run(diamond_flow())
+        assert third.artifacts == first.artifacts
+        assert all(m.status == "hit" for m in third.metrics.stages)
+
+    def test_corruption_choice_is_deterministic(self, tmp_path):
+        cache = FlowCache(tmp_path / "cache")
+        Runner(cache=cache).run(diamond_flow())
+        first = corrupt_cache_entries(cache.root, seed=3, fraction=0.5)
+        Runner(cache=cache).run(diamond_flow())  # repopulate
+        for p in cache.root.rglob("*.corrupt"):
+            p.unlink()
+        second = corrupt_cache_entries(cache.root, seed=3, fraction=0.5)
+        assert [p.name for p in first] == [p.name for p in second]
+
+
+# -- degradation through a real flow ---------------------------------------
+
+class TestHierarchicalDegradation:
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_unavailable_propagates_through_hier_flow(
+        self, tmp_path, jobs
+    ):
+        """Killing the (made-optional) test-generation stage of the
+        hierarchical flow must skip exactly its downstream cone --
+        fault simulation and the merge -- while the build still runs."""
+        from repro.flow.flows import hierarchical_flow
+
+        flow = hierarchical_flow(width=2, fault_sample=4, budget=2)
+        flow.stages["generate"].optional = True
+        with chaos.active(
+            [Injection("stage:generate", "crash", times=3)], tmp_path
+        ):
+            result = Runner().run(flow, jobs=jobs)
+        assert is_unavailable(result.artifacts["hier_tests"])
+        assert is_unavailable(result.artifacts["hier_detected"])
+        assert result.metrics.metric("build").status == "ran"
+        assert result.metrics.metric("generate").status == "failed"
+        assert result.metrics.metric("faultsim").status == "skipped"
+        with pytest.raises(FlowError, match="unavailable"):
+            result["hier_detected"]
+        assert_no_orphans()
+
+
+# -- metrics surface -------------------------------------------------------
+
+def test_resilience_metrics_serialize(tmp_path):
+    with chaos.active(
+        [Injection("stage:left", "kill", times=1)], tmp_path
+    ):
+        result = Runner().run(diamond_flow(), jobs=2)
+    blob = result.metrics.to_dict()
+    assert blob["pool_rebuilds"] >= 1
+    assert "serial_fallback" in blob and "cache_corrupt" in blob
+    assert "resilience:" in result.metrics.render()
+    pickle.dumps(result.metrics)  # metrics must stay picklable

@@ -205,3 +205,100 @@ class TestCli:
         out = capsys.readouterr().out
         assert "figure1" in out
         assert "fullscan" in out
+
+
+def emit_value(value):
+    return value
+
+
+def tiny_flow() -> Flow:
+    f = Flow("tiny")
+    f.stage("src", emit_value, outputs=("x",), params={"value": 7})
+    f.stage("next", plus_one, inputs={"y": "x"}, outputs=("z",))
+    return f
+
+
+class TestSelfHealing:
+    def _populate(self, tmp_path) -> FlowCache:
+        cache = FlowCache(tmp_path / "fc")
+        Runner(cache=cache).run(tiny_flow())
+        return cache
+
+    def test_get_quarantines_corrupt_entry(self, tmp_path):
+        cache = self._populate(tmp_path)
+        entries = sorted(cache.root.rglob("*.pkl"))
+        assert entries
+        entries[0].write_bytes(b"not a pickle")
+        key = entries[0].stem
+        assert cache.get(key) is None
+        assert cache.corrupt_quarantined == 1
+        assert not entries[0].exists()
+        assert entries[0].with_suffix(".corrupt").exists()
+        # The quarantined entry is a plain miss from now on.
+        assert cache.get(key) is None
+        assert cache.corrupt_quarantined == 1
+
+    def test_truncated_entry_is_corrupt(self, tmp_path):
+        cache = self._populate(tmp_path)
+        entry = sorted(cache.root.rglob("*.pkl"))[0]
+        entry.write_bytes(entry.read_bytes()[:10])
+        assert cache.get(entry.stem) is None
+        assert cache.corrupt_quarantined == 1
+
+    def test_wrong_format_is_corrupt(self, tmp_path):
+        import pickle
+
+        cache = self._populate(tmp_path)
+        entry = sorted(cache.root.rglob("*.pkl"))[0]
+        entry.write_bytes(pickle.dumps({"format": "bogus-v0"}))
+        assert cache.get(entry.stem) is None
+        assert cache.corrupt_quarantined == 1
+
+    def test_fsck_reports_and_quarantines(self, tmp_path):
+        cache = self._populate(tmp_path)
+        entries = sorted(cache.root.rglob("*.pkl"))
+        entries[0].write_bytes(b"garbage")
+        report = cache.fsck()
+        assert report["ok"] == len(entries) - 1
+        assert len(report["corrupt"]) == 1
+        assert report["corrupt"][0].endswith(".corrupt")
+        assert report["removed"] == 0
+        # Second scan: nothing newly corrupt, one pre-existing
+        # quarantined file.
+        report2 = cache.fsck()
+        assert report2["ok"] == len(entries) - 1
+        assert report2["corrupt"] == []
+        assert len(report2["quarantined"]) == 1
+
+    def test_fsck_remove_deletes_damage(self, tmp_path):
+        cache = self._populate(tmp_path)
+        entries = sorted(cache.root.rglob("*.pkl"))
+        entries[0].write_bytes(b"garbage")
+        report = cache.fsck(remove=True)
+        assert report["removed"] == 1
+        assert not list(cache.root.rglob("*.corrupt"))
+        assert cache.fsck() == {
+            "ok": len(entries) - 1, "corrupt": [],
+            "quarantined": [], "removed": 0,
+        }
+
+    def test_cli_fsck(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        entry = sorted(cache.root.rglob("*.pkl"))[0]
+        entry.write_bytes(b"garbage")
+        rc = flow_cli.main(["fsck", "--cache-dir", str(cache.root)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert "corrupt:" in out
+        rc = flow_cli.main(
+            ["fsck", "--cache-dir", str(cache.root), "--remove"]
+        )
+        assert rc == 0
+        assert "1 removed" in capsys.readouterr().out
+
+    def test_cli_knobs_lists_registry(self, capsys):
+        assert flow_cli.main(["knobs"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO_FAULTSIM_SHARDS" in out
+        assert "REPRO_CHAOS_PLAN" in out

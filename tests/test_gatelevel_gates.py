@@ -133,3 +133,47 @@ class TestSimulate:
         nl.add_output("y")
         vals, _ = parallel_simulate(nl, {}, width=8)
         assert vals["one"] == 0xFF and vals["y"] == 0
+
+
+class TestValidate:
+    def test_multi_driven_net_rejected(self):
+        nl = half_adder()
+        # add() refuses duplicates, so multi-drive can only appear via
+        # in-place surgery -- exactly what validate() must catch.
+        nl.gates["s2"] = Gate("s", "or", ("a", "b"))
+        nl.invalidate()
+        with pytest.raises(NetlistError, match="multi-driven"):
+            nl.validate()
+
+    def test_renamed_gate_rejected(self):
+        nl = half_adder()
+        nl.gates["s"] = Gate("sum", "xor", ("a", "b"))
+        nl.invalidate()
+        with pytest.raises(NetlistError, match="sum"):
+            nl.validate()
+
+    def test_dangling_net_needs_strict(self):
+        nl = half_adder()
+        nl.add("dead", "and", "a", "b")  # drives nothing, observed nowhere
+        nl.validate()  # legal pre-sweep
+        with pytest.raises(NetlistError, match="dangling.*dead"):
+            nl.validate(strict=True)
+
+    def test_strict_accepts_swept_netlist(self):
+        from repro.gatelevel.gates import sweep_dead_logic
+
+        nl = half_adder()
+        nl.add("dead", "and", "a", "b")
+        sweep_dead_logic(nl).validate(strict=True)
+
+    def test_kernel_compile_reports_netlist_error(self):
+        pytest.importorskip("numpy")
+        from repro.gatelevel.kernel import CompiledNetlist
+
+        nl = half_adder()
+        nl.gates["s"] = Gate("sum", "xor", ("a", "b"))
+        nl.invalidate()
+        # A clear NetlistError at compile entry, not a numpy shape
+        # error three layers down.
+        with pytest.raises(NetlistError, match="sum"):
+            CompiledNetlist(nl)

@@ -1,0 +1,111 @@
+"""Centralized ``REPRO_*`` knob parsing: one-line, actionable errors.
+
+Every environment tunable goes through :mod:`repro.knobs`; these tests
+pin the contract -- bad values raise :class:`KnobError` naming the
+variable, the offending value, and a valid example, while out-of-range
+integers clamp (the historical ``max(1, shards)`` behaviour) -- and
+that the kernels' resolvers actually route through it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.knobs import (
+    KNOWN_KNOBS,
+    KnobError,
+    coerce_int,
+    env_choice,
+    env_int,
+    normalize_choice,
+)
+
+CHOICES = {"kernel": (), "interp": ("interpreter", "reference")}
+
+
+class TestCoerceInt:
+    def test_parses_and_clamps(self):
+        assert coerce_int("4", "K") == 4
+        assert coerce_int("0", "K", minimum=1) == 1
+        assert coerce_int(99, "K", maximum=8) == 8
+
+    def test_unparseable_names_the_knob(self):
+        with pytest.raises(KnobError, match=r"K='lots'.*try e\.g\. K=2"):
+            coerce_int("lots", "K", minimum=2)
+
+    def test_env_int(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_K", raising=False)
+        assert env_int("REPRO_TEST_K", 3) == 3
+        monkeypatch.setenv("REPRO_TEST_K", "  7 ")
+        assert env_int("REPRO_TEST_K", 3) == 7
+        monkeypatch.setenv("REPRO_TEST_K", "")
+        assert env_int("REPRO_TEST_K", 3) == 3
+        monkeypatch.setenv("REPRO_TEST_K", "seven")
+        with pytest.raises(KnobError, match="REPRO_TEST_K"):
+            env_int("REPRO_TEST_K", 3)
+
+
+class TestChoices:
+    def test_canonical_aliases_and_case(self):
+        assert normalize_choice("kernel", "B", CHOICES) == "kernel"
+        assert normalize_choice("Reference", "B", CHOICES) == "interp"
+        assert normalize_choice(" INTERP ", "B", CHOICES) == "interp"
+
+    def test_bad_choice_lists_options(self):
+        with pytest.raises(
+            KnobError, match=r"B='fancy'.*expected one of interp\|kernel"
+        ):
+            normalize_choice("fancy", "B", CHOICES)
+
+    def test_env_choice(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_B", raising=False)
+        assert env_choice("REPRO_TEST_B", "kernel", CHOICES) == "kernel"
+        monkeypatch.setenv("REPRO_TEST_B", "reference")
+        assert env_choice("REPRO_TEST_B", "kernel", CHOICES) == "interp"
+
+
+class TestKernelsRouteThroughKnobs:
+    def test_faultsim_resolvers(self, monkeypatch):
+        from repro.gatelevel.fault_sim import resolve_backend, resolve_shards
+
+        monkeypatch.setenv("REPRO_FAULTSIM_SHARDS", "nope")
+        with pytest.raises(KnobError, match="REPRO_FAULTSIM_SHARDS"):
+            resolve_shards()
+        monkeypatch.setenv("REPRO_FAULTSIM_SHARDS", "-3")
+        assert resolve_shards() == 1  # clamped
+        assert resolve_shards(shards=0) == 1
+        monkeypatch.setenv("REPRO_FAULTSIM_BACKEND", "turbo")
+        with pytest.raises(KnobError, match="REPRO_FAULTSIM_BACKEND"):
+            resolve_backend()
+        with pytest.raises(KnobError, match="backend='fancy'"):
+            resolve_backend("fancy")
+
+    def test_atpg_resolvers(self, monkeypatch):
+        from repro.gatelevel.atpg import resolve_atpg_backend
+        from repro.gatelevel.test_generation import (
+            resolve_atpg_shards,
+            resolve_predrop,
+        )
+
+        monkeypatch.setenv("REPRO_ATPG_PREDROP", "many")
+        with pytest.raises(KnobError, match="REPRO_ATPG_PREDROP"):
+            resolve_predrop()
+        monkeypatch.setenv("REPRO_ATPG_SHARDS", "0")
+        assert resolve_atpg_shards() == 1
+        monkeypatch.setenv("REPRO_ATPG_BACKEND", "ref")
+        assert resolve_atpg_backend() == "reference"
+        monkeypatch.setenv("REPRO_ATPG_BACKEND", "magic")
+        with pytest.raises(KnobError, match="REPRO_ATPG_BACKEND"):
+            resolve_atpg_backend()
+
+
+def test_registry_covers_the_resolvers():
+    """Every env var the resolvers read must be documented."""
+    from repro.flow.chaos import CHAOS_ENV
+    from repro.gatelevel import fault_sim, test_generation
+
+    for name in (fault_sim.BACKEND_ENV, fault_sim.SHARDS_ENV, CHAOS_ENV,
+                 "REPRO_ATPG_BACKEND", "REPRO_ATPG_SHARDS",
+                 "REPRO_ATPG_PREDROP"):
+        assert name in KNOWN_KNOBS, name
+    assert test_generation  # imported for the env names' side module
