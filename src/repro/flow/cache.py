@@ -20,6 +20,15 @@ writers -- parallel stages, or two runs racing -- can only ever publish
 complete entries.  Unpicklable artifacts degrade gracefully: the stage
 result stays in memory for the current run and the entry is skipped.
 
+One :class:`FlowCache` instance may be shared by concurrent threads
+(the service layer runs many flows against a single store): every
+public method takes an internal re-entrant lock, and cross-*process*
+safety rests on the atomic-write discipline above -- every mutation of
+an entry file is either ``os.replace`` of a complete temp file
+(:meth:`put`), ``os.replace`` to the quarantine name
+(:meth:`_quarantine`), or ``unlink``; no entry is ever written in
+place, so a reader in any process sees a complete entry or none.
+
 The cache **self-heals**: an entry that exists but cannot be loaded
 (truncated write, bit rot, format drift, injected chaos) is
 *quarantined* -- renamed to ``<key>.corrupt`` -- instead of silently
@@ -35,6 +44,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -109,6 +119,19 @@ class FlowCache:
         self.root = Path(root)
         #: entries quarantined by this instance (monotone counter).
         self.corrupt_quarantined = 0
+        # Re-entrant so subclasses can take it around a super() call.
+        self._lock = threading.RLock()
+
+    # The lock is process-local state; a cache that travels through
+    # pickle (e.g. inside a captured closure) gets a fresh one.
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -167,13 +190,14 @@ class FlowCache:
         a clean miss that recomputes and rewrites it) and counted in
         ``corrupt_quarantined``.
         """
-        path = self._path(key)
-        artifacts, corrupt = self._load_entry(path)
-        if corrupt:
-            self._quarantine(path)
-            self.corrupt_quarantined += 1
-            return None
-        return artifacts
+        with self._lock:
+            path = self._path(key)
+            artifacts, corrupt = self._load_entry(path)
+            if corrupt:
+                self._quarantine(path)
+                self.corrupt_quarantined += 1
+                return None
+            return artifacts
 
     def size(self, key: str) -> int:
         """On-disk size of the entry for ``key`` (0 if absent)."""
@@ -194,38 +218,40 @@ class FlowCache:
             blob = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             return -1
-        path = self._path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=".pkl"
-            )
+        with self._lock:
+            path = self._path(key)
             try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(blob)
-                os.replace(tmp, path)
-            except BaseException:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=path.parent, prefix=".tmp-", suffix=".pkl"
+                )
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            return -1
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(blob)
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                return -1
         return len(blob)
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
-        n = 0
-        if not self.root.exists():
-            return 0
-        for p in self.root.rglob("*.pkl"):
-            try:
-                p.unlink()
-                n += 1
-            except OSError:
-                pass
-        return n
+        with self._lock:
+            n = 0
+            if not self.root.exists():
+                return 0
+            for p in self.root.rglob("*.pkl"):
+                try:
+                    p.unlink()
+                    n += 1
+                except OSError:
+                    pass
+            return n
 
     def fsck(self, remove: bool = False) -> dict[str, Any]:
         """Scan every entry; quarantine the unreadable ones.
@@ -244,32 +270,33 @@ class FlowCache:
         report: dict[str, Any] = {
             "ok": 0, "corrupt": [], "quarantined": [], "removed": 0,
         }
-        if not self.root.exists():
+        with self._lock:
+            if not self.root.exists():
+                return report
+            for path in sorted(self.root.rglob("*.pkl")):
+                _, corrupt = self._load_entry(path)
+                if not corrupt:
+                    report["ok"] += 1
+                    continue
+                if remove:
+                    try:
+                        path.unlink()
+                        report["removed"] += 1
+                    except OSError:
+                        pass
+                    report["corrupt"].append(str(path))
+                else:
+                    target = self._quarantine(path)
+                    report["corrupt"].append(str(target or path))
+                self.corrupt_quarantined += 1
+            for path in sorted(self.root.rglob("*.corrupt")):
+                if str(path) in report["corrupt"]:
+                    continue
+                report["quarantined"].append(str(path))
+                if remove:
+                    try:
+                        path.unlink()
+                        report["removed"] += 1
+                    except OSError:
+                        pass
             return report
-        for path in sorted(self.root.rglob("*.pkl")):
-            _, corrupt = self._load_entry(path)
-            if not corrupt:
-                report["ok"] += 1
-                continue
-            if remove:
-                try:
-                    path.unlink()
-                    report["removed"] += 1
-                except OSError:
-                    pass
-                report["corrupt"].append(str(path))
-            else:
-                target = self._quarantine(path)
-                report["corrupt"].append(str(target or path))
-            self.corrupt_quarantined += 1
-        for path in sorted(self.root.rglob("*.corrupt")):
-            if str(path) in report["corrupt"]:
-                continue
-            report["quarantined"].append(str(path))
-            if remove:
-                try:
-                    path.unlink()
-                    report["removed"] += 1
-                except OSError:
-                    pass
-        return report

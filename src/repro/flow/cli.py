@@ -2,10 +2,11 @@
 
 Usage::
 
-    python -m repro.flow list
+    python -m repro.flow list [--json]
     python -m repro.flow run figure1
     python -m repro.flow run fullscan --jobs 4 --metrics out.json
     python -m repro.flow run report --param design=iir2 --no-cache
+    python -m repro.flow serve [--port N] [--prewarm flow,flow]
     python -m repro.flow clean
     python -m repro.flow fsck [--remove]
     python -m repro.flow knobs
@@ -15,10 +16,11 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 
 from repro.flow.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, FlowCache
-from repro.flow.flows import FLOWS, get_flow
+from repro.flow.flows import describe_flows, get_flow
 from repro.flow.metrics import render_table
 from repro.flow.runner import FlowError, Runner, format_failure, \
     is_unavailable
@@ -45,7 +47,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available flows")
+    p_list = sub.add_parser(
+        "list",
+        help="list flows with their accepted params and description",
+    )
+    p_list.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable listing (the same "
+                             "payload the service serves at /flows)")
 
     p_run = sub.add_parser("run", help="execute a flow")
     p_run.add_argument("flow", help="flow name (see `list`)")
@@ -77,12 +85,58 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("knobs", help="list the REPRO_* environment knobs")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived testability service (repro.serve)",
+    )
+    p_serve.add_argument("--host", default=None,
+                         help="bind address (default: $REPRO_SERVE_HOST "
+                              "or 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port, 0 picks a free one (default: "
+                              "$REPRO_SERVE_PORT or 8351)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="concurrent flow executions "
+                              "(default: $REPRO_SERVE_WORKERS or 2)")
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="warm-pool worker processes "
+                              "(default: $REPRO_SERVE_JOBS or 2)")
+    p_serve.add_argument("--queue", type=int, default=None,
+                         help="admission-control queue depth "
+                              "(default: $REPRO_SERVE_QUEUE or 64)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help=f"shared flow cache (default: "
+                              f"${CACHE_DIR_ENV} or {DEFAULT_CACHE_DIR})")
+    p_serve.add_argument("--prewarm", default=None, metavar="FLOW,FLOW",
+                         help="flows whose recipe keys (and the worker "
+                              "pool) are warmed before serving; "
+                              "'all' warms every registered flow")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        for name in sorted(FLOWS):
-            print(name)
+        described = describe_flows()
+        if args.as_json:
+            print(json.dumps(described, indent=2))
+            return 0
+        rows = [
+            (d["name"],
+             " ".join(f"{k}={v}" for k, v in d["params"].items()) or "-",
+             d["description"] or "-")
+            for d in described
+        ]
+        print(render_table(["flow", "params (defaults)", "description"],
+                           rows))
         return 0
+
+    if args.command == "serve":
+        from repro.serve.server import serve_forever
+
+        return serve_forever(
+            host=args.host, port=args.port, workers=args.workers,
+            jobs=args.jobs, queue_limit=args.queue,
+            cache_dir=args.cache_dir, prewarm=args.prewarm,
+        )
 
     if args.command == "clean":
         n = FlowCache(args.cache_dir).clear()
@@ -129,7 +183,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     if not args.quiet:
-        _render_artifacts(result)
+        sys.stdout.write(render_artifacts(result))
     print(result.metrics.render(), file=sys.stderr)
     degraded = sorted(
         a for a, v in result.artifacts.items() if is_unavailable(v)
@@ -141,20 +195,28 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _render_artifacts(result) -> None:
-    """Print the flow's human-facing artifacts (table specs / text)."""
+def render_artifacts(result) -> str:
+    """The flow's human-facing artifacts (table specs / text) as text.
+
+    Shared by the CLI (printed to stdout) and the service layer (the
+    ``rendered`` field of a job result), so a served result is
+    byte-identical to a direct ``python -m repro.flow run``.
+    """
+    lines: list[str] = []
     for name, value in result.artifacts.items():
         if is_unavailable(value):
             continue
         if isinstance(value, dict) and {"header", "rows"} <= set(value):
             title = value.get("title", name)
             exp = value.get("experiment", "")
-            print(f"== {exp}: {title} ==" if exp else f"== {title} ==")
-            print(render_table(value["header"], value["rows"]))
+            lines.append(f"== {exp}: {title} ==" if exp else
+                         f"== {title} ==")
+            lines.append(render_table(value["header"], value["rows"]))
             for note in value.get("notes", ()):
-                print(f"note: {note}")
+                lines.append(f"note: {note}")
         elif name == "text" and isinstance(value, str):
-            print(value, end="" if value.endswith("\n") else "\n")
+            lines.append(value[:-1] if value.endswith("\n") else value)
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -119,6 +119,7 @@ def fullscan_flow(cases: Sequence[tuple[str, int, int]] | None = None,
                   atpg_backend: str | None = None,
                   predrop: int | None = None,
                   shards: int | None = None) -> Flow:
+    """Full-scan test efficiency after restructuring (E-4.1b)."""
     cases = list(cases if cases is not None else FULLSCAN_CASES)
     f = Flow("fullscan")
     for i, (design, width, backtracks) in enumerate(cases):
@@ -216,6 +217,8 @@ def partial_scan_table(**rows):
 
 def partial_scan_flow(names: Sequence[str] | None = None,
                       slack: float = 1.5) -> Flow:
+    """Partial-scan cost: gate-level MFVS vs boundary vs loop-aware
+    (E-3.3.1)."""
     names = list(names if names is not None else PARTIAL_SCAN_NAMES)
     f = Flow("partial_scan")
     for i, design in enumerate(names):
@@ -288,6 +291,7 @@ def bist_session_table(**rows):
 
 def bist_sessions_flow(names: Sequence[str] | None = None,
                        slack: float = 1.6) -> Flow:
+    """BIST test concurrency: per-module vs path-based sessions (E-5.2)."""
     names = list(names if names is not None else BIST_SESSION_NAMES)
     f = Flow("bist_sessions")
     for i, design in enumerate(names):
@@ -380,6 +384,7 @@ def insitu_bist_flow(names: Sequence[str] | None = None,
                      n_faults: int = INSITU_BIST_FAULTS,
                      backend: str | None = None,
                      shards: int | None = None) -> Flow:
+    """In-situ BIST signature coverage of the logic blocks (E-5.5)."""
     names = list(names if names is not None else INSITU_BIST_NAMES)
     f = Flow("insitu_bist")
     for i, design in enumerate(names):
@@ -531,6 +536,7 @@ def hierarchical_flow(width: int = HIER_WIDTH,
                       budget: int = 16,
                       backend: str | None = None,
                       shards: int | None = None) -> Flow:
+    """Hierarchical test generation vs flat sequential ATPG (E-6)."""
     f = Flow("hierarchical")
     f.stage(
         "build", hier_build,
@@ -634,6 +640,7 @@ def figure1_table(row_b, row_c, row_loop_aware):
 
 
 def figure1_flow() -> Flow:
+    """Figure 1: loops formed during register assignment (F1)."""
     f = Flow("figure1")
     for variant in ("b", "c"):
         f.stage(
@@ -676,6 +683,7 @@ def table1_table(t1_rows):
 
 
 def table1_flow() -> Flow:
+    """Table 1 verbatim: operational level of testability insertion (T1)."""
     f = Flow("table1")
     f.stage("rows", table1_rows, outputs=("t1_rows",),
             code_deps=("repro.survey",))
@@ -717,3 +725,31 @@ def get_flow(name: str, **params) -> Flow:
             f"unknown flow {name!r}; available: {', '.join(sorted(FLOWS))}"
         ) from None
     return builder(**params)
+
+
+def describe_flow(name: str) -> dict[str, Any]:
+    """The discoverable API surface of one flow.
+
+    ``description`` is the first line of the builder's docstring;
+    ``params`` maps each accepted builder parameter to the repr of its
+    default.  Service clients (and ``python -m repro.flow list``) use
+    this instead of guessing the accepted ``--param`` keys.
+    """
+    import inspect
+
+    builder = FLOWS[name]
+    doc = inspect.getdoc(builder) or ""
+    description = doc.splitlines()[0].strip() if doc else ""
+    params: dict[str, str] = {}
+    for p in inspect.signature(builder).parameters.values():
+        if p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD):
+            continue
+        params[p.name] = (
+            "(required)" if p.default is p.empty else repr(p.default)
+        )
+    return {"name": name, "description": description, "params": params}
+
+
+def describe_flows() -> list[dict[str, Any]]:
+    """:func:`describe_flow` for every registered flow, sorted by name."""
+    return [describe_flow(name) for name in sorted(FLOWS)]

@@ -97,6 +97,38 @@ def kill_pool(pool: ProcessPoolExecutor) -> int:
     return killed
 
 
+class PoolProvider:
+    """Where the runner gets its process pools from.
+
+    The default provider reproduces the historical behaviour exactly:
+    a fresh :class:`ProcessPoolExecutor` per :meth:`acquire`, a clean
+    ``shutdown`` on :meth:`release`, and :func:`kill_pool` on
+    :meth:`discard` (the pool is broken or hosts a runaway worker).
+
+    Long-running callers (the ``repro.serve`` service layer) substitute
+    a provider that keeps one warm pool alive across flow runs, so a
+    request never pays worker spawn + module import again; the runner's
+    recovery paths stay identical because they only ever talk to the
+    provider.
+    """
+
+    def acquire(self, jobs: int) -> ProcessPoolExecutor:
+        """A usable pool with (at least) ``jobs`` workers.
+
+        May raise ``OSError``/``PermissionError`` in environments that
+        forbid process creation; the runner falls back to serial.
+        """
+        return ProcessPoolExecutor(max_workers=jobs)
+
+    def discard(self, pool: ProcessPoolExecutor) -> int:
+        """The pool is poisoned (broken, or a worker must die): kill it."""
+        return kill_pool(pool)
+
+    def release(self, pool: ProcessPoolExecutor) -> None:
+        """The flow is done with a healthy pool."""
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
 def run_sharded(
     worker: Callable[[Any], Any],
     args_list: Sequence[Any],

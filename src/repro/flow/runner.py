@@ -68,9 +68,9 @@ from repro.flow.resilience import (
     BACKOFF_BASE,
     BACKOFF_CAP,
     POOL_FAILURE_LIMIT,
+    PoolProvider,
     backoff_seconds,
     is_pool_failure,
-    kill_pool,
 )
 from repro.flow.stage import Stage
 
@@ -148,11 +148,15 @@ class Runner:
         retry_base: float = BACKOFF_BASE,
         retry_cap: float = BACKOFF_CAP,
         pool_failure_limit: int = POOL_FAILURE_LIMIT,
+        pools: PoolProvider | None = None,
     ) -> None:
         self.cache = cache
         self.retry_base = retry_base
         self.retry_cap = retry_cap
         self.pool_failure_limit = max(1, pool_failure_limit)
+        # Pool lifecycle is delegated so a long-running service can
+        # hand every Runner the same warm pool (see PoolProvider).
+        self.pools = pools if pools is not None else PoolProvider()
 
     # -- keying ------------------------------------------------------
 
@@ -172,6 +176,20 @@ class Runner:
             for a in stage.outputs:
                 digests[a] = artifact_digest(key, a)
         return keys
+
+    def stage_keys(
+        self, flow: Flow, inputs: Mapping[str, Any] | None = None
+    ) -> dict[str, str]:
+        """Public recipe keys for ``flow`` without running anything.
+
+        The service layer keys in-flight deduplication on these: two
+        submissions whose flows produce identical stage keys are the
+        same recipe by construction (same code fingerprints, params,
+        and wiring), so one execution serves both.
+        """
+        inputs = dict(inputs or {})
+        flow.validate(inputs)
+        return self._stage_keys(flow, inputs)
 
     # -- running -----------------------------------------------------
 
@@ -310,7 +328,7 @@ class Runner:
         pool_failures = 0  # consecutive worker-death rebuilds
 
         def new_pool() -> concurrent.futures.ProcessPoolExecutor:
-            return concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+            return self.pools.acquire(jobs)
 
         def submit(stage: Stage, count_attempt: bool = True) -> bool:
             """Dispatch one stage; False when the pool is broken."""
@@ -458,7 +476,7 @@ class Runner:
                             redispatch.append(stage)
                     running.clear()
                     deadlines.clear()
-                    kill_pool(pool)
+                    self.pools.discard(pool)
                     pool = None
                     if pool_broken:
                         metrics.pool_rebuilds += 1
@@ -485,12 +503,15 @@ class Runner:
                     for stage in redispatch:
                         submit(stage, count_attempt=False)
         except BaseException:
+            # In-flight futures may reference a failed flow; the pool
+            # cannot be trusted to drain them, so it is discarded (a
+            # warm provider rebuilds lazily on the next acquire).
             if pool is not None:
-                kill_pool(pool)
+                self.pools.discard(pool)
             raise
         else:
             if pool is not None:
-                pool.shutdown(wait=True, cancel_futures=True)
+                self.pools.release(pool)
 
 
 def format_failure(exc: BaseException) -> str:

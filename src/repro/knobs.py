@@ -21,9 +21,14 @@ __all__ = [
     "KnobError",
     "KNOWN_KNOBS",
     "env_int",
+    "env_float",
+    "env_str",
     "env_choice",
+    "env_weights",
     "coerce_int",
+    "coerce_float",
     "normalize_choice",
+    "parse_weights",
 ]
 
 
@@ -71,6 +76,42 @@ KNOWN_KNOBS: dict[str, tuple[str, str, str]] = {
         "flag", "(unset)",
         "benchmarks run reduced sweeps and skip scoreboard rewrites",
     ),
+    "REPRO_SERVE_HOST": (
+        "str", "127.0.0.1",
+        "bind address for the testability service "
+        "(python -m repro.flow serve)",
+    ),
+    "REPRO_SERVE_PORT": (
+        "int 0..65535", "8351",
+        "TCP port for the testability service (0 picks a free port)",
+    ),
+    "REPRO_SERVE_WORKERS": (
+        "int >= 1", "2",
+        "flow executions the server runs concurrently",
+    ),
+    "REPRO_SERVE_JOBS": (
+        "int >= 1", "2",
+        "worker processes in the server's warm pool (per-flow --jobs)",
+    ),
+    "REPRO_SERVE_QUEUE": (
+        "int >= 1", "64",
+        "admission control: queued executions before submissions are "
+        "rejected with 429",
+    ),
+    "REPRO_SERVE_RETRY_AFTER": (
+        "float > 0", "1.0",
+        "Retry-After hint (seconds) sent with 429 rejections",
+    ),
+    "REPRO_SERVE_WEIGHTS": (
+        "tenant=weight,...", "(unset)",
+        "weighted-fair-queueing weights per tenant (unlisted tenants "
+        "weigh 1)",
+    ),
+    "REPRO_SERVE_MEMCACHE": (
+        "int >= 0", "256",
+        "flow-cache entries the server keeps hot in memory "
+        "(0 disables the memory layer)",
+    ),
 }
 
 
@@ -113,6 +154,87 @@ def env_int(
         return default
     return coerce_int(raw.strip(), name, minimum=minimum,
                       maximum=maximum)
+
+
+def coerce_float(
+    value: object,
+    name: str,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float:
+    """Validate a float-like value; clamping mirrors :func:`coerce_int`."""
+    try:
+        result = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        example = minimum if minimum is not None else 1.0
+        raise KnobError(
+            f"{name}={value!r} is not a number; "
+            f"try e.g. {name}={example}"
+        ) from None
+    if result != result:  # NaN never compares, so clamp can't fix it
+        raise KnobError(f"{name}={value!r} is not a number")
+    if minimum is not None:
+        result = max(minimum, result)
+    if maximum is not None:
+        result = min(maximum, result)
+    return result
+
+
+def env_float(
+    name: str,
+    default: float,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float:
+    """Read a float knob from the environment, validated."""
+    raw = os.environ.get(name, "")
+    if not raw.strip():
+        return default
+    return coerce_float(raw.strip(), name, minimum=minimum,
+                        maximum=maximum)
+
+
+def env_str(name: str, default: str) -> str:
+    """Read a free-form string knob (empty/unset -> default)."""
+    raw = os.environ.get(name, "")
+    return raw.strip() or default
+
+
+def parse_weights(raw: str, name: str) -> dict[str, float]:
+    """Parse a ``tenant=weight,tenant=weight`` list into a dict.
+
+    Weights must be positive numbers; anything else raises a one-line
+    :class:`KnobError` naming the offending pair.
+    """
+    weights: dict[str, float] = {}
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        tenant, sep, value = part.partition("=")
+        tenant = tenant.strip()
+        if not sep or not tenant:
+            raise KnobError(
+                f"{name}: {part!r} is not tenant=weight; "
+                f"try e.g. {name}='alice=2,bob=1'"
+            )
+        weight = coerce_float(value.strip(), f"{name}[{tenant}]")
+        if weight <= 0:
+            raise KnobError(
+                f"{name}[{tenant}]={weight!r} must be > 0"
+            )
+        weights[tenant] = weight
+    return weights
+
+
+def env_weights(
+    name: str, default: Mapping[str, float] | None = None
+) -> dict[str, float]:
+    """Read a tenant-weight map knob from the environment, validated."""
+    raw = os.environ.get(name, "")
+    if not raw.strip():
+        return dict(default or {})
+    return parse_weights(raw, name)
 
 
 def normalize_choice(

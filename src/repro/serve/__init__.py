@@ -1,0 +1,43 @@
+"""repro.serve: long-running testability-as-a-service layer.
+
+A single warm process serving the flow engine over HTTP/JSON
+(stdlib-only): compiled netlists, levelized schedules, the flow cache,
+and a persistent worker pool stay hot across requests, while a small
+asyncio scheduler adds in-flight dedupe, admission control, and
+weighted fair queueing in front of the existing
+:class:`~repro.flow.runner.Runner`.
+
+Modules:
+
+* :mod:`repro.serve.registry`  -- warm cache + persistent pool
+* :mod:`repro.serve.scheduler` -- dedupe / admission / WFQ
+* :mod:`repro.serve.server`    -- asyncio HTTP front end
+* :mod:`repro.serve.client`    -- blocking client (tests, CI, benches)
+
+Start a server with ``python -m repro.flow serve`` (or
+``python -m repro.serve``); see ``docs/service.md``.
+"""
+
+from repro.serve.client import (  # noqa: F401
+    JobFailed,
+    QueueFull,
+    ServeClient,
+    ServeError,
+)
+from repro.serve.registry import (  # noqa: F401
+    WarmCache,
+    WarmPoolProvider,
+    WarmRegistry,
+)
+from repro.serve.scheduler import (  # noqa: F401
+    AdmissionError,
+    BadSubmissionError,
+    Scheduler,
+    UnknownFlowError,
+    flow_recipe_key,
+)
+from repro.serve.server import (  # noqa: F401
+    BackgroundServer,
+    Server,
+    serve_forever,
+)

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — alias for ``python -m repro.flow serve``."""
+
+import sys
+
+from repro.flow.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["serve", *sys.argv[1:]]))

@@ -1,0 +1,198 @@
+"""Blocking HTTP client for the testability service.
+
+Stdlib-only (:mod:`http.client`): tests, benchmarks, and CI drive the
+server through this instead of hand-rolled sockets.  One call per
+request (``Connection: close`` on the wire), so a single
+:class:`ServeClient` is safe to share across threads.
+
+Typical use::
+
+    client = ServeClient("http://127.0.0.1:8351")
+    result = client.run("table1")          # submit + wait + fetch
+    print(result["rendered"], end="")      # byte-identical to the CLI
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any
+
+
+class ServeError(RuntimeError):
+    """Any non-retryable error response from the service."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class JobFailed(ServeError):
+    """The flow execution behind a job raised."""
+
+
+class QueueFull(ServeError):
+    """429: admission control rejected the submission."""
+
+    def __init__(self, status: int, payload: Any,
+                 retry_after: float) -> None:
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Small blocking client over :mod:`http.client`."""
+
+    def __init__(self, url: str, timeout: float = 120.0) -> None:
+        parsed = urllib.parse.urlsplit(url if "//" in url
+                                       else f"http://{url}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # -- wire --------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Any = None) -> tuple[int, Any, dict[str, str]]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (json.dumps(body).encode()
+                       if body is not None else None)
+            headers = {"Content-Type": "application/json"} if payload \
+                else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            resp_headers = {k.lower(): v
+                            for k, v in response.getheaders()}
+            try:
+                decoded = json.loads(raw) if raw else None
+            except json.JSONDecodeError:
+                decoded = raw.decode(errors="replace")
+            return response.status, decoded, resp_headers
+        finally:
+            conn.close()
+
+    def _get(self, path: str) -> Any:
+        status, payload, _ = self._request("GET", path)
+        if status >= 400:
+            raise ServeError(status, payload)
+        return payload
+
+    # -- jobs --------------------------------------------------------
+
+    def submit(
+        self,
+        flow: str,
+        params: dict[str, Any] | None = None,
+        tenant: str = "default",
+        *,
+        retries: int = 0,
+    ) -> dict[str, Any]:
+        """POST /jobs; returns the job status dict (with ``id``).
+
+        ``retries`` > 0 re-submits after a 429, sleeping the server's
+        ``Retry-After`` hint between attempts; when retries run out the
+        :class:`QueueFull` propagates so callers see backpressure.
+        """
+        body = {"flow": flow, "params": params or {}, "tenant": tenant}
+        for attempt in range(retries + 1):
+            status, payload, headers = self._request(
+                "POST", "/jobs", body
+            )
+            if status == 429:
+                hint = float(headers.get("retry-after", 1.0) or 1.0)
+                if attempt < retries:
+                    time.sleep(hint)
+                    continue
+                raise QueueFull(status, payload, retry_after=hint)
+            if status >= 400:
+                raise ServeError(status, payload)
+            return payload
+        raise AssertionError("unreachable")
+
+    def status(self, job_id: str, wait: float | None = None) -> dict:
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return self._get(path)
+
+    def wait(self, job_id: str,
+             timeout: float = 300.0) -> dict[str, Any]:
+        """Long-poll until the job leaves queued/running."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still pending after {timeout}s"
+                )
+            state = self.status(job_id, wait=min(remaining, 10.0))
+            if state["state"] in ("done", "failed"):
+                return state
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        status, payload, _ = self._request(
+            "GET", f"/jobs/{job_id}/result"
+        )
+        if status == 500:
+            raise JobFailed(status, payload)
+        if status >= 400 or status == 202:
+            raise ServeError(status, payload)
+        return payload
+
+    def run(
+        self,
+        flow: str,
+        params: dict[str, Any] | None = None,
+        tenant: str = "default",
+        *,
+        timeout: float = 300.0,
+        retries: int = 8,
+    ) -> dict[str, Any]:
+        """submit + wait + result, the blocking one-call path."""
+        job = self.submit(flow, params, tenant, retries=retries)
+        state = self.wait(job["id"], timeout=timeout)
+        if state["state"] == "failed":
+            raise JobFailed(500, state.get("error", "flow failed"))
+        return self.result(job["id"])
+
+    # -- introspection ----------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self._get("/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._get("/metrics")
+
+    def knobs(self) -> dict[str, Any]:
+        return self._get("/knobs")
+
+    def flows(self) -> list[dict[str, Any]]:
+        return self._get("/flows")
+
+    def shutdown(self) -> dict[str, Any]:
+        status, payload, _ = self._request("POST", "/shutdown")
+        if status >= 400:
+            raise ServeError(status, payload)
+        return payload
+
+    def wait_until_up(self, timeout: float = 30.0) -> dict[str, Any]:
+        """Poll /healthz until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (ConnectionError, OSError, ServeError) as exc:
+                last = exc
+                time.sleep(0.05)
+        raise TimeoutError(
+            f"server at {self.host}:{self.port} not up after "
+            f"{timeout}s: {last}"
+        )

@@ -302,3 +302,80 @@ class TestSelfHealing:
         out = capsys.readouterr().out
         assert "REPRO_FAULTSIM_SHARDS" in out
         assert "REPRO_CHAOS_PLAN" in out
+
+
+class TestThreadSafety:
+    """One FlowCache instance shared by concurrent threads (the
+    service layer's usage) must never corrupt state or crash."""
+
+    @staticmethod
+    def _key(i: int) -> str:
+        import hashlib
+
+        return hashlib.sha256(f"k{i}".encode()).hexdigest()
+
+    def test_concurrent_get_put_same_keys(self, tmp_path):
+        import threading
+
+        cache = FlowCache(tmp_path / "fc")
+        errors: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for i in range(50):
+                    key = self._key(i % 8)
+                    cache.put(key, f"s{i % 8}", {"v": i % 8})
+                    got = cache.get(key)
+                    # value always matches the key it was stored under
+                    assert got is None or got == {"v": i % 8}
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        for i in range(8):
+            assert cache.get(self._key(i)) == {"v": i}
+
+    def test_concurrent_put_clear_fsck(self, tmp_path):
+        import threading
+
+        cache = FlowCache(tmp_path / "fc")
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer() -> None:
+            i = 0
+            try:
+                while not stop.is_set():
+                    cache.put(self._key(i % 4), "s", {"v": i})
+                    i += 1
+            except BaseException as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(10):
+                report = cache.fsck()
+                assert report["corrupt"] == []
+                cache.clear()
+        finally:
+            stop.set()
+            t.join(timeout=60)
+        assert errors == []
+
+    def test_lock_survives_pickling(self, tmp_path):
+        import pickle
+
+        cache = FlowCache(tmp_path / "fc")
+        cache.put(self._key(0), "s", {"v": 0})
+        clone = pickle.loads(pickle.dumps(cache))
+        # the clone has its own working lock and sees the same store
+        assert clone.get(self._key(0)) == {"v": 0}
+        clone.put(self._key(1), "s", {"v": 1})
+        assert cache.get(self._key(1)) == {"v": 1}

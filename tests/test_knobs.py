@@ -14,10 +14,14 @@ import pytest
 from repro.knobs import (
     KNOWN_KNOBS,
     KnobError,
+    coerce_float,
     coerce_int,
     env_choice,
     env_int,
+    env_str,
+    env_weights,
     normalize_choice,
+    parse_weights,
 )
 
 CHOICES = {"kernel": (), "interp": ("interpreter", "reference")}
@@ -43,6 +47,51 @@ class TestCoerceInt:
         monkeypatch.setenv("REPRO_TEST_K", "seven")
         with pytest.raises(KnobError, match="REPRO_TEST_K"):
             env_int("REPRO_TEST_K", 3)
+
+
+class TestCoerceFloat:
+    def test_parses_and_clamps(self):
+        assert coerce_float("1.5", "K") == 1.5
+        assert coerce_float("0.0", "K", minimum=0.5) == 0.5
+        assert coerce_float(9.0, "K", maximum=2.0) == 2.0
+
+    def test_rejects_garbage_and_nan(self):
+        with pytest.raises(KnobError, match="K='soon'"):
+            coerce_float("soon", "K")
+        with pytest.raises(KnobError, match="K='nan'"):
+            coerce_float("nan", "K")
+
+
+class TestServeKnobs:
+    def test_env_str(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_S", raising=False)
+        assert env_str("REPRO_TEST_S", "dflt") == "dflt"
+        monkeypatch.setenv("REPRO_TEST_S", "  x ")
+        assert env_str("REPRO_TEST_S", "dflt") == "x"
+        monkeypatch.setenv("REPRO_TEST_S", "")
+        assert env_str("REPRO_TEST_S", "dflt") == "dflt"
+
+    def test_parse_weights(self):
+        assert parse_weights("a=2,b=1.5", "W") == {"a": 2.0, "b": 1.5}
+        assert parse_weights(" ", "W") == {}
+        with pytest.raises(KnobError, match="W"):
+            parse_weights("a=0", "W")  # weights must be positive
+        with pytest.raises(KnobError, match="W"):
+            parse_weights("justaname", "W")
+
+    def test_env_weights(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_WEIGHTS", raising=False)
+        assert env_weights("REPRO_SERVE_WEIGHTS") == {}
+        monkeypatch.setenv("REPRO_SERVE_WEIGHTS", "ci=2,dev=1")
+        assert env_weights("REPRO_SERVE_WEIGHTS") == \
+            {"ci": 2.0, "dev": 1.0}
+
+    def test_serve_knobs_registered(self):
+        for name in ("REPRO_SERVE_HOST", "REPRO_SERVE_PORT",
+                     "REPRO_SERVE_WORKERS", "REPRO_SERVE_JOBS",
+                     "REPRO_SERVE_QUEUE", "REPRO_SERVE_RETRY_AFTER",
+                     "REPRO_SERVE_WEIGHTS", "REPRO_SERVE_MEMCACHE"):
+            assert name in KNOWN_KNOBS, name
 
 
 class TestChoices:

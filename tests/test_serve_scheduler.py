@@ -1,0 +1,398 @@
+"""Scheduler semantics: in-flight dedupe, fair queueing, admission.
+
+No HTTP here -- these drive :class:`repro.serve.scheduler.Scheduler`
+directly on an asyncio loop (via ``asyncio.run`` wrappers; the
+environment has no pytest-asyncio).  Flow execution is gated on marker
+files so tests control exactly when the engine is busy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.flow import Flow
+from repro.serve.scheduler import (
+    AdmissionError,
+    BadSubmissionError,
+    Scheduler,
+    UnknownFlowError,
+    flow_recipe_key,
+)
+
+
+# -- gated stage functions (module-level: picklable / fingerprintable) ----
+
+def gated_count(gate: str, counter: str, salt: int = 0):
+    """Record one execution, then block until the gate file appears."""
+    path = Path(counter)
+    n = int(path.read_text()) if path.exists() else 0
+    path.write_text(str(n + 1))
+    deadline = time.monotonic() + 30.0
+    while not Path(gate).exists():
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"gate {gate} never opened")
+        time.sleep(0.005)
+    return n + 1
+
+
+def gated_flow(gate: str, counter: str, salt: int = 0) -> Flow:
+    f = Flow("gated")
+    f.stage("work", gated_count, outputs=("out",),
+            params={"gate": gate, "counter": counter, "salt": salt})
+    return f
+
+
+FLOWS = {"gated": gated_flow}
+
+
+def executions(counter: Path) -> int:
+    return int(counter.read_text()) if counter.exists() else 0
+
+
+async def drain(jobs, timeout=60.0):
+    await asyncio.wait_for(
+        asyncio.gather(*(j.execution.done.wait() for j in jobs)),
+        timeout,
+    )
+
+
+def make_scheduler(**kwargs) -> Scheduler:
+    kwargs.setdefault("flows", FLOWS)
+    kwargs.setdefault("jobs", 1)  # serial runs: no pool in unit tests
+    return Scheduler(**kwargs)
+
+
+# -- recipe keys -----------------------------------------------------------
+
+class TestRecipeKey:
+    def test_identical_flows_share_a_key(self, tmp_path):
+        from repro.flow.runner import Runner
+
+        a = gated_flow(str(tmp_path / "g"), str(tmp_path / "c"))
+        b = gated_flow(str(tmp_path / "g"), str(tmp_path / "c"))
+        ka = flow_recipe_key(a, Runner().stage_keys(a))
+        kb = flow_recipe_key(b, Runner().stage_keys(b))
+        assert ka == kb
+
+    def test_param_change_changes_the_key(self, tmp_path):
+        from repro.flow.runner import Runner
+
+        a = gated_flow(str(tmp_path / "g"), str(tmp_path / "c"), salt=1)
+        b = gated_flow(str(tmp_path / "g"), str(tmp_path / "c"), salt=2)
+        assert flow_recipe_key(a, Runner().stage_keys(a)) != \
+            flow_recipe_key(b, Runner().stage_keys(b))
+
+
+# -- in-flight dedupe ------------------------------------------------------
+
+class TestDedupe:
+    def test_64_identical_submissions_execute_once(self, tmp_path):
+        gate = tmp_path / "gate"
+        counter = tmp_path / "counter"
+
+        async def main():
+            sched = make_scheduler(workers=2, queue_limit=128)
+            await sched.start()
+            try:
+                params = {"gate": str(gate), "counter": str(counter)}
+                jobs = [await sched.submit("gated", params, "t")
+                        for _ in range(64)]
+                # Everyone arrived while the first execution (or the
+                # queue) holds the key: exactly one distinct execution.
+                assert len({j.execution.key for j in jobs}) == 1
+                gate.write_text("go")
+                await drain(jobs)
+                return jobs, sched
+            finally:
+                gate.write_text("go")  # never leave a run thread gated
+                await sched.close()
+
+        jobs, sched = asyncio.run(main())
+        assert executions(counter) == 1  # the engine ran ONCE
+        assert sched.counters.submitted == 64
+        assert sched.counters.runs == 1
+        assert sched.counters.deduped == 63
+        assert [j.deduped for j in jobs].count(False) == 1
+        # every job sees the same completed execution and result
+        results = {id(j.execution.result) for j in jobs}
+        assert len(results) == 1
+        assert jobs[0].execution.state == "done"
+        assert jobs[0].execution.result["artifacts"]["out"] == 1
+        assert len(jobs[0].execution.job_ids) == 64
+
+    def test_distinct_params_do_not_dedupe(self, tmp_path):
+        gate = tmp_path / "gate"
+        gate.write_text("open")  # nothing blocks
+
+        async def main():
+            sched = make_scheduler(workers=1, queue_limit=16)
+            await sched.start()
+            try:
+                jobs = []
+                for salt in (1, 2):
+                    jobs.append(await sched.submit("gated", {
+                        "gate": str(gate),
+                        "counter": str(tmp_path / f"c{salt}"),
+                        "salt": salt,
+                    }))
+                await drain(jobs)
+                return sched
+            finally:
+                await sched.close()
+
+        sched = asyncio.run(main())
+        assert sched.counters.runs == 2
+        assert sched.counters.deduped == 0
+
+    def test_completed_key_is_no_longer_inflight(self, tmp_path):
+        gate = tmp_path / "gate"
+        gate.write_text("open")
+        counter = tmp_path / "counter"
+        params = {"gate": str(gate), "counter": str(counter)}
+
+        async def main():
+            sched = make_scheduler(workers=1)
+            await sched.start()
+            try:
+                first = await sched.submit("gated", params)
+                await drain([first])
+                assert sched.inflight == {}
+                second = await sched.submit("gated", params)
+                assert second.deduped is False
+                await drain([second])
+                return sched
+            finally:
+                await sched.close()
+
+        sched = asyncio.run(main())
+        # no shared cache configured here, so the engine really reran
+        assert sched.counters.runs == 2
+        assert executions(counter) == 2
+
+
+# -- weighted fair queueing ------------------------------------------------
+
+class TestFairQueueing:
+    def _submit_burst(self, sched, tmp_path, gate, tenant, count):
+        async def one(i):
+            return await sched.submit("gated", {
+                "gate": str(gate),
+                "counter": str(tmp_path / f"{tenant}{i}"),
+                "salt": i,
+            }, tenant)
+        return one
+
+    def test_two_tenants_interleave_starvation_free(self, tmp_path):
+        blocker_gate = tmp_path / "bg"
+        open_gate = tmp_path / "og"
+        open_gate.write_text("open")
+
+        async def main():
+            sched = make_scheduler(workers=1, queue_limit=64)
+            await sched.start()
+            try:
+                blocker = await sched.submit("gated", {
+                    "gate": str(blocker_gate),
+                    "counter": str(tmp_path / "blk"),
+                }, "zz-blocker")
+                while blocker.execution.state != "running":
+                    await asyncio.sleep(0.005)
+                # tenant a floods first; b arrives second
+                jobs, label = [], {}
+                for tenant in ("a", "b"):
+                    for i in range(4):
+                        job = await sched.submit("gated", {
+                            "gate": str(open_gate),
+                            "counter": str(tmp_path / f"{tenant}{i}"),
+                            "salt": i,
+                        }, tenant)
+                        label[job.execution.key] = f"{tenant}{i}"
+                        jobs.append(job)
+                blocker_gate.write_text("go")
+                await drain([blocker, *jobs])
+                order = [label[k] for k in sched.dispatch_log
+                         if k in label]
+                return order
+            finally:
+                blocker_gate.write_text("go")
+                await sched.close()
+
+        order = asyncio.run(main())
+        # equal weights: strict alternation, b never waits behind a's
+        # whole backlog even though a submitted its burst first
+        assert order == ["a0", "b0", "a1", "b1",
+                         "a2", "b2", "a3", "b3"]
+
+    def test_weights_skew_dispatch_share(self, tmp_path):
+        blocker_gate = tmp_path / "bg"
+        open_gate = tmp_path / "og"
+        open_gate.write_text("open")
+
+        async def main():
+            sched = make_scheduler(
+                workers=1, queue_limit=64,
+                weights={"heavy": 2.0, "light": 1.0},
+            )
+            await sched.start()
+            try:
+                blocker = await sched.submit("gated", {
+                    "gate": str(blocker_gate),
+                    "counter": str(tmp_path / "blk"),
+                }, "zz-blocker")
+                while blocker.execution.state != "running":
+                    await asyncio.sleep(0.005)
+                jobs, label = [], {}
+                for tenant, count in (("heavy", 4), ("light", 2)):
+                    for i in range(count):
+                        job = await sched.submit("gated", {
+                            "gate": str(open_gate),
+                            "counter": str(tmp_path / f"{tenant}{i}"),
+                            "salt": i,
+                        }, tenant)
+                        label[job.execution.key] = tenant
+                        jobs.append(job)
+                blocker_gate.write_text("go")
+                await drain([blocker, *jobs])
+                return [label[k] for k in sched.dispatch_log
+                        if k in label]
+            finally:
+                blocker_gate.write_text("go")
+                await sched.close()
+
+        order = asyncio.run(main())
+        # weight 2 tenant gets ~2 dispatches per 1 of weight 1
+        assert order.count("heavy") == 4 and order.count("light") == 2
+        assert order[:3].count("heavy") == 2
+        assert order[:3].count("light") == 1
+
+    def test_unknown_tenant_defaults_to_weight_one(self, tmp_path):
+        sched = make_scheduler(weights={"vip": 4.0})
+        gate = tmp_path / "g"
+        gate.write_text("open")  # runs finish instantly
+
+        async def main():
+            await sched.start()
+            try:
+                job = await sched.submit("gated", {
+                    "gate": str(gate), "counter": str(tmp_path / "c"),
+                }, "stranger")
+                assert job.execution.vft == pytest.approx(1.0)
+            finally:
+                await sched.close()
+
+        asyncio.run(main())
+
+
+# -- admission control -----------------------------------------------------
+
+class TestAdmission:
+    def test_queue_limit_rejects_with_retry_after(self, tmp_path):
+        blocker_gate = tmp_path / "bg"
+        open_gate = tmp_path / "og"
+        open_gate.write_text("open")
+
+        async def main():
+            sched = make_scheduler(
+                workers=1, queue_limit=3, retry_after=2.5,
+            )
+            await sched.start()
+            try:
+                blocker = await sched.submit("gated", {
+                    "gate": str(blocker_gate),
+                    "counter": str(tmp_path / "blk"),
+                })
+                while blocker.execution.state != "running":
+                    await asyncio.sleep(0.005)
+                queued = []
+                for i in range(3):  # fills the queue exactly
+                    queued.append(await sched.submit("gated", {
+                        "gate": str(open_gate),
+                        "counter": str(tmp_path / f"c{i}"),
+                        "salt": i,
+                    }))
+                assert sched.queued_executions() == 3
+                with pytest.raises(AdmissionError) as err:
+                    await sched.submit("gated", {
+                        "gate": str(open_gate),
+                        "counter": str(tmp_path / "c99"),
+                        "salt": 99,
+                    })
+                assert err.value.retry_after == 2.5
+                assert sched.counters.rejected == 1
+
+                # dedupe attach against a QUEUED execution is always
+                # admitted: it adds no work to the full queue
+                attach = await sched.submit("gated", {
+                    "gate": str(open_gate),
+                    "counter": str(tmp_path / "c0"),
+                    "salt": 0,
+                })
+                assert attach.deduped is True
+                assert sched.queued_executions() == 3
+
+                # draining makes room again
+                blocker_gate.write_text("go")
+                await drain([blocker, attach, *queued])
+                late = await sched.submit("gated", {
+                    "gate": str(open_gate),
+                    "counter": str(tmp_path / "c99"),
+                    "salt": 99,
+                })
+                await drain([late])
+                assert late.execution.state == "done"
+                return sched
+            finally:
+                blocker_gate.write_text("go")
+                await sched.close()
+
+        sched = asyncio.run(main())
+        # blocker + 3 queued + late; the dedupe attach added no run
+        assert sched.counters.completed == 5
+        assert sched.counters.failed == 0
+
+
+# -- malformed submissions -------------------------------------------------
+
+class TestSubmissionErrors:
+    def test_unknown_flow(self):
+        async def main():
+            sched = make_scheduler()
+            await sched.start()
+            try:
+                with pytest.raises(UnknownFlowError, match="gated"):
+                    await sched.submit("nope", {})
+            finally:
+                await sched.close()
+
+        asyncio.run(main())
+
+    def test_bad_params(self):
+        async def main():
+            sched = make_scheduler()
+            await sched.start()
+            try:
+                with pytest.raises(BadSubmissionError,
+                                   match="unexpected keyword"):
+                    await sched.submit("gated", {"bogus": 1})
+            finally:
+                await sched.close()
+
+        asyncio.run(main())
+
+    def test_rejected_submission_counts_nothing_inflight(self):
+        async def main():
+            sched = make_scheduler()
+            await sched.start()
+            try:
+                with pytest.raises(UnknownFlowError):
+                    await sched.submit("nope", {})
+                assert sched.inflight == {}
+                assert sched.queued_executions() == 0
+            finally:
+                await sched.close()
+
+        asyncio.run(main())
