@@ -30,6 +30,13 @@ def record_metric(name: str, value: Any) -> None:
         _ACTIVE[-1][name] = value
 
 
+def metrics_active() -> bool:
+    """True while a stage collector is open -- lets library code skip
+    metric computations (e.g. pickling shard args to size them) that
+    nobody would see."""
+    return bool(_ACTIVE)
+
+
 class _Collector:
     """Context manager the runner wraps around each stage call."""
 
@@ -53,7 +60,9 @@ class StageMetric:
     seconds: float = 0.0
     attempts: int = 0
     cached: bool = False      # result came from / was written to cache
-    artifact_bytes: int = 0   # pickled size of outputs (0 if unknown)
+    artifact_bytes: int = 0   # pickled size of outputs (cache entry
+    #                           size when cached, measured directly for
+    #                           uncached stages)
     key: str = ""
     error: str = ""
     custom: dict[str, Any] = field(default_factory=dict)

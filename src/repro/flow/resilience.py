@@ -28,9 +28,24 @@ from __future__ import annotations
 
 import concurrent.futures
 import hashlib
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
+
+# Start the multiprocessing resource tracker *now*, before any worker
+# pool forks.  Forked workers then share the parent's tracker process,
+# so a worker's attach-time shared-memory registrations collapse into
+# the parent's create-time entry (the tracker cache is a set) instead
+# of landing in a private tracker that warns about "leaked" segments
+# the parent already unlinked.  Forked children skip this (module
+# import is a no-op after fork); spawn children inherit the tracker fd.
+try:
+    from multiprocessing import resource_tracker as _resource_tracker
+
+    _resource_tracker.ensure_running()
+except Exception:  # pragma: no cover - tracker-less platforms
+    pass
 
 #: consecutive pool failures before the flow runner abandons process
 #: pools and finishes the remaining stages serially.
@@ -129,13 +144,40 @@ class PoolProvider:
         pool.shutdown(wait=True, cancel_futures=True)
 
 
+#: process-global shard-pool provider (see :func:`set_shard_pool_provider`).
+_SHARD_POOLS: PoolProvider | None = None
+
+
+def set_shard_pool_provider(pools: PoolProvider | None) -> None:
+    """Install a default :class:`PoolProvider` for :func:`run_sharded`.
+
+    Long-running callers (the serve layer) point this at their warm
+    pool so every kernel shard dispatch in the main process reuses
+    persistent workers -- which is what makes the per-worker compiled
+    caches pay off across jobs.  ``None`` restores the default
+    (one fresh pool per sharded call).
+    """
+    global _SHARD_POOLS
+    _SHARD_POOLS = pools
+
+
+def _default_shard_pools() -> PoolProvider | None:
+    # A forked worker inherits the module global, but the executor it
+    # wraps belongs to the parent and is unusable here; nested shard
+    # dispatch inside a pool worker builds its own pools as before.
+    if multiprocessing.parent_process() is not None:
+        return None
+    return _SHARD_POOLS
+
+
 def run_sharded(
     worker: Callable[[Any], Any],
     args_list: Sequence[Any],
     max_workers: int | None = None,
     retries: int = 1,
     timeout: float | None = None,
-) -> tuple[list[Any], dict[str, int]]:
+    pools: PoolProvider | None = None,
+) -> tuple[list[Any], dict[str, Any]]:
     """Run ``worker(args)`` per element across a process pool, resiliently.
 
     Results come back positionally (``results[i]`` for ``args_list[i]``)
@@ -147,35 +189,73 @@ def run_sharded(
     timed-out pool is killed (no orphaned workers) and rebuilt for the
     remaining shards.
 
+    ``pools`` supplies the executors (default: the provider installed
+    via :func:`set_shard_pool_provider`, else a fresh pool per call).
+    A warm provider's pool is released, never shut down, so workers --
+    and their per-process compiled caches -- survive across calls.
+
     Returns ``(results, info)`` where ``info`` counts ``shard_retries``
     (extra pool submissions), ``shard_fallbacks`` (shards finished
-    in-process), and ``pool_rebuilds``.
+    in-process), ``pool_rebuilds``, and ``shard_errors`` (worker
+    exceptions observed), with ``shard_error_detail`` mapping shard
+    index -> ``(count, last exception repr)``.  A shard that exhausts
+    its retries re-raises from the in-process run with the prior worker
+    failures attached as a note, instead of silently masking them.
     """
     n = len(args_list)
     results: list[Any] = [None] * n
     attempts = [0] * n
-    info = {"shard_retries": 0, "shard_fallbacks": 0, "pool_rebuilds": 0}
+    info: dict[str, Any] = {
+        "shard_retries": 0, "shard_fallbacks": 0, "pool_rebuilds": 0,
+        "shard_errors": 0, "shard_error_detail": {},
+    }
+    detail: dict[int, tuple[int, str]] = info["shard_error_detail"]
+
+    def note_error(i: int, exc: BaseException) -> None:
+        count = detail.get(i, (0, ""))[0] + 1
+        detail[i] = (count, repr(exc))
+        info["shard_errors"] += 1
+
     pending = list(range(n))
     if max_workers is None:
         max_workers = n
+    provider = pools if pools is not None else _default_shard_pools()
     pool: ProcessPoolExecutor | None = None
     pool_usable = True
+
+    def drop_pool(p: ProcessPoolExecutor) -> None:
+        if provider is not None:
+            provider.discard(p)
+        else:
+            kill_pool(p)
+
     try:
         while pending:
             # Shards out of pool budget run in-process, in order.
             exhausted = [i for i in pending
                          if attempts[i] > retries or not pool_usable]
             for i in exhausted:
-                results[i] = worker(args_list[i])
+                try:
+                    results[i] = worker(args_list[i])
+                except Exception as exc:
+                    prior = detail.get(i)
+                    if prior is not None and hasattr(exc, "add_note"):
+                        exc.add_note(
+                            f"shard {i} also failed {prior[0]}x in "
+                            f"worker processes; last: {prior[1]}"
+                        )
+                    raise
                 info["shard_fallbacks"] += 1
             pending = [i for i in pending if i not in exhausted]
             if not pending:
                 break
             if pool is None:
+                want = min(max_workers, len(pending))
                 try:
-                    pool = ProcessPoolExecutor(
-                        max_workers=min(max_workers, len(pending))
-                    )
+                    if provider is not None:
+                        pool = provider.acquire(want)
+                    else:
+                        pool = ProcessPoolExecutor(max_workers=want)
                 except (OSError, PermissionError):
                     # No pools in this environment at all.
                     pool_usable = False
@@ -206,8 +286,11 @@ def run_sharded(
                         results[i] = fut.result()
                     except concurrent.futures.BrokenExecutor:
                         broken = True
-                    except Exception:
-                        pass  # stays pending; retried or run in-process
+                    except Exception as exc:
+                        # Stays pending; retried or run in-process --
+                        # but never silently: the error is counted and
+                        # surfaced if the in-process run fails too.
+                        note_error(i, exc)
                     else:
                         pending.remove(i)
                 if (deadline is not None and waiting
@@ -216,10 +299,13 @@ def run_sharded(
                     # them, so the whole pool is recycled.
                     broken = True
             if broken or (pool is not None and getattr(pool, "_broken", False)):
-                kill_pool(pool)
+                drop_pool(pool)
                 pool = None
                 info["pool_rebuilds"] += 1
     finally:
         if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+            if provider is not None:
+                provider.release(pool)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
     return results, info

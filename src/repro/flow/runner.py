@@ -245,6 +245,18 @@ class Runner:
             if size >= 0:
                 metric.cached = True
                 metric.artifact_bytes = size
+                return
+        # Uncached stages still report their artifact size (the cache
+        # entry's pickled size is exactly what this measures when the
+        # stage is cacheable, so the metric means one thing everywhere).
+        try:
+            import pickle
+
+            metric.artifact_bytes = len(
+                pickle.dumps(outs, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        except Exception:
+            pass  # unpicklable artifacts stay at 0
 
     def _degrade(self, stage: Stage, reason: str,
                  artifacts: dict[str, Any], metric: StageMetric,

@@ -63,6 +63,7 @@ class Netlist:
         self._gates: dict[str, Gate] = {}
         self.outputs: list[str] = []
         self._version = 0
+        self._pickles = 0
         self._topo_cache: list[str] | None = None
         self._levels_cache: dict[str, int] | None = None
         self._consumers_cache: dict[str, list[str]] | None = None
@@ -99,7 +100,12 @@ class Netlist:
     def __getstate__(self) -> dict:
         # Derived caches are cheap to rebuild and would bloat pickles
         # (flow-cache artifacts, process-pool shards); drop them.
+        # ``_pickles`` counts serialisations of this instance -- the
+        # dispatch-cost regression tests assert a sharded run ships the
+        # netlist at most once -- and copies start their own count.
+        self._pickles += 1
         state = self.__dict__.copy()
+        state["_pickles"] = 0
         state["_topo_cache"] = None
         state["_levels_cache"] = None
         state["_consumers_cache"] = None
@@ -109,6 +115,7 @@ class Netlist:
         self.__dict__.update(state)
         # Pickles from before the cache fields existed.
         self.__dict__.setdefault("_version", 0)
+        self.__dict__.setdefault("_pickles", 0)
         self.__dict__.setdefault("_topo_cache", None)
         self.__dict__.setdefault("_levels_cache", None)
         self.__dict__.setdefault("_consumers_cache", None)

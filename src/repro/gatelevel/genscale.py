@@ -1,0 +1,173 @@
+"""Seeded synthetic netlists at 10k-100k gates for scale proofs.
+
+The HLS front end in this repository produces datapaths of a few
+hundred gates -- fine for equivalence tests, useless for measuring
+shard dispatch cost.  This module grows reproducible gate-level designs
+of arbitrary size: layered random combinational clouds over a bank of
+D flip-flops (with feedback, so the sequential state actually evolves),
+every dangling net mopped up into XOR observation trees, and optionally
+a ``bist_en``-gated MISR (``sr0``) so the same design runs through the
+BIST attribution path via :func:`bist_wrap`.
+
+Everything is driven by one ``random.Random(seed)`` -- same
+``(n_gates, seed, ...)`` arguments, same netlist, on any platform.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.gatelevel.faults import Fault, all_faults
+from repro.gatelevel.gates import COMBINATIONAL_KINDS, Netlist
+
+#: weighted kind pool for the combinational cloud; inverting kinds
+#: dominate so the all-zero reset state does not freeze the machine.
+_KIND_POOL = (
+    "and", "or", "xor", "xor",
+    "nand", "nand", "nor", "xnor",
+    "not",
+)
+
+#: how far back the fanin bias window reaches -- keeps logic depth
+#: growing (local structure) while global picks keep the cone wide.
+_WINDOW = 24
+
+
+def generate_netlist(
+    n_gates: int,
+    seed: int = 0,
+    n_inputs: int | None = None,
+    dff_ratio: float = 0.12,
+    scan: bool = True,
+    signature_bits: int = 0,
+    name: str | None = None,
+) -> Netlist:
+    """A reproducible random sequential netlist of ``~n_gates`` gates.
+
+    ``dff_ratio`` of the budget becomes scannable flip-flops whose
+    names are forward-declared into the fanin pool (feedback loops
+    through state, never through combinational logic, so the graph
+    stays topologically sortable).  ``signature_bits > 0`` additionally
+    builds a ``bist_en``-gated MISR register ``sr0`` fed from random
+    taps -- the shape :func:`bist_wrap` turns into a
+    :class:`~repro.gatelevel.bist_session.BISTHardware`.
+    """
+    if n_gates < 8:
+        raise ValueError(f"n_gates must be >= 8, got {n_gates}")
+    rng = random.Random(seed)
+    if n_inputs is None:
+        n_inputs = min(256, max(8, n_gates // 64))
+    n_dffs = max(1, round(n_gates * dff_ratio))
+    n_comb = max(4, n_gates - n_dffs - 3 * signature_bits)
+    nl = Netlist(name or f"genscale_s{seed}_g{n_gates}")
+
+    inputs = [nl.add(f"i{k}", "input") for k in range(n_inputs)]
+    dff_names = [f"d{k}" for k in range(n_dffs)]
+    pool = inputs + dff_names
+    comb: list[str] = []
+    for k in range(n_comb):
+        kind = rng.choice(_KIND_POOL)
+        arity = 1 if kind == "not" else 2
+        picks = []
+        for _ in range(arity):
+            if comb and rng.random() < 0.7:
+                picks.append(comb[rng.randrange(
+                    max(0, len(comb) - _WINDOW), len(comb))])
+            else:
+                picks.append(pool[rng.randrange(len(pool))])
+        comb.append(nl.add(f"g{k}", kind, *picks))
+        if k % 8 == 0:
+            pool.append(comb[-1])
+
+    # State bank last: the cloud already references the forward-declared
+    # names, closing sequential feedback loops.
+    for d in dff_names:
+        nl.add(d, "dff", comb[rng.randrange(len(comb))], scan=scan)
+
+    if signature_bits:
+        nl.add("bist_en", "input")
+        for i in range(signature_bits):
+            tap = comb[rng.randrange(len(comb))]
+            gated = nl.add(f"sr0_t{i}", "and", "bist_en", tap)
+            prev = f"sr0_b{(i - 1) % signature_bits}"
+            nl.add(f"sr0_x{i}", "xor", prev, gated)
+        for i in range(signature_bits):
+            nl.add(f"sr0_b{i}", "dff", f"sr0_x{i}", scan=False)
+
+    _mop_up(nl)
+    return nl
+
+
+def _mop_up(nl: Netlist) -> None:
+    """XOR-reduce every unread combinational net into observed outputs.
+
+    Random clouds leave plenty of dangling drivers; folding them into a
+    handful of XOR trees keeps :meth:`Netlist.validate` happy and --
+    more importantly -- makes every gate's fault cone reach a primary
+    output, so fault simulation at scale is not measuring dead logic.
+    """
+    consumed = {src for g in nl for src in g.inputs}
+    pend = [
+        g.name for g in nl
+        if g.kind in COMBINATIONAL_KINDS and g.name not in consumed
+    ]
+    j = 0
+    while len(pend) > 8:
+        nxt = []
+        for a, b in zip(pend[0::2], pend[1::2]):
+            nxt.append(nl.add(f"m{j}", "xor", a, b))
+            j += 1
+        if len(pend) % 2:
+            nxt.append(pend[-1])
+        pend = nxt
+    for net in pend:
+        nl.add_output(net)
+
+
+def random_patterns(
+    netlist: Netlist,
+    cycles: int,
+    seed: int = 0,
+    width: int = 64,
+) -> list[dict[str, int]]:
+    """``cycles`` packed PI assignments (``width`` patterns per bit)."""
+    rng = random.Random(seed)
+    pis = list(netlist.inputs())
+    return [
+        {pi: rng.getrandbits(width) for pi in pis}
+        for _ in range(cycles)
+    ]
+
+
+def sample_faults(
+    netlist: Netlist, n: int, seed: int = 0
+) -> list[Fault]:
+    """A deterministic ``n``-fault sample of the full fault universe."""
+    universe = all_faults(netlist)
+    if n >= len(universe):
+        return list(universe)
+    return random.Random(seed).sample(universe, n)
+
+
+def bist_wrap(netlist: Netlist):
+    """Wrap a ``signature_bits > 0`` genscale netlist as BIST hardware.
+
+    The control record is minimal -- one ``bist_en`` enable, no mux
+    selects, no module environments -- so attribution must be run with
+    an explicit single session (``sessions=[["u0"]]``): everything the
+    MISR taps is 'the unit under test'.
+    """
+    from repro.gatelevel.bist_session import BISTHardware
+
+    if not any(g.name == "sr0_b0" for g in netlist.dffs()):
+        raise ValueError(
+            "netlist has no sr0 MISR; generate with signature_bits > 0"
+        )
+    return BISTHardware(
+        netlist=netlist,
+        control={"bist_en": "bist_en", "reg_sel": {}, "port_sel": {}},
+        role_map={"sr0": "SR"},
+        envs=(),
+        datapath_name=netlist.name,
+    )

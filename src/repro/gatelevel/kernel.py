@@ -39,6 +39,9 @@ The kernel degrades gracefully: when numpy is unavailable,
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+from collections import OrderedDict
 from typing import Mapping, Sequence
 from weakref import WeakKeyDictionary
 
@@ -246,6 +249,20 @@ class CompiledNetlist:
             if v:
                 m[k] = self.words_from_int(v, width)
         return m
+
+    def pack_pi_sequence(self, pi_sequence, width: int):
+        """``pi_sequence`` packed as one ``(cycles, inputs, n_words)``
+        ``uint64`` array -- the shard-dispatch payload format.  Row *c*
+        is exactly ``self._pi_matrix(pi_sequence[c], width)``, so a
+        simulation fed the packed form is bit-identical to one packing
+        per cycle."""
+        nw = _n_words(width)
+        if not pi_sequence:
+            return _np.zeros((0, len(self.input_names), nw),
+                             dtype=_np.uint64)
+        return _np.stack(
+            [self._pi_matrix(piv, width) for piv in pi_sequence]
+        )
 
     def _state_matrix(self, state: Mapping[str, int] | None, width: int):
         m = _np.zeros((len(self.dff_names), _n_words(width)),
@@ -826,10 +843,11 @@ class CompiledNetlist:
     def fault_simulate_cycles(
         self,
         faults: Sequence[Fault],
-        pi_sequence: Sequence[Mapping[str, int]],
+        pi_sequence: Sequence[Mapping[str, int]] | None,
         width: int = 64,
         initial_state: Mapping[str, int] | None = None,
         drop_detected: bool = False,
+        pi_words=None,
     ) -> dict[Fault, int | None]:
         """Array-native fault-batched PPSFP; bit-identical to the
         interpreter's :func:`repro.gatelevel.fault_sim.fault_simulate_cycles`.
@@ -839,15 +857,24 @@ class CompiledNetlist:
         non-dropping interpreter computes per fault (it breaks at first
         detection) -- so the flag changes nothing here and is accepted
         for signature parity.
+
+        ``pi_words`` optionally supplies the patterns pre-packed as a
+        ``(cycles, inputs, n_words)`` array (see
+        :meth:`pack_pi_sequence`); shard workers pass a zero-copy
+        shared-memory view here, skipping per-worker re-packing.
         """
         mask = self._mask_words(width)
         nw = _n_words(width)
         known = [f for f in faults if f.net in self.index]
         detected: dict[Fault, int | None] = {f: None for f in faults}
         self._pattern_cycles = 0  # bookkeeping for patterns/sec metrics
-        if not known or not pi_sequence:
+        if pi_words is not None:
+            pw_seq = list(pi_words)
+        else:
+            pw_seq = [self._pi_matrix(piv, width)
+                      for piv in (pi_sequence or ())]
+        if not known or not pw_seq:
             return detected
-        pw_seq = [self._pi_matrix(piv, width) for piv in pi_sequence]
         init = self._state_matrix(initial_state, width)
         # Sorting by site keeps each batch's union-of-cones tight.
         by_site = sorted(
@@ -900,6 +927,95 @@ def compiled(netlist: Netlist) -> CompiledNetlist:
     comp = CompiledNetlist(netlist)
     _COMPILED[netlist] = (sig, comp)
     return comp
+
+
+# ---------------------------------------------------------------------------
+# content-hash netlist cache (warm-worker compiled-program reuse)
+
+#: per-instance (version, outputs) -> (digest, blob) memo, so repeated
+#: sharded dispatches of one netlist hash and pickle it exactly once.
+_CONTENT_MEMO: "WeakKeyDictionary[Netlist, tuple]" = WeakKeyDictionary()
+
+#: per-process content-hash -> Netlist registry.  Holding the netlist
+#: object alive keeps its :data:`_COMPILED` entry (a WeakKeyDictionary)
+#: alive too, so a warm worker that has seen a design serves every later
+#: shard/job from the cached :class:`CompiledNetlist` without ever
+#: re-running levelization -- and, under the shm transport, without even
+#: unpickling the body again.
+_BY_HASH: "OrderedDict[str, Netlist]" = OrderedDict()
+_HASH_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def netlist_blob(netlist: Netlist) -> tuple[str, bytes]:
+    """``(content digest, pickled body)`` for ``netlist``, memoised.
+
+    The digest follows the recipe-hash discipline of
+    :mod:`repro.flow.cache`: a sha256 over a canonical rendering of the
+    gate graph (name, kind, fanins, scan flag, in insertion order) plus
+    the output list -- equal-content netlists hash equal across
+    processes, unlike ``id``- or pickle-byte-based keys.  The memo is
+    invalidated by the netlist's mutation counter and output list.
+    """
+    sig = (netlist.version, tuple(netlist.outputs))
+    hit = _CONTENT_MEMO.get(netlist)
+    if hit is not None and hit[0] == sig:
+        return hit[1], hit[2]
+    h = hashlib.sha256()
+    h.update(netlist.name.encode())
+    for g in netlist:
+        h.update(
+            f"\n{g.name}|{g.kind}|{','.join(g.inputs)}|{int(g.scan)}"
+            .encode()
+        )
+    h.update(("\nouts:" + ",".join(netlist.outputs)).encode())
+    digest = h.hexdigest()
+    blob = pickle.dumps(netlist, protocol=pickle.HIGHEST_PROTOCOL)
+    _CONTENT_MEMO[netlist] = (sig, digest, blob)
+    return digest, blob
+
+
+def netlist_hash(netlist: Netlist) -> str:
+    """The content digest alone (see :func:`netlist_blob`)."""
+    return netlist_blob(netlist)[0]
+
+
+def resolve_netlist(digest: str, payload) -> Netlist:
+    """The process-local netlist for ``digest``, decoding at most once.
+
+    ``payload`` supplies the body on a cache miss: a :class:`Netlist`
+    (classic pickle transport -- it already crossed the pipe), raw
+    pickled ``bytes``, or a zero-argument callable returning either
+    (the shm transport's lazy fetch, so a warm worker never touches the
+    segment on a hit).  The registry is a bounded LRU
+    (``REPRO_WORKER_CACHE_SIZE``).
+    """
+    hit = _BY_HASH.get(digest)
+    if hit is not None:
+        _BY_HASH.move_to_end(digest)
+        _HASH_STATS["hits"] += 1
+        return hit
+    _HASH_STATS["misses"] += 1
+    if callable(payload):
+        payload = payload()
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        payload = pickle.loads(payload)
+    if not isinstance(payload, Netlist):
+        raise NetlistError(
+            f"no cached netlist for {digest[:12]} and no body provided"
+        )
+    _BY_HASH[digest] = payload
+    from repro.flow.shm import default_cache_size
+
+    limit = default_cache_size()
+    while len(_BY_HASH) > limit:
+        _BY_HASH.popitem(last=False)
+        _HASH_STATS["evictions"] += 1
+    return payload
+
+
+def netlist_cache_stats() -> dict[str, int]:
+    """Per-process hash-cache counters (asserted by the dispatch tests)."""
+    return dict(_HASH_STATS, entries=len(_BY_HASH))
 
 
 # ---------------------------------------------------------------------------

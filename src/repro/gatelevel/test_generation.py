@@ -207,10 +207,36 @@ def _random_predrop(
 # fault-parallel PODEM
 
 def _podem_worker(args) -> list[ATPGResult]:
-    shard_index, netlist, chunk, backtrack_limit, atpg_backend = args
+    (shard_index, digest, netlist, chunk, backtrack_limit,
+     atpg_backend) = args
     from repro.flow import chaos
+    from repro.gatelevel.kernel import resolve_netlist
 
     chaos.checkpoint(f"podem_shard:{shard_index}")
+    netlist = resolve_netlist(digest, netlist)
+    return [
+        combinational_atpg(
+            netlist, f, backtrack_limit=backtrack_limit,
+            backend=atpg_backend,
+        )
+        for f in chunk
+    ]
+
+
+def _podem_worker_shm(args) -> list[ATPGResult]:
+    (shard_index, digest, net_ref, fault_block, backtrack_limit,
+     atpg_backend) = args
+    from repro.flow import chaos, shm
+    from repro.gatelevel.fault_sim import _decode_fault_block
+    from repro.gatelevel.kernel import resolve_netlist
+
+    chaos.checkpoint(f"podem_shard:{shard_index}")
+    netlist = resolve_netlist(
+        digest, lambda: shm.attach_bytes(net_ref.handle)
+    )
+    chunk = (_decode_fault_block(netlist, fault_block)
+             if isinstance(fault_block, tuple)
+             else shm.fetch_object(fault_block))
     return [
         combinational_atpg(
             netlist, f, backtrack_limit=backtrack_limit,
@@ -235,13 +261,24 @@ def _parallel_podem(
     (netlist, fault, backtrack limit), so the replayed merge is
     byte-identical to the serial loop.
 
+    Payloads follow ``REPRO_SHARD_TRANSPORT``: under ``shm`` the
+    netlist body and the fault index array are published once in shared
+    memory (names + bounds per shard); under ``pickle`` each shard
+    ships the whole netlist, the historical baseline.
+
     Resilient via :func:`repro.flow.resilience.run_sharded`: a crashed
     or killed shard is retried once in a fresh pool, then its chunk is
     searched in-process -- same results, fallback recorded in flow
     metrics.  Returns None only when sharding is not worthwhile.
     """
+    from repro.flow import shm
     from repro.flow.resilience import run_sharded
-    from repro.gatelevel.fault_sim import _record_shard_info
+    from repro.gatelevel import kernel
+    from repro.gatelevel.fault_sim import (
+        _encode_fault_block,
+        _record_payload_bytes,
+        _record_shard_info,
+    )
 
     shards = min(shards, max(1, len(faults) // MIN_FAULTS_PER_SHARD))
     if shards <= 1:
@@ -250,12 +287,35 @@ def _parallel_podem(
     chunks = [
         list(faults[bounds[i]:bounds[i + 1]]) for i in range(shards)
     ]
-    results, info = run_sharded(
-        _podem_worker,
-        [(i, netlist, chunk, backtrack_limit, atpg_backend)
-         for i, chunk in enumerate(chunks)],
-        max_workers=shards,
-    )
+    digest, blob = kernel.netlist_blob(netlist)
+    if shm.resolve_transport() == "shm":
+        with shm.PayloadPlane() as plane:
+            net_ref = plane.publish_object(None, blob=blob,
+                                           digest=digest)
+            if kernel.have_kernel():
+                arr, extras = _encode_fault_block(netlist, list(faults))
+                fh = plane.publish_array(arr)
+                blocks = [
+                    (fh, bounds[i], bounds[i + 1],
+                     {p: f for p, f in extras.items()
+                      if bounds[i] <= p < bounds[i + 1]})
+                    for i in range(shards)
+                ]
+            else:
+                blocks = [plane.publish_object(c) for c in chunks]
+            args = [(i, digest, net_ref, blocks[i], backtrack_limit,
+                     atpg_backend) for i in range(shards)]
+            _record_payload_bytes(args, plane)
+            results, info = run_sharded(
+                _podem_worker_shm, args, max_workers=shards
+            )
+    else:
+        args = [(i, digest, netlist, chunk, backtrack_limit,
+                 atpg_backend) for i, chunk in enumerate(chunks)]
+        _record_payload_bytes(args, None)
+        results, info = run_sharded(
+            _podem_worker, args, max_workers=shards
+        )
     out: dict[Fault, ATPGResult] = {}
     for res_list in results:
         for res in res_list:

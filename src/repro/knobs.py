@@ -63,6 +63,18 @@ KNOWN_KNOBS: dict[str, tuple[str, str, str]] = {
         "random patterns fault-simulated before deterministic ATPG "
         "(0 disables the pre-drop stage)",
     ),
+    "REPRO_SHARD_TRANSPORT": (
+        "choice: shm|pickle", "shm (auto: pickle when shm unavailable)",
+        "payload transport for fault-parallel shard dispatch: shared-"
+        "memory segments with tiny pickled references, or classic "
+        "whole-payload pickles through the pool pipe",
+    ),
+    "REPRO_WORKER_CACHE_SIZE": (
+        "int >= 1", "8",
+        "netlists and decoded shard payloads each worker process keeps "
+        "cached by content hash (a warm worker compiles each design "
+        "once per pool generation)",
+    ),
     "REPRO_FLOWCACHE": (
         "path", ".flowcache",
         "flow artifact cache directory",

@@ -32,6 +32,7 @@ import urllib.parse
 from typing import Any
 
 from repro import knobs
+from repro.flow.resilience import set_shard_pool_provider
 from repro.serve.registry import WarmRegistry
 from repro.serve.scheduler import (
     AdmissionError,
@@ -109,6 +110,10 @@ class Server:
 
     async def start(self) -> None:
         self._closed = asyncio.Event()
+        # Kernel shard dispatch inside job threads reuses the warm pool,
+        # so persistent workers keep their compiled-program caches hot
+        # across requests (torn down again in close()).
+        set_shard_pool_provider(self.registry.pools)
         await self.scheduler.start()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
@@ -121,6 +126,7 @@ class Server:
             await self._server.wait_closed()
             self._server = None
         await self.scheduler.close()
+        set_shard_pool_provider(None)
         self.registry.close()
         if self._closed is not None:
             self._closed.set()

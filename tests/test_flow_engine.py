@@ -211,6 +211,13 @@ class TestExecution:
         result = Runner().run(f, jobs=2)
         assert result.metrics.metric("m").custom == {"things_per_s": 42.0}
 
+    def test_uncached_stages_report_artifact_bytes(self):
+        result = Runner().run(linear_flow())
+        for stage in ("source", "double"):
+            m = result.metrics.metric(stage)
+            assert m.status == "ran"
+            assert m.artifact_bytes > 0  # measured, not left at 0
+
     def test_metrics_json_dump(self, tmp_path):
         import json
 

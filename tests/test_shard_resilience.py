@@ -46,7 +46,8 @@ class TestRunSharded:
         results, info = run_sharded(_chaos_square, ARGS, max_workers=2)
         assert results == WANT
         assert info == {"shard_retries": 0, "shard_fallbacks": 0,
-                        "pool_rebuilds": 0}
+                        "pool_rebuilds": 0, "shard_errors": 0,
+                        "shard_error_detail": {}}
 
     def test_crashed_shard_is_retried(self, tmp_path):
         with chaos.active(
