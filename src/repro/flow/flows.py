@@ -328,6 +328,7 @@ def insitu_bist_row(design: str, slack: float, width: int,
         build_bist_hardware,
     )
     from repro.gatelevel.faults import all_faults
+    from repro.gatelevel.genscale import sample_faults
 
     cdfg = suite.standard_suite(width=width)[design]
     dp, *_ = conventional_datapath(cdfg, slack=slack)
@@ -346,7 +347,11 @@ def insitu_bist_row(design: str, slack: float, width: int,
     cov64 = bist_fault_coverage(
         hw, sessions=sessions, cycles=64, faults=unit_faults, **kw
     )
-    sample = all_faults(hw.netlist)[:n_faults]
+    # Seeded sample of the whole-machine universe: the old ``[:n_faults]``
+    # prefix only ever saw the first nets in declaration order, biasing
+    # the all-in-one/scheduled comparison toward one corner of the
+    # datapath.
+    sample = sample_faults(hw.netlist, n_faults, seed=5)
     one = bist_fault_coverage(
         hw, sessions=[[u.name for u in dp.units]],
         cycles=48, faults=sample, **kw

@@ -50,6 +50,17 @@ from repro.gatelevel.bist_session import (
     build_bist_hardware,
     jtag_session_signature,
 )
+from repro.gatelevel.structure import (
+    CollapseMap,
+    Structure,
+    atpg_fault_order,
+    collapse_map,
+    resolve_collapse,
+    resolve_guidance,
+    scoap,
+    structural_analysis,
+    structure_stats,
+)
 from repro.gatelevel.vcd import dump_vcd, trace_to_vcd
 from repro.gatelevel.vectors import (
     VectorFile,
@@ -99,6 +110,15 @@ __all__ = [
     "bist_fault_coverage",
     "build_bist_hardware",
     "jtag_session_signature",
+    "CollapseMap",
+    "Structure",
+    "atpg_fault_order",
+    "collapse_map",
+    "resolve_collapse",
+    "resolve_guidance",
+    "scoap",
+    "structural_analysis",
+    "structure_stats",
     "dump_vcd",
     "trace_to_vcd",
     "VectorFile",

@@ -36,6 +36,8 @@ from typing import Mapping, Sequence
 
 from repro.gatelevel.faults import Fault
 from repro.gatelevel.gates import Netlist
+from repro.gatelevel.structure import INF as _SCOAP_INF
+from repro.gatelevel.structure import resolve_guidance
 
 X = None
 
@@ -176,6 +178,8 @@ def combinational_atpg(
     control: set[str] | None = None,
     forced_extra: Mapping[str, int] | None = None,
     backend: str | None = None,
+    guidance: bool | None = None,
+    structure=None,
 ) -> ATPGResult:
     """PODEM for one stuck-at fault.
 
@@ -183,6 +187,16 @@ def combinational_atpg(
     time-frame expansion, where the same fault exists in every frame).
     ``backend`` selects the search-state engine (see module docstring);
     both engines return identical :class:`ATPGResult`\\ s.
+
+    With ``guidance`` (default: the ``REPRO_ATPG_GUIDANCE`` knob, on)
+    the backtrace picks the easiest-to-set candidate by SCOAP
+    controllability instead of the first live one, which steers the
+    search away from hard-to-justify branches; classification
+    (detected / untestable) is search-order independent, only the
+    returned vector and effort counts may differ.  ``structure``
+    supplies a precomputed :class:`repro.gatelevel.structure.Structure`
+    (shard workers resolve it off the payload plane); when omitted the
+    cached per-netlist analysis is used.
     """
     backend = resolve_atpg_backend(backend)
     order = netlist.topo_order()
@@ -190,8 +204,27 @@ def combinational_atpg(
         observe = default_observe(netlist)
     if control is None:
         control = default_control(netlist)
+    scoap = None
+    if resolve_guidance(guidance):
+        if structure is None:
+            from repro.gatelevel.structure import structural_analysis
+
+            structure = structural_analysis(netlist)
+        scoap = (structure.cc0, structure.cc1, structure.co)
     forced = {fault.net: fault.stuck_at}
     forced.update(forced_extra or {})
+    # A fault on a scan flip-flop's *output* net forces the captured
+    # state too (see ``parallel_simulate``): the scan chain unloads the
+    # stuck value while the good machine unloads whatever the D-input
+    # captured.  That gives a second detection route the ordinary
+    # observe list cannot see -- the fault is visible whenever the good
+    # machine's D-input justifies to the opposite of the stuck value,
+    # with no propagation through logic at all.
+    scan_obs = None
+    site_gate = netlist.gates.get(fault.net)
+    if (site_gate is not None and site_gate.kind == "dff"
+            and site_gate.scan and forced_extra is None):
+        scan_obs = (site_gate.inputs[0], 1 - fault.stuck_at)
     reachable = _control_support(netlist, order, control)
     if backend == "event":
         engine: _ReferenceEngine | _EventEngine = _EventEngine(
@@ -207,16 +240,16 @@ def combinational_atpg(
 
     while True:
         engine.refresh(assign)
-        if engine.detected():
+        good = engine.good
+        if engine.detected() or (
+            scan_obs is not None and good[scan_obs[0]] == scan_obs[1]
+        ):
             return ATPGResult(fault, True, False, dict(assign),
                               backtracks, decisions)
-        good = engine.good
-        obj = _objective(netlist, fault, engine)
-        target = None
-        if obj is not None:
-            target = _backtrace(
-                netlist, good, control, assign, reachable, *obj
-            )
+        target = _find_target(
+            netlist, fault, engine, control, assign, reachable, scoap,
+            scan_obs,
+        )
         if target is None:
             # Conflict or uncontrollable objective: backtrack.
             while stack and stack[-1][2]:
@@ -250,23 +283,60 @@ def _detected_at(observe, good, bad) -> bool:
     )
 
 
-def _objective(netlist, fault, engine):
-    """Next PODEM objective: activate the fault, then advance the
-    D-frontier.  Returns (net, value) or None when hopeless."""
+def _find_target(netlist, fault, engine, control, assign, reachable,
+                 scoap=None, scan_obs=None):
+    """Next PODEM decision: activate the fault, then advance the
+    D-frontier.  Returns a backtraced (control point, value) or None
+    when every objective under the current assignment is hopeless.
+
+    Every D-frontier gate is tried in turn (first by netlist scan
+    order; with ``scoap`` guidance, easiest-to-observe first): a gate
+    whose side input cannot be driven to its non-controlling value
+    cannot propagate the fault *now*, but another frontier gate still
+    can -- committing to the first gate and treating its backtrace
+    failure as a conflict (the historical behaviour) manufactured
+    search-order-dependent "untestable" verdicts.
+
+    ``scan_obs`` is the scan-out detection route for a fault sitting on
+    a scan flip-flop's output: justifying the FF's D-input to the
+    opposite of the stuck value needs no propagation at all, so it is
+    tried before fault activation.
+    """
     good = engine.good
+    if scan_obs is not None and good[scan_obs[0]] is X:
+        target = _backtrace(
+            netlist, good, control, assign, reachable,
+            scan_obs[0], scan_obs[1], scoap=scoap,
+        )
+        if target is not None:
+            return target
     site = good[fault.net]
     if site is X:
-        return (fault.net, 1 - fault.stuck_at)
+        return _backtrace(
+            netlist, good, control, assign, reachable,
+            fault.net, 1 - fault.stuck_at, scoap=scoap,
+        )
     if site == fault.stuck_at:
         return None  # activation conflict under current assignment
-    first = engine.frontier_first()
-    if first is None:
-        return None
-    gate = netlist.gate(first)
-    nc = _NONCONTROLLING.get(gate.kind)
-    for src in gate.inputs:
-        if good[src] is X:
-            return (src, nc if nc is not None else 1)
+    frontier = engine.frontier()
+    if scoap is not None and len(frontier) > 1:
+        co = scoap[2]
+        # sorted() is stable: ties keep netlist scan order.
+        frontier = sorted(
+            frontier, key=lambda g: co.get(g, _SCOAP_INF)
+        )
+    for name in frontier:
+        gate = netlist.gate(name)
+        nc = _NONCONTROLLING.get(gate.kind)
+        for src in gate.inputs:
+            if good[src] is X:
+                target = _backtrace(
+                    netlist, good, control, assign, reachable,
+                    src, nc if nc is not None else 1, scoap=scoap,
+                )
+                if target is not None:
+                    return target
+                break  # this gate cannot propagate under this assignment
     return None
 
 
@@ -311,9 +381,8 @@ class _ReferenceEngine:
     def detected(self) -> bool:
         return _detected_at(self.observe, self.good, self.bad)
 
-    def frontier_first(self) -> str | None:
-        frontier = _d_frontier(self.netlist, self.good, self.bad)
-        return frontier[0] if frontier else None
+    def frontier(self) -> list[str]:
+        return _d_frontier(self.netlist, self.good, self.bad)
 
 
 _SOURCE_KINDS = ("input", "dff", "const0", "const1")
@@ -375,10 +444,8 @@ class _EventEngine:
     def detected(self) -> bool:
         return bool(self._diff_obs)
 
-    def frontier_first(self) -> str | None:
-        if not self._frontier:
-            return None
-        return min(self._frontier, key=self._scan_pos.__getitem__)
+    def frontier(self) -> list[str]:
+        return sorted(self._frontier, key=self._scan_pos.__getitem__)
 
     # -- incremental machinery -------------------------------------------
 
@@ -487,21 +554,53 @@ def _control_support(netlist, order, control) -> set[str]:
     return supported
 
 
-def _backtrace(netlist, good, control, assign, reachable, net, val):
-    """Walk an X-path from the objective to an unassigned control point,
-    preferring branches whose cone contains a control point."""
+def _backtrace(netlist, good, control, assign, reachable, net, val,
+               scoap=None):
+    """Find an X-path from the objective to an unassigned control point.
 
-    def pick(candidates: list[str]) -> str | None:
+    A memoised depth-first search over the candidate X-inputs at each
+    gate: when the preferred branch dead-ends (an already-assigned
+    control point, unscanned state, a constant), the *next* candidate
+    is tried instead of reporting a conflict.  Failure is therefore a
+    property of the objective, not of the branch ordering -- the walk
+    returns ``None`` only when **no** X-path to an unassigned control
+    point exists, so SCOAP-guided and unguided searches reach the same
+    conflicts and the same classification, differing only in which
+    control assignment (and hence which vector) comes back first.
+
+    ``scoap`` is an optional ``(cc0, cc1)`` pair of per-net SCOAP
+    controllability maps; when present, candidates are tried
+    cheapest-to-set first (deterministic: cost, then first-listed
+    order) instead of plain first-listed order.
+    """
+    #: (net, val) pairs proven to have no X-path to an unassigned
+    #: control point under the current assignment -- the memo that
+    #: keeps the retry search linear in the cone size.
+    dead: set[tuple[str, int]] = set()
+
+    def ordered(candidates: list[str], want: int) -> list[str]:
+        # Branches with no control point anywhere in their cone can
+        # never terminate the walk; drop them outright.
         live = [s for s in candidates if s in reachable]
-        if live:
-            return live[0]
-        return candidates[0] if candidates else None
+        if scoap is None or len(live) < 2:
+            return live
+        costs = scoap[0] if want == 0 else scoap[1]
+        # sorted() is stable: equal costs fall back to first-listed
+        # order, keeping the guided search deterministic.
+        return sorted(live, key=lambda s: costs.get(s, _SCOAP_INF))
 
-    seen = 0
-    while True:
-        seen += 1
-        if seen > len(netlist) + 1:
+    def walk(net: str, val: int, depth: int):
+        if depth > len(netlist) + 1:
             return None
+        key = (net, val)
+        if key in dead:
+            return None
+        found = _walk(net, val, depth)
+        if found is None:
+            dead.add(key)
+        return found
+
+    def _walk(net: str, val: int, depth: int):
         if net in control:
             if net in assign:
                 return None
@@ -513,50 +612,56 @@ def _backtrace(netlist, good, control, assign, reachable, net, val):
         if kind in _INVERTING:
             val = 1 - val
         if kind in ("buf", "not"):
-            net = gate.inputs[0]
-            continue
+            return walk(gate.inputs[0], val, depth + 1)
         if kind in ("and", "nand", "or", "nor"):
             # val (inversion already applied) is the AND/OR-part target;
             # both "all inputs to the non-controlling value" and "one
             # input to the controlling value" mean driving an X input to
             # val itself.
             xin = [s for s in gate.inputs if good[s] is X]
-            choice = pick(xin)
-            if choice is None:
-                return None
-            net = choice
-            continue
+            for choice in ordered(xin, val):
+                found = walk(choice, val, depth + 1)
+                if found is not None:
+                    return found
+            return None
         if kind in ("xor", "xnor"):
             a, b = gate.inputs
             xin = [s for s in (a, b) if good[s] is X]
-            choice = pick(xin)
-            if choice is None:
-                return None
-            other = b if choice == a else a
-            net, val = choice, val ^ (good[other] if good[other] is not X else 0)
-            continue
+            for choice in ordered(xin, val):
+                other = b if choice == a else a
+                want = val ^ (good[other] if good[other] is not X else 0)
+                found = walk(choice, want, depth + 1)
+                if found is not None:
+                    return found
+            return None
         if kind == "mux":
             s, a, b = gate.inputs
             if good[s] is X and s in reachable:
-                # steer toward a justifiable X data input
+                # steer toward a justifiable X data input first, but
+                # keep the other select polarity as a fallback
                 if good[a] is X and a in reachable:
-                    net, val = s, 1
+                    sel_order = (1, 0)
                 elif good[b] is X and b in reachable:
-                    net, val = s, 0
+                    sel_order = (0, 1)
                 elif good[a] is X:
-                    net, val = s, 1
+                    sel_order = (1, 0)
                 else:
-                    net, val = s, 0
-                continue
+                    sel_order = (0, 1)
+                for sv in sel_order:
+                    found = walk(s, sv, depth + 1)
+                    if found is not None:
+                        return found
+                return None
             if good[s] is X:
                 # select uncontrollable: try a data input that already
                 # matches on both legs, else give up on this path
                 xin = [d for d in (a, b) if good[d] is X]
-                choice = pick(xin)
-                if choice is None:
-                    return None
-                net = choice
-                continue
-            net = a if good[s] == 1 else b
-            continue
+                for choice in ordered(xin, val):
+                    found = walk(choice, val, depth + 1)
+                    if found is not None:
+                        return found
+                return None
+            return walk(a if good[s] == 1 else b, val, depth + 1)
         return None
+
+    return walk(net, val, 0)

@@ -225,6 +225,7 @@ def bist_fault_attribution(
     checkpoints: Sequence[int] | None = None,
     backend: str | None = None,
     shards: int | None = None,
+    collapse: bool | None = None,
 ) -> dict[Fault, tuple[int, int] | None]:
     """First-detection bookkeeping for every fault.
 
@@ -239,11 +240,23 @@ def bist_fault_attribution(
     equivalence reference).  ``shards`` (or ``REPRO_FAULTSIM_SHARDS``)
     splits the fault list across worker processes; fault independence
     makes the contiguous-chunk merge byte-identical to a serial run.
+
+    ``collapse`` (``REPRO_FAULT_COLLAPSE``, default on) attributes one
+    representative per structural equivalence class and fans the
+    ``(session, checkpoint)`` result back out -- exact, because
+    collapsing never crosses a flip-flop and the signature bits are
+    flip-flop states, so equivalent faults corrupt every signature
+    identically.
     """
     from repro.gatelevel.fault_sim import (
         MIN_FAULTS_PER_SHARD,
         resolve_backend,
         resolve_shards,
+    )
+    from repro.gatelevel.structure import (
+        collapse_map,
+        record_collapse_metrics,
+        resolve_collapse,
     )
 
     if sessions is None:
@@ -251,6 +264,17 @@ def bist_fault_attribution(
     sessions = [list(units) for units in sessions]
     if faults is None:
         faults = all_faults(hardware.netlist)
+    if resolve_collapse(collapse):
+        cmap = collapse_map(hardware.netlist)
+        reps = cmap.representatives(faults)
+        if len(reps) < len(faults):
+            record_collapse_metrics(len(faults), len(reps))
+            res = bist_fault_attribution(
+                hardware, sessions=sessions, cycles=cycles,
+                faults=reps, checkpoints=checkpoints, backend=backend,
+                shards=shards, collapse=False,
+            )
+            return cmap.expand(res, list(faults))
     marks = (sorted({int(c) for c in checkpoints})
              if checkpoints is not None else _default_checkpoints(cycles))
     backend = resolve_backend(backend)
@@ -330,9 +354,10 @@ def _attribution_shard_worker(args):
 
     chaos.checkpoint(f"bist_shard:{shard_index}")
     hardware = _rehost_hardware(hardware, digest)
+    # collapse=False: the parent collapsed before sharding.
     return bist_fault_attribution(
         hardware, sessions=sessions, faults=chunk, checkpoints=marks,
-        backend=backend, shards=1,
+        backend=backend, shards=1, collapse=False,
     )
 
 
@@ -349,7 +374,7 @@ def _attribution_shard_worker_shm(args):
              else shm.fetch_object(fault_block))
     return bist_fault_attribution(
         hardware, sessions=sessions, faults=chunk, checkpoints=marks,
-        backend=backend, shards=1,
+        backend=backend, shards=1, collapse=False,
     )
 
 
@@ -392,6 +417,7 @@ def _attribution_sharded(
         return bist_fault_attribution(
             hardware, sessions=sessions, faults=faults,
             checkpoints=marks, backend=backend, shards=1,
+            collapse=False,
         )
     bounds = [round(i * len(faults) / shards) for i in range(shards + 1)]
     chunks = [list(faults[bounds[i]:bounds[i + 1]]) for i in range(shards)]
@@ -444,6 +470,7 @@ def bist_fault_coverage(
     faults: Sequence[Fault] | None = None,
     backend: str | None = None,
     shards: int | None = None,
+    collapse: bool | None = None,
 ) -> float:
     """Signature-based stuck-at coverage over the given sessions.
 
@@ -458,7 +485,7 @@ def bist_fault_coverage(
         faults = all_faults(hardware.netlist)
     att = bist_fault_attribution(
         hardware, sessions=sessions, cycles=cycles, faults=faults,
-        backend=backend, shards=shards,
+        backend=backend, shards=shards, collapse=collapse,
     )
     detected = sum(1 for v in att.values() if v is not None)
     return detected / len(faults) if faults else 1.0

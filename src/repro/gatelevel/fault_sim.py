@@ -27,6 +27,11 @@ from repro.flow.metrics import record_metric
 from repro.gatelevel.faults import Fault
 from repro.gatelevel.gates import Netlist
 from repro.gatelevel.simulate import parallel_simulate
+from repro.gatelevel.structure import (
+    collapse_map,
+    record_collapse_metrics,
+    resolve_collapse,
+)
 
 BACKEND_ENV = "REPRO_FAULTSIM_BACKEND"
 SHARDS_ENV = "REPRO_FAULTSIM_SHARDS"
@@ -93,12 +98,13 @@ def fault_simulate(
     drop_detected: bool = False,
     backend: str | None = None,
     shards: int | None = None,
+    collapse: bool | None = None,
 ) -> dict[Fault, bool]:
     """Simulate a vector sequence against every fault; fault -> detected."""
     cycles = fault_simulate_cycles(
         netlist, faults, pi_sequence, width=width,
         initial_state=initial_state, drop_detected=drop_detected,
-        backend=backend, shards=shards,
+        backend=backend, shards=shards, collapse=collapse,
     )
     return {f: c is not None for f, c in cycles.items()}
 
@@ -112,6 +118,7 @@ def fault_simulate_cycles(
     drop_detected: bool = False,
     backend: str | None = None,
     shards: int | None = None,
+    collapse: bool | None = None,
 ) -> dict[Fault, int | None]:
     """Simulate a vector sequence against every fault.
 
@@ -129,11 +136,29 @@ def fault_simulate_cycles(
     first detection); only the amount of work for fully-detected fault
     lists differs.
 
+    With ``collapse`` (default: the ``REPRO_FAULT_COLLAPSE`` knob, on)
+    only one representative per structural equivalence class is
+    simulated and the per-class result is fanned back out -- exact, not
+    approximate, because equivalent faults produce identical machines
+    (see :mod:`repro.gatelevel.structure`).
+
     Returns fault -> first detecting cycle index (None if undetected),
     in the order the faults were given.
     """
     backend = resolve_backend(backend)
     shards = resolve_shards(shards)
+    if resolve_collapse(collapse):
+        cmap = collapse_map(netlist)
+        reps = cmap.representatives(faults)
+        if len(reps) < len(faults):
+            record_collapse_metrics(len(faults), len(reps))
+            res = fault_simulate_cycles(
+                netlist, reps, pi_sequence, width=width,
+                initial_state=initial_state,
+                drop_detected=drop_detected, backend=backend,
+                shards=shards, collapse=False,
+            )
+            return cmap.expand(res, list(faults))
     if shards > 1 and len(faults) >= 2 * MIN_FAULTS_PER_SHARD:
         return _fault_simulate_sharded(
             netlist, faults, pi_sequence, width, initial_state,
@@ -222,10 +247,12 @@ def _shard_worker(args):
     # warm worker (the shipped copy is dropped on a hit).
     netlist = resolve_netlist(digest, netlist)
     t0 = time.perf_counter()
+    # collapse=False: the parent collapsed before sharding, so the
+    # chunk already holds representatives only.
     res = fault_simulate_cycles(
         netlist, chunk, pi_sequence, width=width,
         initial_state=initial_state, drop_detected=drop_detected,
-        backend=backend, shards=1,
+        backend=backend, shards=1, collapse=False,
     )
     work = sum(
         width * (len(pi_sequence) if c is None else c + 1)
@@ -262,7 +289,7 @@ def _shard_worker_shm(args):
         res = fault_simulate_cycles(
             netlist, chunk, pi_sequence, width=width,
             initial_state=initial_state, drop_detected=drop_detected,
-            backend=backend, shards=1,
+            backend=backend, shards=1, collapse=False,
         )
         work = sum(
             width * (len(pi_sequence) if c is None else c + 1)
@@ -312,7 +339,7 @@ def _fault_simulate_sharded(
         return fault_simulate_cycles(
             netlist, faults, pi_sequence, width=width,
             initial_state=initial_state, drop_detected=drop_detected,
-            backend=backend, shards=1,
+            backend=backend, shards=1, collapse=False,
         )
     bounds = [round(i * len(faults) / shards) for i in range(shards + 1)]
     chunks = [list(faults[bounds[i]:bounds[i + 1]]) for i in range(shards)]

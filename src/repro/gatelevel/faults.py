@@ -7,10 +7,16 @@ fault, an input s-a-0 of an AND equals its output s-a-0, an input
 s-a-1 of an OR equals its output s-a-1, etc.  For the architecture
 comparisons in this reproduction the stem universe preserves all
 coverage *orderings*, which is what the experiments assert.
+
+Full structural collapsing (equivalence classes with polarity
+tracking, dominance edges, representative expansion) lives in
+:mod:`repro.gatelevel.structure`; the :func:`collapse_faults` helper
+here survives only as a deprecated wrapper over it.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.gatelevel.gates import Netlist
@@ -41,31 +47,27 @@ def all_faults(netlist: Netlist, include_dffs: bool = True) -> list[Fault]:
 
 
 def collapse_faults(netlist: Netlist, faults: list[Fault]) -> list[Fault]:
-    """Drop faults dominated through single-fanout buffers/inverters.
+    """Deprecated: use :func:`repro.gatelevel.structure.collapse_map`.
 
-    A fault on a net whose only consumer is a buf (same polarity) or
-    inverter (opposite polarity) is equivalent to the fault on that
-    consumer's output; keep the one nearest the outputs.
+    Historical drop-only collapsing lost the polarity mapping through
+    inverters (a fault collapsed through a ``not`` consumer is
+    equivalent to the *opposite* polarity on the consumer's output),
+    so callers could not expand results back.  This wrapper now
+    returns the polarity-correct representative set from
+    :class:`repro.gatelevel.structure.CollapseMap` -- representatives
+    may lie outside the given list (the class member nearest the
+    outputs), which is what makes expansion exact.
     """
-    consumers: dict[str, list[str]] = {}
-    for gate in netlist:
-        for src in gate.inputs:
-            consumers.setdefault(src, []).append(gate.name)
-    outputs = set(netlist.outputs)
+    warnings.warn(
+        "collapse_faults is deprecated; use "
+        "repro.gatelevel.structure.collapse_map for the full "
+        "CollapseMap (representatives + exact expansion)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.gatelevel.structure import collapse_map
 
-    drop: set[Fault] = set()
-    for f in faults:
-        if f.net in outputs:
-            continue
-        cons = consumers.get(f.net, [])
-        if len(cons) != 1:
-            continue
-        g = netlist.gate(cons[0])
-        if g.kind == "buf":
-            drop.add(f)
-        elif g.kind == "not":
-            drop.add(f)
-    return [f for f in faults if f not in drop]
+    return collapse_map(netlist).representatives(faults)
 
 
 def coverage(detected: int, total: int) -> float:

@@ -41,6 +41,7 @@ def generate_netlist(
     dff_ratio: float = 0.12,
     scan: bool = True,
     signature_bits: int = 0,
+    buf_ratio: float = 0.0,
     name: str | None = None,
 ) -> Netlist:
     """A reproducible random sequential netlist of ``~n_gates`` gates.
@@ -52,6 +53,15 @@ def generate_netlist(
     builds a ``bist_en``-gated MISR register ``sr0`` fed from random
     taps -- the shape :func:`bist_wrap` turns into a
     :class:`~repro.gatelevel.bist_session.BISTHardware`.
+
+    ``buf_ratio`` grows terminal buf/not chains (2-4 gates, chain
+    interiors invisible to later fanin picks, so every link has exactly
+    one consumer) with that probability per budget step -- the shape a
+    technology mapper's buffer trees and inverter pairs take, and the
+    designs the fault-collapsing benchmarks sweep.  ``buf_ratio=0``
+    (the default) leaves the generator byte-identical to its historical
+    output: the extra ``rng`` draw happens only inside the enabled
+    branch.
     """
     if n_gates < 8:
         raise ValueError(f"n_gates must be >= 8, got {n_gates}")
@@ -66,7 +76,20 @@ def generate_netlist(
     dff_names = [f"d{k}" for k in range(n_dffs)]
     pool = inputs + dff_names
     comb: list[str] = []
-    for k in range(n_comb):
+    k = 0
+    while k < n_comb:
+        if buf_ratio and comb and rng.random() < buf_ratio:
+            length = min(rng.randint(2, 4), n_comb - k)
+            prev = comb[rng.randrange(
+                max(0, len(comb) - _WINDOW), len(comb))]
+            for _ in range(length):
+                kind = "buf" if rng.random() < 0.5 else "not"
+                prev = nl.add(f"g{k}", kind, prev)
+                k += 1
+            # Only the chain tail joins the pickable window; the
+            # interior links keep their single consumer.
+            comb.append(prev)
+            continue
         kind = rng.choice(_KIND_POOL)
         arity = 1 if kind == "not" else 2
         picks = []
@@ -79,6 +102,7 @@ def generate_netlist(
         comb.append(nl.add(f"g{k}", kind, *picks))
         if k % 8 == 0:
             pool.append(comb[-1])
+        k += 1
 
     # State bank last: the cloud already references the forward-declared
     # names, closing sequential feedback loops.

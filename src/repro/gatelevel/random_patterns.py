@@ -14,6 +14,11 @@ from repro.bist.registers import LFSR
 from repro.gatelevel.faults import Fault, all_faults, coverage
 from repro.gatelevel.fault_sim import fault_simulate
 from repro.gatelevel.gates import Netlist
+from repro.gatelevel.structure import (
+    collapse_map,
+    record_collapse_metrics,
+    resolve_collapse,
+)
 
 
 def _packed_random(rng: random.Random, width: int) -> int:
@@ -27,6 +32,7 @@ def random_pattern_coverage(
     faults: Sequence[Fault] | None = None,
     sequence_length: int = 1,
     backend: str | None = None,
+    collapse: bool | None = None,
 ) -> float:
     """Stuck-at coverage of ``n_patterns`` pseudorandom patterns.
 
@@ -35,14 +41,28 @@ def random_pattern_coverage(
     propagate through unscanned state).  Fault dropping is on inside
     each block too (``drop_detected``), so a fault detected by cycle
     *c* never simulates cycles past *c*; ``backend`` selects the
-    compiled kernel (default) or the reference interpreter.
+    compiled kernel (default) or the reference interpreter.  With
+    ``collapse`` (default on) equivalence classes are collapsed once
+    up front and only representatives simulated -- a detected
+    representative means every class member is detected, so the
+    coverage fraction is unchanged.
     """
     rng = random.Random(seed)
     if faults is None:
         faults = all_faults(netlist)
+    work = list(faults)
+    cmap = None
+    if resolve_collapse(collapse):
+        cmap = collapse_map(netlist)
+        reps = cmap.representatives(work)
+        if len(reps) < len(work):
+            record_collapse_metrics(len(work), len(reps))
+            work = reps
+        else:
+            cmap = None
     pis = netlist.inputs()
     detected: set[Fault] = set()
-    remaining = list(faults)
+    remaining = work
     done = 0
     while done < n_patterns and remaining:
         width = min(64, n_patterns - done)
@@ -52,14 +72,18 @@ def random_pattern_coverage(
         ]
         results = fault_simulate(
             netlist, remaining, seq, width=width, drop_detected=True,
-            backend=backend,
+            backend=backend, collapse=False,
         )
         detected.update(f for f, d in results.items() if d)
         # results preserves fault order, so the survivors fall straight
         # out of it -- no O(n^2) re-listing against a membership list.
         remaining = [f for f, d in results.items() if not d]
         done += width
-    return coverage(len(detected), len(faults))
+    if cmap is not None:
+        n_detected = sum(1 for f in faults if cmap.rep(f) in detected)
+    else:
+        n_detected = len(detected)
+    return coverage(n_detected, len(faults))
 
 
 def bist_coverage_curve(
@@ -67,6 +91,7 @@ def bist_coverage_curve(
     checkpoints: Sequence[int] = (16, 32, 64, 128, 256),
     seed: int = 1,
     faults: Sequence[Fault] | None = None,
+    collapse: bool | None = None,
 ) -> list[tuple[int, float]]:
     """(patterns, coverage) at each checkpoint, LFSR-driven.
 
@@ -88,7 +113,11 @@ def bist_coverage_curve(
     seq = [
         {pi: lfsrs[pi].step() & 1 for pi in pis} for _ in range(horizon)
     ]
-    cycles = fault_simulate_cycles(netlist, faults, seq, width=1)
+    # fault_simulate_cycles collapses internally and expands the
+    # per-fault first-detection cycles exactly.
+    cycles = fault_simulate_cycles(
+        netlist, faults, seq, width=1, collapse=collapse
+    )
     curve: list[tuple[int, float]] = []
     for target in sorted(checkpoints):
         det = sum(1 for c in cycles.values() if c is not None and c < target)

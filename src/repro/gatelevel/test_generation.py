@@ -45,6 +45,12 @@ from repro.gatelevel.fault_sim import (
 )
 from repro.gatelevel.gates import Netlist
 from repro.gatelevel.simulate import parallel_simulate
+from repro.gatelevel.structure import (
+    collapse_map,
+    record_collapse_metrics,
+    resolve_collapse,
+    resolve_guidance,
+)
 
 PREDROP_ENV = "REPRO_ATPG_PREDROP"
 SHARDS_ENV = "REPRO_ATPG_SHARDS"
@@ -208,16 +214,21 @@ def _random_predrop(
 
 def _podem_worker(args) -> list[ATPGResult]:
     (shard_index, digest, netlist, chunk, backtrack_limit,
-     atpg_backend) = args
+     atpg_backend, guidance) = args
     from repro.flow import chaos
     from repro.gatelevel.kernel import resolve_netlist
+    from repro.gatelevel.structure import structural_analysis
 
     chaos.checkpoint(f"podem_shard:{shard_index}")
     netlist = resolve_netlist(digest, netlist)
+    # The pickle transport recomputes the structural analysis locally
+    # (deterministic, hash-cached across tasks in a warm worker).
+    structure = structural_analysis(netlist) if guidance else None
     return [
         combinational_atpg(
             netlist, f, backtrack_limit=backtrack_limit,
-            backend=atpg_backend,
+            backend=atpg_backend, guidance=guidance,
+            structure=structure,
         )
         for f in chunk
     ]
@@ -225,10 +236,11 @@ def _podem_worker(args) -> list[ATPGResult]:
 
 def _podem_worker_shm(args) -> list[ATPGResult]:
     (shard_index, digest, net_ref, fault_block, backtrack_limit,
-     atpg_backend) = args
+     atpg_backend, guidance, scoap_ref) = args
     from repro.flow import chaos, shm
     from repro.gatelevel.fault_sim import _decode_fault_block
     from repro.gatelevel.kernel import resolve_netlist
+    from repro.gatelevel.structure import resolve_structure
 
     chaos.checkpoint(f"podem_shard:{shard_index}")
     netlist = resolve_netlist(
@@ -237,10 +249,22 @@ def _podem_worker_shm(args) -> list[ATPGResult]:
     chunk = (_decode_fault_block(netlist, fault_block)
              if isinstance(fault_block, tuple)
              else shm.fetch_object(fault_block))
+    structure = None
+    if guidance:
+        # The parent published its packed SCOAP rows once on the
+        # payload plane; a warm worker resolves them from its digest
+        # cache without touching the segment again.
+        structure = resolve_structure(
+            digest,
+            (lambda: shm.attach_array(scoap_ref))
+            if scoap_ref is not None else None,
+            netlist,
+        )
     return [
         combinational_atpg(
             netlist, f, backtrack_limit=backtrack_limit,
-            backend=atpg_backend,
+            backend=atpg_backend, guidance=guidance,
+            structure=structure,
         )
         for f in chunk
     ]
@@ -252,6 +276,7 @@ def _parallel_podem(
     backtrack_limit: int,
     atpg_backend: str | None,
     shards: int,
+    guidance: bool = False,
 ) -> dict[Fault, ATPGResult] | None:
     """Speculative per-fault PODEM across a process pool.
 
@@ -303,15 +328,27 @@ def _parallel_podem(
                 ]
             else:
                 blocks = [plane.publish_object(c) for c in chunks]
+            scoap_ref = None
+            if guidance and kernel.have_kernel():
+                from repro.gatelevel.structure import (
+                    pack_scoap,
+                    structural_analysis,
+                )
+
+                scoap_ref = plane.publish_array(
+                    pack_scoap(structural_analysis(netlist), netlist)
+                )
             args = [(i, digest, net_ref, blocks[i], backtrack_limit,
-                     atpg_backend) for i in range(shards)]
+                     atpg_backend, guidance, scoap_ref)
+                    for i in range(shards)]
             _record_payload_bytes(args, plane)
             results, info = run_sharded(
                 _podem_worker_shm, args, max_workers=shards
             )
     else:
         args = [(i, digest, netlist, chunk, backtrack_limit,
-                 atpg_backend) for i, chunk in enumerate(chunks)]
+                 atpg_backend, guidance)
+                for i, chunk in enumerate(chunks)]
         _record_payload_bytes(args, None)
         results, info = run_sharded(
             _podem_worker, args, max_workers=shards
@@ -336,6 +373,8 @@ def generate_tests(
     predrop: int | None = None,
     predrop_seed: int = 1,
     shards: int | None = None,
+    collapse: bool | None = None,
+    guidance: bool | None = None,
 ) -> TestSet:
     """Generate a fault-dropping test set for the full-scan view.
 
@@ -350,9 +389,40 @@ def generate_tests(
     (``REPRO_FAULTSIM_BACKEND``, ``REPRO_ATPG_BACKEND``,
     ``REPRO_ATPG_PREDROP``, ``REPRO_ATPG_SHARDS``).  The generated
     test set is identical for any backend/shard combination.
+
+    ``collapse`` (``REPRO_FAULT_COLLAPSE``, default on) runs the whole
+    pipeline on one representative per structural equivalence class
+    and expands the classification at the end: equivalent faults share
+    every detection set, so the expanded *detected* and *untestable*
+    sets -- and hence coverage and test efficiency -- equal a
+    collapse-off run, as long as no search aborts (PODEM's complete
+    search is order-independent; an abort is the one
+    backtrack-limit-dependent outcome).  The vector *list* may differ.
+    ``guidance`` (``REPRO_ATPG_GUIDANCE``, default on) targets
+    random-resistant faults hardest-first by SCOAP difficulty and
+    steers each backtrace toward the easiest-to-set candidate.
+
+    While a flow metrics collector is active the run records
+    ``podem_backtracks`` / ``podem_objectives`` totals over the
+    *consumed* searches (identical for serial and sharded runs) and
+    the ``faults_total`` / ``faults_representative`` /
+    ``collapse_ratio`` trio when collapsing reduced the universe.
     """
     if faults is None:
         faults = all_faults(netlist)
+    if resolve_collapse(collapse):
+        cmap = collapse_map(netlist)
+        reps = cmap.representatives(faults)
+        if len(reps) < len(faults):
+            record_collapse_metrics(len(faults), len(reps))
+            ts = generate_tests(
+                netlist, reps, backtrack_limit=backtrack_limit,
+                backend=backend, atpg_backend=atpg_backend,
+                predrop=predrop, predrop_seed=predrop_seed,
+                shards=shards, collapse=False, guidance=guidance,
+            )
+            return _expand_testset(ts, cmap, faults)
+
     result = TestSet(netlist.name, total_faults=len(faults))
     remaining = list(faults)
     scan_names = {g.name for g in netlist.scan_dffs()}
@@ -363,13 +433,29 @@ def generate_tests(
             netlist, remaining, predrop, predrop_seed, result, backend
         )
 
+    guidance = resolve_guidance(guidance)
+    structure = None
+    if guidance and remaining:
+        from repro.gatelevel.structure import (
+            atpg_fault_order,
+            structural_analysis,
+        )
+
+        structure = structural_analysis(netlist)
+        # Hardest-first: random-resistant faults get targeted while
+        # the easy tail still falls out of fault dropping for free.
+        remaining = atpg_fault_order(remaining, structure)
+
     shards = resolve_atpg_shards(shards)
     searched: dict[Fault, ATPGResult] | None = None
     if shards > 1 and len(remaining) >= 2 * MIN_FAULTS_PER_SHARD:
         searched = _parallel_podem(
-            netlist, remaining, backtrack_limit, atpg_backend, shards
+            netlist, remaining, backtrack_limit, atpg_backend, shards,
+            guidance=guidance,
         )
 
+    backtracks = 0
+    objectives = 0
     idx = 0  # cursor past classified faults -- no O(n^2) pop(0)
     while idx < len(remaining):
         target = remaining[idx]
@@ -378,8 +464,13 @@ def generate_tests(
         else:
             res = combinational_atpg(
                 netlist, target, backtrack_limit=backtrack_limit,
-                backend=atpg_backend,
+                backend=atpg_backend, guidance=guidance,
+                structure=structure,
             )
+        # Count only consumed searches, so the totals match between a
+        # serial run and a sharded run's speculative search + replay.
+        backtracks += res.backtracks
+        objectives += res.decisions
         if not res.detected:
             idx += 1
             (result.aborted if res.aborted else result.untestable).append(
@@ -396,7 +487,7 @@ def generate_tests(
         active = remaining[idx:]
         dropped = fault_simulate(
             netlist, active, [piv], width=1, initial_state=state,
-            backend=backend,
+            backend=backend, collapse=False,
         )
         survivors = []
         for f in active:
@@ -413,4 +504,35 @@ def generate_tests(
             result.aborted.append(target)
         remaining = survivors
         idx = 0
+    if backtracks or objectives:
+        record_metric("podem_backtracks", backtracks)
+        record_metric("podem_objectives", objectives)
     return result
+
+
+def _expand_testset(
+    ts: TestSet, cmap, faults: Sequence[Fault]
+) -> TestSet:
+    """Representative classification -> full-universe classification.
+
+    Every class member inherits its representative's outcome (they are
+    machine-identical), and the caller's fault order is preserved in
+    the untestable/aborted lists.
+    """
+    untestable = set(ts.untestable)
+    aborted = set(ts.aborted)
+    out = TestSet(
+        ts.netlist_name,
+        vectors=ts.vectors,
+        partial_vectors=ts.partial_vectors,
+        total_faults=len(faults),
+    )
+    for f in faults:
+        r = cmap.rep(f)
+        if r in ts.detected:
+            out.detected.add(f)
+        elif r in untestable:
+            out.untestable.append(f)
+        elif r in aborted:
+            out.aborted.append(f)
+    return out

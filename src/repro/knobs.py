@@ -24,9 +24,11 @@ __all__ = [
     "env_float",
     "env_str",
     "env_choice",
+    "env_flag",
     "env_weights",
     "coerce_int",
     "coerce_float",
+    "coerce_flag",
     "normalize_choice",
     "parse_weights",
 ]
@@ -62,6 +64,17 @@ KNOWN_KNOBS: dict[str, tuple[str, str, str]] = {
         "int >= 0", "64",
         "random patterns fault-simulated before deterministic ATPG "
         "(0 disables the pre-drop stage)",
+    ),
+    "REPRO_FAULT_COLLAPSE": (
+        "flag: 1|0", "1",
+        "structural fault collapsing: simulate/target one "
+        "representative per equivalence class and expand results at "
+        "the reporting boundary (byte-identical, just faster)",
+    ),
+    "REPRO_ATPG_GUIDANCE": (
+        "flag: 1|0", "1",
+        "SCOAP-guided PODEM: hardest-first fault targeting and "
+        "easiest-to-set backtrace candidate selection",
     ),
     "REPRO_SHARD_TRANSPORT": (
         "choice: shm|pickle", "shm (auto: pickle when shm unavailable)",
@@ -204,6 +217,33 @@ def env_float(
         return default
     return coerce_float(raw.strip(), name, minimum=minimum,
                         maximum=maximum)
+
+
+_FLAG_VALUES = {
+    "1": True, "true": True, "on": True, "yes": True,
+    "0": False, "false": False, "off": False, "no": False,
+}
+
+
+def coerce_flag(value: object, name: str) -> bool:
+    """Validate a boolean-like value (1/0, true/false, on/off, yes/no)."""
+    if isinstance(value, bool):
+        return value
+    try:
+        result = _FLAG_VALUES[str(value).strip().lower()]
+    except KeyError:
+        raise KnobError(
+            f"{name}={value!r} is not a flag; try {name}=1 or {name}=0"
+        ) from None
+    return result
+
+
+def env_flag(name: str, default: bool) -> bool:
+    """Read a boolean knob from the environment, validated."""
+    raw = os.environ.get(name, "")
+    if not raw.strip():
+        return default
+    return coerce_flag(raw.strip(), name)
 
 
 def env_str(name: str, default: str) -> str:

@@ -235,8 +235,11 @@ class Server:
         }
 
     def _metrics(self) -> dict[str, Any]:
+        from repro.gatelevel.structure import structure_stats
+
         stats = self.scheduler.stats()
         stats["registry"] = self.registry.stats()
+        stats["structure"] = structure_stats()
         stats["uptime_s"] = round(time.time() - self.started_at, 3)
         return stats
 
