@@ -14,10 +14,15 @@ aggregated into ``benchmarks/results/run_all_timings.json``.
 
 ``REPRO_BENCH_QUICK=1`` (or ``--quick``) switches the slow scoreboard
 benches (``bench_atpg``'s ~150s reference-engine sweep,
-``bench_bist_faultsim``'s fault-serial baseline) to their smallest
+``bench_bist_faultsim``'s fault-serial baseline, ``bench_collapse``/
+``bench_batch``/``bench_dmachine``'s full sweeps) to their smallest
 equality-gate case so the full suite finishes in well under a minute
-for CI and local sweeps; quick runs leave the committed ``BENCH_*.json``
-scoreboards untouched.
+for CI and local sweeps.  Quick runs leave every committed full-sweep
+artifact untouched: the ``BENCH_*.json`` scoreboards, the
+``results/`` tables, *and* the timings aggregate -- quick timings go
+to ``run_all_timings_quick.json`` instead.  A partial full run
+(``--only``) merges its timings into the existing aggregate rather
+than clobbering the other benches' entries.
 """
 
 from __future__ import annotations
@@ -88,10 +93,25 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{name}] FAILED: {exc!r}", file=sys.stderr)
     results_dir = HERE / "results"
     results_dir.mkdir(exist_ok=True)
-    (results_dir / "run_all_timings.json").write_text(json.dumps({
+    # Quick runs measure reduced cases -- keep them out of the
+    # committed full-sweep aggregate.  Partial full runs (--only)
+    # merge into it so the other benches' entries survive.
+    timings_path = results_dir / (
+        "run_all_timings_quick.json" if quick else
+        "run_all_timings.json"
+    )
+    if not quick and args.only and timings_path.exists():
+        try:
+            previous = json.loads(timings_path.read_text())
+            merged = dict(previous.get("benches", {}))
+        except (ValueError, OSError):
+            merged = {}
+        merged.update(timings)
+        timings = merged
+    timings_path.write_text(json.dumps({
         "total_seconds": round(time.perf_counter() - t_all, 3),
         "quick": quick,
-        "benches": timings,
+        "benches": dict(sorted(timings.items())),
     }, indent=2) + "\n")
     print(
         f"{len(names) - len(failures)}/{len(names)} experiments in "

@@ -1,0 +1,55 @@
+"""First-class benchmark designs.
+
+:mod:`repro.gatelevel.genscale` grows *random* netlists; this package
+holds *architected* ones -- hand-built designs with real structure
+(datapaths, decoders, embedded memories) that the flows and benchmarks
+reference by name.  :func:`resolve_design` turns a compact spec string
+into a netlist:
+
+* ``"dmachine"`` -- the default 16-bit CPU (full scan)
+* ``"dmachine:<width>:<nregs>:<ram_words>[:scan]"`` -- parameterised,
+  e.g. ``dmachine:16:16:64:core``
+* ``"gs:<gates>:<seed>"`` -- a genscale random design (so corpus
+  sweeps and registered designs share one spec grammar)
+"""
+
+from __future__ import annotations
+
+from repro.gatelevel.gates import Netlist, NetlistError
+
+from .dmachine import SCAN_MODES, build_dmachine, dmachine_bist
+
+#: name -> zero-argument builder for the registered benchmark designs.
+DESIGNS = {
+    "dmachine": lambda: build_dmachine(),
+}
+
+__all__ = [
+    "DESIGNS", "SCAN_MODES", "build_dmachine", "dmachine_bist",
+    "resolve_design",
+]
+
+
+def resolve_design(spec: str) -> Netlist:
+    """The netlist for a design spec string (see module docstring)."""
+    if not isinstance(spec, str) or not spec:
+        raise NetlistError(f"bad design spec {spec!r}")
+    head, *rest = spec.split(":")
+    if head in DESIGNS and not rest:
+        return DESIGNS[head]()
+    try:
+        if head == "dmachine":
+            scan = "full"
+            if rest and rest[-1] in SCAN_MODES:
+                scan = rest.pop()
+            width, nregs, ram_words = (int(x) for x in rest)
+            return build_dmachine(width=width, nregs=nregs,
+                                  ram_words=ram_words, scan=scan)
+        if head == "gs":
+            from repro.gatelevel import genscale
+
+            gates, seed = (int(x) for x in rest)
+            return genscale.generate_netlist(gates, seed=seed)
+    except (ValueError, TypeError) as exc:
+        raise NetlistError(f"bad design spec {spec!r}: {exc}") from None
+    raise NetlistError(f"unknown design spec {spec!r}")

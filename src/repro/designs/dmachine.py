@@ -1,0 +1,372 @@
+"""``dmachine`` -- a hand-built small CPU benchmark design.
+
+The survey's cost models are only credible on processor-shaped logic,
+not just :mod:`repro.gatelevel.genscale`'s random clouds.  This module
+constructs a complete 16-bit accumulator-register machine as a flat
+gate-level :class:`~repro.gatelevel.gates.Netlist`:
+
+* **Instruction decode** -- a 16-bit instruction word on primary
+  inputs (``op``/``rd``/``ra``/``rb`` nibbles) driving a one-hot
+  opcode decoder.
+* **Register file** -- ``nregs`` x ``width`` scan-ready DFFs with a
+  one-hot write decoder and two full mux-tree read ports.
+* **ALU** -- shared ripple add/sub, bitwise AND/OR/XOR buses, log-stage
+  left/right barrel shifters, and a lower-half array multiplier (the
+  multiplier is the classic random-pattern-resistant structure the
+  testability literature cares about).
+* **Memory** -- a ``ram_words`` x ``width`` embedded RAM bank
+  (decoder, write muxes, full read mux trees) addressed from the
+  ``rb`` register or the stack pointer.
+* **Control state** -- PC with increment/branch (``JZ``/``JMP``), SP
+  with push/pop, and Z/N/C flags.
+
+Instruction set (op nibble): ADD SUB AND OR XOR SHL SHR MUL LD ST
+PUSH POP JZ JMP LDI NOP.
+
+``scan`` selects the DFL discipline: ``"full"`` (every DFF
+scannable), ``"core"`` (everything but the RAM bank -- the classic
+scan-selection trade), or ``"none"`` (BIST-oriented).
+``signature_bits > 0`` adds a genscale-shaped ``bist_en``-gated MISR
+(``sr0``) so :func:`repro.gatelevel.genscale.bist_wrap` accepts the
+result.
+
+At the defaults the machine is ~7.4k combinational gates over ~2.3k
+flip-flops -- past the >=5k-gate bar the ROADMAP sets for a real-CPU
+benchmark -- and every flow in the repo (scan selection, ATPG, random
+patterns, BIST sessions) runs on it unmodified.
+"""
+
+from __future__ import annotations
+
+from repro.gatelevel.gates import Netlist, NetlistError
+
+#: op nibble -> mnemonic, in encoding order.
+OPCODES = (
+    "ADD", "SUB", "AND", "OR", "XOR", "SHL", "SHR", "MUL",
+    "LD", "ST", "PUSH", "POP", "JZ", "JMP", "LDI", "NOP",
+)
+
+SCAN_MODES = ("full", "core", "none")
+
+
+def _log2(n: int) -> int:
+    bits = n.bit_length() - 1
+    if n <= 0 or (1 << bits) != n:
+        raise NetlistError(f"expected a power of two, got {n}")
+    return bits
+
+
+class _Builder:
+    """Netlist construction helpers (fresh-name allocation + word ops)."""
+
+    def __init__(self, nl: Netlist) -> None:
+        self.nl = nl
+        self._n = 0
+
+    def g(self, kind: str, *ins: str, name: str | None = None) -> str:
+        if name is None:
+            self._n += 1
+            name = f"w{self._n}"
+        return self.nl.add(name, kind, *ins)
+
+    def decoder(self, prefix: str, bits: list[str]) -> list[str]:
+        """One-hot decode of ``bits`` (LSB first): 2**n AND trees."""
+        inv = [self.g("not", b, name=f"{prefix}_n{i}")
+               for i, b in enumerate(bits)]
+        lines = []
+        for v in range(1 << len(bits)):
+            lits = [bits[i] if (v >> i) & 1 else inv[i]
+                    for i in range(len(bits))]
+            acc = lits[0]
+            for lit in lits[1:]:
+                acc = self.g("and", acc, lit)
+            lines.append(self.g("buf", acc, name=f"{prefix}_{v}"))
+        return lines
+
+    def ripple_add(self, prefix: str, a: list[str], b: list[str],
+                   cin: str) -> tuple[list[str], str]:
+        """Ripple-carry sum of two words; returns (sum bits, carry out)."""
+        s, c = [], cin
+        for i, (ai, bi) in enumerate(zip(a, b)):
+            x = self.g("xor", ai, bi)
+            s.append(self.g("xor", x, c, name=f"{prefix}_s{i}"))
+            c = self.g("or", self.g("and", ai, bi), self.g("and", x, c))
+        return s, c
+
+    def increment(self, prefix: str, a: list[str], one: str
+                  ) -> list[str]:
+        """a + 1 via a half-adder chain."""
+        s, c = [], one
+        for i, ai in enumerate(a):
+            s.append(self.g("xor", ai, c, name=f"{prefix}_s{i}"))
+            c = self.g("and", ai, c)
+        return s
+
+    def decrement(self, prefix: str, a: list[str], one: str
+                  ) -> list[str]:
+        """a - 1: half-subtractor chain (borrow ripples on zeros)."""
+        s, brw = [], one
+        for i, ai in enumerate(a):
+            s.append(self.g("xor", ai, brw, name=f"{prefix}_s{i}"))
+            brw = self.g("and", self.g("not", ai), brw)
+        return s
+
+    def mux_word(self, sel: str, a: list[str], b: list[str],
+                 prefix: str | None = None) -> list[str]:
+        """Per-bit ``sel ? a : b``."""
+        return [
+            self.g("mux", sel, ai, bi,
+                   name=f"{prefix}_b{i}" if prefix else None)
+            for i, (ai, bi) in enumerate(zip(a, b))
+        ]
+
+    def mux_tree(self, sel: list[str], words: list[list[str]],
+                 prefix: str) -> list[str]:
+        """Full mux tree: ``words[v]`` selected by ``sel`` (LSB first)."""
+        layer = words
+        for stage, s in enumerate(sel):
+            nxt = []
+            for j in range(0, len(layer), 2):
+                hi = layer[j + 1] if j + 1 < len(layer) else layer[j]
+                last = stage == len(sel) - 1
+                nxt.append(self.mux_word(
+                    s, hi, layer[j],
+                    prefix=prefix if last and len(layer) == 2 else None,
+                ))
+            layer = nxt
+        return layer[0]
+
+
+def build_dmachine(
+    width: int = 16,
+    nregs: int = 16,
+    ram_words: int = 128,
+    scan: str = "full",
+    signature_bits: int = 0,
+    name: str | None = None,
+) -> Netlist:
+    """Construct the d_machine CPU netlist (see module docstring).
+
+    ``width``/``nregs``/``ram_words`` must be powers of two (mux trees
+    and decoders are built full).  ``scan`` is one of
+    :data:`SCAN_MODES`.
+    """
+    if scan not in SCAN_MODES:
+        raise NetlistError(
+            f"scan must be one of {SCAN_MODES}, got {scan!r}"
+        )
+    abits = _log2(ram_words)
+    rbits = _log2(nregs)
+    _log2(width)
+    if rbits > 4 or abits > width:
+        raise NetlistError("register/address field exceeds instruction")
+
+    nl = Netlist(name or f"dmachine_w{width}_r{nregs}_m{ram_words}")
+    bd = _Builder(nl)
+    scan_core = scan == "full" or scan == "core"
+    scan_ram = scan == "full"
+
+    # --- primary inputs: instruction word + reset -------------------
+    nl.add("reset", "input")
+    op = [nl.add(f"op{i}", "input") for i in range(4)]
+    rd = [nl.add(f"rd{i}", "input") for i in range(4)]
+    ra = [nl.add(f"ra{i}", "input") for i in range(4)]
+    rb = [nl.add(f"rb{i}", "input") for i in range(4)]
+    zero = nl.add("zero", "const0")
+    one = nl.add("onec", "const1")
+    run = bd.g("not", "reset", name="run")
+
+    # --- forward-declared state nets --------------------------------
+    regs = [[f"reg{r}_b{i}" for i in range(width)] for r in range(nregs)]
+    pc = [f"pc_b{i}" for i in range(width)]
+    sp = [f"sp_b{i}" for i in range(width)]
+    ram = [[f"ram{a}_b{i}" for i in range(width)]
+           for a in range(ram_words)]
+    flag_z, flag_n, flag_c = "flag_z", "flag_n", "flag_c"
+
+    # --- instruction decode -----------------------------------------
+    dec = bd.decoder("dec", op)
+    d = dict(zip(OPCODES, dec))
+
+    # --- register file read ports -----------------------------------
+    a_val = bd.mux_tree(ra[:rbits], regs, "aval")
+    b_val = bd.mux_tree(rb[:rbits], regs, "bval")
+
+    # --- ALU ---------------------------------------------------------
+    is_sub = bd.g("buf", d["SUB"], name="is_sub")
+    b_add = [bd.g("xor", bi, is_sub) for bi in b_val]
+    add_s, add_c = bd.ripple_add("add", a_val, b_add, is_sub)
+    and_s = [bd.g("and", a, b) for a, b in zip(a_val, b_val)]
+    or_s = [bd.g("or", a, b) for a, b in zip(a_val, b_val)]
+    xor_s = [bd.g("xor", a, b) for a, b in zip(a_val, b_val)]
+
+    # barrel shifters, log stages, amount = low bits of b_val
+    sh_bits = _log2(width)
+    shl = list(a_val)
+    for s in range(sh_bits):
+        k = 1 << s
+        shifted = [zero] * k + shl[:-k]
+        shl = bd.mux_word(b_val[s], shifted, shl)
+    shr = list(a_val)
+    for s in range(sh_bits):
+        k = 1 << s
+        shifted = shr[k:] + [zero] * k
+        shr = bd.mux_word(b_val[s], shifted, shr)
+
+    # lower-half array multiplier: rows of partial products, rippled.
+    acc = [bd.g("and", a_val[i], b_val[0]) for i in range(width)]
+    for j in range(1, width):
+        pp = [bd.g("and", a_val[i], b_val[j])
+              for i in range(width - j)]
+        upper, _c = bd.ripple_add(f"mul{j}", acc[j:], pp, zero)
+        acc = acc[:j] + upper
+    mul_s = acc
+
+    # result select: mux chain keyed on the one-hot decode lines
+    res = list(and_s)
+    for sel, word in (
+        (d["OR"], or_s), (d["XOR"], xor_s), (d["SHL"], shl),
+        (d["SHR"], shr), (d["MUL"], mul_s),
+    ):
+        res = bd.mux_word(sel, word, res)
+    is_addsub = bd.g("or", d["ADD"], d["SUB"], name="is_addsub")
+    alu = bd.mux_word(is_addsub, add_s, res, prefix="alu")
+
+    # --- RAM bank ----------------------------------------------------
+    is_stack = bd.g("or", d["PUSH"], d["POP"], name="is_stack")
+    addr = bd.mux_word(is_stack, sp[:abits], b_val[:abits],
+                       prefix="addr")
+    adec = bd.decoder("adec", addr)
+    ram_we = bd.g(
+        "and", run,
+        bd.g("or", d["ST"], d["PUSH"]), name="ram_we",
+    )
+    wdata = bd.mux_tree(rd[:rbits], regs, "wdata")  # store port
+    for a in range(ram_words):
+        wr = bd.g("and", adec[a], ram_we, name=f"ram_wr{a}")
+        for i in range(width):
+            nl.add(f"ramd{a}_b{i}", "mux", wr, wdata[i], ram[a][i])
+            nl.add(ram[a][i], "dff", f"ramd{a}_b{i}", scan=scan_ram)
+    rdata = bd.mux_tree(addr, ram, "rdata")
+
+    # --- writeback ---------------------------------------------------
+    imm = list(ra) + list(rb) + [zero] * (width - 8)  # LDI imm8
+    is_load = bd.g("or", d["LD"], d["POP"], name="is_load")
+    wb = bd.mux_word(d["LDI"], imm, alu)
+    wb = bd.mux_word(is_load, rdata, wb, prefix="wb")
+
+    # --- register file write ----------------------------------------
+    wdec = bd.decoder("wdec", rd[:rbits])
+    alu_ops = d["ADD"]
+    for m in ("SUB", "AND", "OR", "XOR", "SHL", "SHR", "MUL"):
+        alu_ops = bd.g("or", alu_ops, d[m])
+    alu_ops = bd.g("buf", alu_ops, name="is_alu")
+    reg_we = bd.g(
+        "and", run,
+        bd.g("or", alu_ops, bd.g("or", is_load, d["LDI"])),
+        name="reg_we",
+    )
+    for r in range(nregs):
+        wr = bd.g("and", wdec[r], reg_we, name=f"reg_wr{r}")
+        for i in range(width):
+            nl.add(f"regd{r}_b{i}", "mux", wr, wb[i], regs[r][i])
+            nl.add(regs[r][i], "dff", f"regd{r}_b{i}", scan=scan_core)
+
+    # --- flags -------------------------------------------------------
+    nz = alu[0]
+    for bit in alu[1:]:
+        nz = bd.g("or", nz, bit)
+    z_new = bd.g("not", nz, name="z_new")
+    fl_en = bd.g("and", run, alu_ops, name="fl_en")
+    for fl, new in ((flag_z, z_new), (flag_n, alu[-1]),
+                    (flag_c, add_c)):
+        nl.add(f"{fl}_d", "mux", fl_en, new, fl)
+        nl.add(fl, "dff", f"{fl}_d", scan=scan_core)
+
+    # --- PC ----------------------------------------------------------
+    pc_inc = bd.increment("pcinc", pc, one)
+    take = bd.g(
+        "or", bd.g("and", d["JZ"], flag_z), d["JMP"], name="take",
+    )
+    pc_next = bd.mux_word(take, a_val, pc_inc)
+    for i in range(width):
+        nl.add(f"pcd_b{i}", "and", run, pc_next[i])
+        nl.add(pc[i], "dff", f"pcd_b{i}", scan=scan_core)
+
+    # --- SP ----------------------------------------------------------
+    sp_inc = bd.increment("spinc", sp, one)
+    sp_dec = bd.decrement("spdec", sp, one)
+    sp_next = bd.mux_word(d["POP"], sp_inc, sp)
+    sp_next = bd.mux_word(d["PUSH"], sp_dec, sp_next)
+    for i in range(width):
+        nl.add(f"spd_b{i}", "and", run, sp_next[i])
+        nl.add(sp[i], "dff", f"spd_b{i}", scan=scan_core)
+
+    # --- optional MISR (genscale-shaped, bist_wrap-compatible) ------
+    if signature_bits:
+        nl.add("bist_en", "input")
+        taps = (wb + alu + rdata + pc + sp + [flag_z, flag_n, flag_c])
+        for i in range(signature_bits):
+            tap = taps[i % len(taps)]
+            gated = nl.add(f"sr0_t{i}", "and", "bist_en", tap)
+            prev = f"sr0_b{(i - 1) % signature_bits}"
+            nl.add(f"sr0_x{i}", "xor", prev, gated)
+        for i in range(signature_bits):
+            nl.add(f"sr0_b{i}", "dff", f"sr0_x{i}", scan=False)
+
+    # --- observation -------------------------------------------------
+    for net in wb:
+        nl.add_output(net)
+    for net in pc:
+        nl.add_output(net)
+    for fl in (flag_z, flag_n, flag_c):
+        nl.add_output(fl)
+    _fold_dangling(nl)
+    nl.validate()
+    return nl
+
+
+def _fold_dangling(nl: Netlist) -> None:
+    """XOR-fold unconsumed non-output nets into observation trees.
+
+    Mirrors genscale's mop-up: anything the datapath computes but no
+    downstream gate or output observes (e.g. the top half of shifter
+    stages) becomes part of an ``obs*`` XOR tree, so the full stuck-at
+    universe stays observable.
+    """
+    consumed: set[str] = set()
+    for g in nl:
+        consumed.update(g.inputs)
+    consumed.update(nl.outputs)
+    dangling = [
+        g.name for g in nl
+        if g.name not in consumed and g.kind != "input"
+    ]
+    if not dangling:
+        return
+    k = 0
+    while dangling:
+        chunk, dangling = dangling[:32], dangling[32:]
+        acc = chunk[0]
+        for net in chunk[1:]:
+            acc = nl.add(f"obs{k}_{net}", "xor", acc, net)
+        root = nl.add(f"obs{k}", "buf", acc)
+        nl.add_output(root)
+        k += 1
+
+
+def dmachine_bist(
+    width: int = 16,
+    nregs: int = 16,
+    ram_words: int = 128,
+    signature_bits: int = 32,
+):
+    """The BIST-wrapped d_machine: no scan, MISR observation only."""
+    from repro.gatelevel import genscale
+
+    nl = build_dmachine(
+        width=width, nregs=nregs, ram_words=ram_words, scan="none",
+        signature_bits=signature_bits,
+        name=f"dmachine_bist_w{width}_r{nregs}_m{ram_words}",
+    )
+    return genscale.bist_wrap(nl)

@@ -463,26 +463,44 @@ def hier_generate(hier_cdfg, hier_fub, width: int, budget: int):
 
 def hier_apply(hier_composite, hier_steps, hier_tests, hier_faults,
                width: int, backend: str | None = None,
-               shards: int | None = None):
+               shards: int | None = None, batch: bool | None = None):
     """Fault-simulate the composed tests at gate level (with fault
-    dropping: a detected fault is never simulated again)."""
+    dropping: a detected fault is never simulated again).
+
+    With ``batch`` (default: ``REPRO_KERNEL_BATCH``) up to 64 composed
+    tests pack along the pattern-width axis into one kernel invocation
+    instead of one call per test.  Each packed column is exactly one
+    test's constant-input sequence (absent input names default to 0 in
+    both paths), and a fault counts as detected when *any* test
+    detects it -- so ``hier_detected`` is identical either way; only
+    the per-call overhead changes.
+    """
+    from repro.gatelevel.batch import resolve_batch
     from repro.gatelevel.fault_sim import fault_simulate
 
     t0 = time.perf_counter()
     n_detected = 0
     remaining = list(hier_faults)
     pattern_cycles = 0
-    for test in hier_tests:
+    tests = list(hier_tests)
+    if resolve_batch(batch):
+        chunks = [tests[i:i + 64] for i in range(0, len(tests), 64)]
+    else:
+        chunks = [[t] for t in tests]
+    for chunk in chunks:
         if not remaining:
             break
-        piv = {"reset": 0}
-        for name, val in test.inputs.items():
-            for i in range(width):
-                piv[f"pi_{name}_b{i}"] = (val >> i) & 1
-        seq = [dict(piv, reset=1)] + [piv] * (hier_steps + 1)
-        pattern_cycles += len(seq) * len(remaining)
+        w = len(chunk)
+        piv: dict[str, int] = {"reset": 0}
+        for col, test in enumerate(chunk):
+            for name, val in test.inputs.items():
+                for i in range(width):
+                    key = f"pi_{name}_b{i}"
+                    piv[key] = piv.get(key, 0) | (((val >> i) & 1) << col)
+        seq = [dict(piv, reset=(1 << w) - 1)] + [piv] * (hier_steps + 1)
+        pattern_cycles += len(seq) * w * len(remaining)
         results = fault_simulate(
-            hier_composite, remaining, seq, width=1, drop_detected=True,
+            hier_composite, remaining, seq, width=w, drop_detected=True,
             backend=backend, shards=shards,
         )
         n_detected += sum(1 for hit in results.values() if hit)
@@ -540,7 +558,8 @@ def hierarchical_flow(width: int = HIER_WIDTH,
                       fault_sample: int = HIER_FAULT_SAMPLE,
                       budget: int = 16,
                       backend: str | None = None,
-                      shards: int | None = None) -> Flow:
+                      shards: int | None = None,
+                      batch: bool | None = None) -> Flow:
     """Hierarchical test generation vs flat sequential ATPG (E-6)."""
     f = Flow("hierarchical")
     f.stage(
@@ -562,9 +581,11 @@ def hierarchical_flow(width: int = HIER_WIDTH,
         inputs=("hier_composite", "hier_steps", "hier_tests",
                 "hier_faults"),
         outputs=("hier_detected",),
-        params={"width": width, "backend": backend, "shards": shards},
+        params={"width": width, "backend": backend, "shards": shards,
+                "batch": batch},
         code_deps=("repro.gatelevel.fault_sim",
-                   "repro.gatelevel.kernel"),
+                   "repro.gatelevel.kernel",
+                   "repro.gatelevel.batch"),
     )
     f.stage(
         "flat_atpg", hier_flat_atpg,
@@ -698,6 +719,337 @@ def table1_flow() -> Flow:
 
 
 # ---------------------------------------------------------------------------
+# corpus coverage (batchable) -- COV
+# ---------------------------------------------------------------------------
+
+def coverage_build(design: str):
+    from repro.designs import resolve_design
+
+    return resolve_design(design)
+
+
+def _coverage_row(netlist, design: str, cov: float, n_patterns: int):
+    """One coverage row.  Shared by the per-flow stage and the batched
+    runner so both produce byte-identical artifacts."""
+    from repro.gatelevel.faults import all_faults
+
+    return (design, netlist.num_gates(), len(netlist.dffs()),
+            len(all_faults(netlist)), n_patterns, f"{cov:.4f}")
+
+
+def coverage_row(cov_netlist, design: str, n_patterns: int, seed: int,
+                 backend: str | None = None):
+    from repro.gatelevel.random_patterns import random_pattern_coverage
+
+    cov = random_pattern_coverage(
+        cov_netlist, n_patterns=n_patterns, seed=seed, backend=backend
+    )
+    return _coverage_row(cov_netlist, design, cov, n_patterns)
+
+
+def coverage_table(cov_row):
+    return table_spec(
+        "COV",
+        "random-pattern stuck-at coverage",
+        ["design", "gates", "dffs", "faults", "patterns", "coverage"],
+        [cov_row],
+    )
+
+
+def coverage_flow(design: str = "gs:400:3", n_patterns: int = 256,
+                  seed: int = 1, backend: str | None = None) -> Flow:
+    """Random-pattern coverage of one registered or genscale design
+    (COV; batchable -- compatible queued submissions fuse)."""
+    f = Flow("coverage")
+    f.stage(
+        "build", coverage_build,
+        outputs=("cov_netlist",),
+        params={"design": design},
+        code_deps=("repro.designs", "repro.gatelevel.genscale"),
+    )
+    f.stage(
+        "coverage", coverage_row,
+        inputs=("cov_netlist",),
+        outputs=("cov_row",),
+        params={"design": design, "n_patterns": n_patterns,
+                "seed": seed, "backend": backend},
+        code_deps=("repro.gatelevel.random_patterns",
+                   "repro.gatelevel.kernel",
+                   "repro.gatelevel.batch"),
+    )
+    f.stage(
+        "table", coverage_table,
+        inputs=("cov_row",),
+        outputs=("table",),
+    )
+    return f
+
+
+def _filled_params(builder, params):
+    """``params`` completed with the builder's defaults; raises
+    ``KeyError`` on names the builder does not accept."""
+    import inspect
+
+    full: dict[str, Any] = {}
+    for name, p in inspect.signature(builder).parameters.items():
+        if p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD):
+            continue
+        full[name] = p.default
+    for key, value in params.items():
+        if key not in full:
+            raise KeyError(key)
+        full[key] = value
+    return full
+
+
+def coverage_batch_key(params):
+    """Hashable compatibility key: submissions fusing together must
+    agree on everything except the design under test."""
+    full = _filled_params(coverage_flow, dict(params))
+    full.pop("design")
+    return tuple(sorted(full.items()))
+
+
+def coverage_batch_run(params_list, cache=None, pools=None, jobs=1):
+    """Run many ``coverage`` submissions as ONE fused kernel sweep.
+
+    Returns one result dict per submission, shaped and byte-identical
+    to what :meth:`repro.serve.scheduler.Scheduler._run` produces for
+    a solo execution of the same params: the covers come from
+    :func:`repro.gatelevel.batch.random_coverage_many` (proven
+    byte-identical to per-design serial coverage) and the artifacts
+    are rebuilt through the same row/table helpers the flow stages
+    use.  Coalesced runs bypass the stage cache; stage keys are still
+    reported so clients can correlate.
+    """
+    from types import SimpleNamespace
+
+    from repro.designs import resolve_design
+    from repro.flow.cli import render_artifacts
+    from repro.flow.runner import Runner
+    from repro.gatelevel.batch import random_coverage_many
+    from repro.serve.scheduler import json_safe_artifacts
+
+    full = [_filled_params(coverage_flow, dict(p)) for p in params_list]
+    shared = full[0]
+    netlists = [resolve_design(p["design"]) for p in full]
+    covs = random_coverage_many(
+        netlists, n_patterns=shared["n_patterns"], seed=shared["seed"],
+        backend=shared["backend"],
+    )
+    runner = Runner(cache=cache, pools=pools)
+    out = []
+    for p, nl, cov in zip(full, netlists, covs):
+        row = _coverage_row(nl, p["design"], cov, p["n_patterns"])
+        artifacts = {
+            "cov_netlist": nl,
+            "cov_row": row,
+            "table": coverage_table(row),
+        }
+        safe, omitted = json_safe_artifacts(artifacts)
+        out.append({
+            "rendered": render_artifacts(
+                SimpleNamespace(artifacts=artifacts)
+            ),
+            "artifacts": safe,
+            "omitted": omitted,
+            "keys": runner.stage_keys(coverage_flow(**p)),
+            "ok": True,
+        })
+    return out
+
+
+#: flow name -> (batch_key_fn, batch_run_fn).  The serve scheduler's
+#: coalescing window fuses queued submissions of the same flow whose
+#: batch keys agree into one ``batch_run_fn`` invocation.
+BATCHABLE: dict[str, tuple[Callable, Callable]] = {
+    "coverage": (coverage_batch_key, coverage_batch_run),
+}
+
+
+# ---------------------------------------------------------------------------
+# the d_machine CPU benchmark (DM)
+# ---------------------------------------------------------------------------
+
+def dmachine_build(width: int, nregs: int, ram_words: int):
+    from repro.designs import build_dmachine
+
+    return build_dmachine(width=width, nregs=nregs,
+                          ram_words=ram_words)
+
+
+def dmachine_scan_row(dm_netlist, width: int, nregs: int,
+                      ram_words: int, n_faults: int, patterns: int,
+                      seed: int, backend: str | None = None):
+    """Scan-selection trade: random coverage full-scan vs core-scan
+    (RAM bank unscanned) on the same fault sample."""
+    from repro.designs import build_dmachine
+    from repro.gatelevel.genscale import sample_faults
+    from repro.gatelevel.random_patterns import random_pattern_coverage
+
+    core = build_dmachine(width=width, nregs=nregs,
+                          ram_words=ram_words, scan="core")
+    faults = sample_faults(dm_netlist, n_faults, seed=seed)
+    t0 = time.perf_counter()
+    cov_full = random_pattern_coverage(
+        dm_netlist, n_patterns=patterns, seed=seed, faults=faults,
+        backend=backend,
+    )
+    cov_core = random_pattern_coverage(
+        core, n_patterns=patterns, seed=seed, faults=faults,
+        backend=backend,
+    )
+    elapsed = time.perf_counter() - t0
+    return ("scan-select",
+            f"full={len(dm_netlist.scan_dffs())} "
+            f"core={len(core.scan_dffs())} dffs",
+            f"cov full={cov_full:.3f}", f"cov core={cov_core:.3f}",
+            f"{elapsed:.2f}")
+
+
+def dmachine_atpg_row(dm_netlist, n_faults: int, backtracks: int,
+                      seed: int, backend: str | None = None,
+                      shards: int | None = None):
+    from repro.gatelevel.genscale import sample_faults
+    from repro.gatelevel.test_generation import generate_tests
+
+    faults = sample_faults(dm_netlist, n_faults, seed=seed + 1)
+    t0 = time.perf_counter()
+    ts = generate_tests(dm_netlist, faults=faults,
+                        backtrack_limit=backtracks, backend=backend,
+                        shards=shards)
+    elapsed = time.perf_counter() - t0
+    if elapsed > 0:
+        record_metric("faults_per_s",
+                      round(ts.total_faults / elapsed, 1))
+    return ("atpg", f"{ts.total_faults} faults",
+            f"cov={ts.coverage:.3f}",
+            f"eff={ts.test_efficiency:.3f} "
+            f"aborted={len(ts.aborted)}",
+            f"{elapsed:.2f}")
+
+
+def dmachine_random_row(dm_netlist, patterns: int, n_faults: int,
+                        seed: int, backend: str | None = None):
+    from repro.gatelevel.genscale import sample_faults
+    from repro.gatelevel.random_patterns import random_pattern_coverage
+
+    faults = sample_faults(dm_netlist, n_faults, seed=seed + 2)
+    t0 = time.perf_counter()
+    cov = random_pattern_coverage(
+        dm_netlist, n_patterns=patterns, seed=seed, faults=faults,
+        backend=backend,
+    )
+    elapsed = time.perf_counter() - t0
+    return ("random", f"{patterns} patterns", f"cov={cov:.3f}",
+            f"{len(faults)} faults", f"{elapsed:.2f}")
+
+
+def dmachine_bist_row(width: int, nregs: int, ram_words: int,
+                      bist_cycles: int, n_faults: int, seed: int,
+                      backend: str | None = None,
+                      shards: int | None = None):
+    """The no-scan, MISR-observed variant through BIST attribution."""
+    from repro.designs import dmachine_bist
+    from repro.gatelevel.bist_session import bist_fault_coverage
+    from repro.gatelevel.genscale import sample_faults
+
+    hw = dmachine_bist(width=width, nregs=nregs, ram_words=ram_words)
+    faults = sample_faults(hw.netlist, n_faults, seed=seed + 3)
+    t0 = time.perf_counter()
+    cov = bist_fault_coverage(
+        hw, sessions=[["u0"]], cycles=bist_cycles, faults=faults,
+        backend=backend, shards=shards,
+    )
+    elapsed = time.perf_counter() - t0
+    return ("bist", f"{bist_cycles} cycles", f"cov={cov:.3f}",
+            f"{len(faults)} faults", f"{elapsed:.2f}")
+
+
+def dmachine_table(dm_netlist, scan_row, atpg_row, random_row,
+                   bist_row):
+    return table_spec(
+        "DM",
+        f"d_machine CPU ({dm_netlist.name}): "
+        f"{dm_netlist.num_gates()} gates, "
+        f"{len(dm_netlist.dffs())} dffs",
+        ["phase", "config", "result", "detail", "time (s)"],
+        [scan_row, atpg_row, random_row, bist_row],
+        ["hand-built 16-bit CPU (ALU / regfile / decode / RAM / PC+SP) "
+         "through the full scan-selection, ATPG, random-pattern and "
+         "BIST flows"],
+        extra={"gates": dm_netlist.num_gates(),
+               "dffs": len(dm_netlist.dffs())},
+    )
+
+
+def dmachine_flow(width: int = 16, nregs: int = 16,
+                  ram_words: int = 128, n_faults: int = 240,
+                  patterns: int = 256, bist_cycles: int = 128,
+                  backtracks: int = 600, seed: int = 1,
+                  backend: str | None = None,
+                  shards: int | None = None) -> Flow:
+    """The d_machine CPU through scan-selection / ATPG / random /
+    BIST (DM)."""
+    f = Flow("dmachine")
+    f.stage(
+        "build", dmachine_build,
+        outputs=("dm_netlist",),
+        params={"width": width, "nregs": nregs,
+                "ram_words": ram_words},
+        code_deps=("repro.designs",),
+    )
+    f.stage(
+        "scan_select", dmachine_scan_row,
+        inputs=("dm_netlist",),
+        outputs=("scan_row",),
+        params={"width": width, "nregs": nregs,
+                "ram_words": ram_words, "n_faults": n_faults,
+                "patterns": patterns, "seed": seed,
+                "backend": backend},
+        code_deps=("repro.designs",
+                   "repro.gatelevel.random_patterns",
+                   "repro.gatelevel.kernel"),
+    )
+    f.stage(
+        "atpg", dmachine_atpg_row,
+        inputs=("dm_netlist",),
+        outputs=("atpg_row",),
+        params={"n_faults": n_faults, "backtracks": backtracks,
+                "seed": seed, "backend": backend, "shards": shards},
+        code_deps=("repro.gatelevel.test_generation",
+                   "repro.gatelevel.atpg"),
+    )
+    f.stage(
+        "random", dmachine_random_row,
+        inputs=("dm_netlist",),
+        outputs=("random_row",),
+        params={"patterns": patterns, "n_faults": n_faults,
+                "seed": seed, "backend": backend},
+        code_deps=("repro.gatelevel.random_patterns",
+                   "repro.gatelevel.kernel"),
+    )
+    f.stage(
+        "bist", dmachine_bist_row,
+        outputs=("bist_row",),
+        params={"width": width, "nregs": nregs,
+                "ram_words": ram_words, "bist_cycles": bist_cycles,
+                "n_faults": n_faults, "seed": seed,
+                "backend": backend, "shards": shards},
+        code_deps=("repro.designs",
+                   "repro.gatelevel.bist_session",
+                   "repro.gatelevel.kernel"),
+    )
+    f.stage(
+        "table", dmachine_table,
+        inputs=("dm_netlist", "scan_row", "atpg_row", "random_row",
+                "bist_row"),
+        outputs=("table",),
+    )
+    return f
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -719,6 +1071,8 @@ FLOWS: dict[str, Callable[..., Flow]] = {
     "hierarchical": hierarchical_flow,
     "figure1": figure1_flow,
     "table1": table1_flow,
+    "coverage": coverage_flow,
+    "dmachine": dmachine_flow,
 }
 
 

@@ -149,12 +149,16 @@ class WarmPoolProvider(PoolProvider):
         round of no-op tasks forces every worker into existence (and
         through module import) now instead of on the first job.
         """
-        pool = self.acquire(self.jobs)
-        for fut in [pool.submit(int, 0) for _ in range(self.jobs)]:
+        try:
+            pool = self.acquire(self.jobs)
+            futs = [pool.submit(int, 0) for _ in range(self.jobs)]
+        except Exception:
+            return  # sandboxes without pools: the runner goes serial
+        for fut in futs:
             try:
                 fut.result(timeout=60)
             except Exception:
-                return  # sandboxes without pools: the runner goes serial
+                return
 
     def close(self) -> None:
         with self._lock:

@@ -67,6 +67,7 @@ class Server:
         cache_dir: str | None = None,
         registry: WarmRegistry | None = None,
         flows=None,
+        batch_window: float | None = None,
     ) -> None:
         self.host = host if host is not None else knobs.env_str(
             "REPRO_SERVE_HOST", "127.0.0.1")
@@ -101,6 +102,7 @@ class Server:
             retry_after=retry_after,
             weights=weights,
             flows=flows,
+            batch_window=batch_window,
         )
         self.started_at = time.time()
         self._server: asyncio.AbstractServer | None = None
@@ -114,6 +116,13 @@ class Server:
         # so persistent workers keep their compiled-program caches hot
         # across requests (torn down again in close()).
         set_shard_pool_provider(self.registry.pools)
+        # Fork the warm pool's workers now, while only the event loop
+        # is running.  ProcessPoolExecutor forks lazily on first submit;
+        # once request threads exist, that fork can inherit an importlib
+        # module lock held by a concurrent batch run mid-lazy-import and
+        # the child deadlocks on its first numpy attribute access.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.registry.pools.prewarm)
         await self.scheduler.start()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
@@ -235,11 +244,13 @@ class Server:
         }
 
     def _metrics(self) -> dict[str, Any]:
+        from repro.gatelevel.batch import batch_stats
         from repro.gatelevel.structure import structure_stats
 
         stats = self.scheduler.stats()
         stats["registry"] = self.registry.stats()
         stats["structure"] = structure_stats()
+        stats["batch"] = batch_stats()
         stats["uptime_s"] = round(time.time() - self.started_at, 3)
         return stats
 
