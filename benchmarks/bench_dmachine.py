@@ -44,6 +44,40 @@ ROOT_JSON = (
     / "BENCH_dmachine.json"
 )
 
+def _compact(doc: dict) -> dict:
+    """One trajectory entry: the sweep boiled down to what drifts."""
+    return {
+        "nproc": doc.get("nproc"),
+        "gates_default": doc.get("gates_default"),
+        "bench_seconds": doc.get("bench_seconds"),
+        "totals": {
+            f"w{c['config']['width']} r{c['config']['nregs']} "
+            f"ram{c['config']['ram_words']}": c["total_s"]
+            for c in doc.get("cases", [])
+        },
+    }
+
+
+def _load_trajectory() -> list[dict]:
+    """Prior runs' compact summaries, oldest first.
+
+    The scoreboard keeps a ``trajectory`` list so successive full
+    sweeps accumulate a perf history instead of overwriting each
+    other; a pre-trajectory scoreboard contributes its own run as the
+    first entry.
+    """
+    if not ROOT_JSON.exists():
+        return []
+    try:
+        old = json.loads(ROOT_JSON.read_text())
+    except (json.JSONDecodeError, OSError):
+        return []
+    prior = old.get("trajectory")
+    if isinstance(prior, list):
+        return prior
+    return [_compact(old)] if old.get("cases") else []
+
+
 #: configuration dicts swept in the full run; the default must stay
 #: the >= 5k-gate CPU the acceptance bar names.
 CASES = [
@@ -137,14 +171,17 @@ def run_experiment(cases=None, root_json: bool = True) -> Table:
     table.records = records
     table.gates_default = records[0]["gates"]
     if root_json:
-        ROOT_JSON.write_text(json.dumps({
+        doc = {
             "experiment": "PERF-dmachine",
             "kernel_available": have_kernel(),
             "nproc": os.cpu_count(),
             "cases": records,
             "gates_default": records[0]["gates"],
             "bench_seconds": round(bench_seconds, 2),
-        }, indent=2) + "\n")
+        }
+        # Append this run to the perf trajectory (prior runs kept).
+        doc["trajectory"] = _load_trajectory() + [_compact(doc)]
+        ROOT_JSON.write_text(json.dumps(doc, indent=2) + "\n")
     return table
 
 

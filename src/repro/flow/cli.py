@@ -151,7 +151,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{report['ok']} ok, {len(report['corrupt'])} corrupt, "
               f"{len(report['quarantined'])} quarantined, "
               f"{report['removed']} removed ({cache.root})")
-        return 0
+        # Non-zero when anything was wrong, so CI jobs and campaign
+        # scripts can gate on cache health.
+        return 1 if (report["corrupt"] or report["quarantined"]) else 0
 
     if args.command == "knobs":
         from repro.knobs import KNOWN_KNOBS

@@ -1049,6 +1049,88 @@ def dmachine_flow(width: int = 16, nregs: int = 16,
     return f
 
 
+def fuzz_smoke_run(trials: int, seed: int, max_gates: int,
+                   oracles: str | None = None):
+    """A small fixed-seed differential fuzzing campaign; raises on any
+    non-match outcome so the flow (and CI) fails loudly."""
+    import os
+    import tempfile
+
+    from repro.fuzz.campaign import CampaignConfig, run_campaign
+
+    with tempfile.TemporaryDirectory() as td:
+        config = CampaignConfig(
+            seed=seed,
+            trials=trials,
+            max_gates=max_gates,
+            oracles=tuple(oracles.split(",")) if oracles else None,
+            exec_mode="inproc",
+            minimize=False,
+            journal=os.path.join(td, "journal.jsonl"),
+            repro_dir=os.path.join(td, "repros"),
+        )
+        summary = run_campaign(config)
+    out = summary["outcomes"]
+    bad = out["divergence"] + out["crash"] + out["hang"]
+    if bad:
+        raise RuntimeError(
+            f"fuzz smoke campaign found {bad} non-match outcomes: "
+            f"{summary['findings']}"
+        )
+    return {
+        "trials": summary["trials"],
+        "arms": summary["arms"],
+        "policy": summary["policy"],
+        "outcomes": out,
+    }
+
+
+def fuzz_smoke_table(fuzz_summary):
+    return table_spec(
+        "FUZZ",
+        "differential fuzz smoke campaign",
+        ["trials", "arms", "policy", "match", "divergence", "crash",
+         "hang"],
+        [(
+            fuzz_summary["trials"],
+            fuzz_summary["arms"],
+            fuzz_summary["policy"],
+            fuzz_summary["outcomes"]["match"],
+            fuzz_summary["outcomes"]["divergence"],
+            fuzz_summary["outcomes"]["crash"],
+            fuzz_summary["outcomes"]["hang"],
+        )],
+        notes=["every backend pair agreed on every generated design"],
+    )
+
+
+def fuzz_smoke_flow(trials: int = 8, seed: int = 0,
+                    max_gates: int = 400,
+                    oracles: str | None = None) -> Flow:
+    """Fixed-seed differential fuzz campaign over generated designs
+    (FUZZ; fails on any divergence/crash/hang)."""
+    f = Flow("fuzz_smoke")
+    f.stage(
+        "campaign", fuzz_smoke_run,
+        outputs=("fuzz_summary",),
+        params={"trials": trials, "seed": seed,
+                "max_gates": max_gates, "oracles": oracles},
+        code_deps=("repro.fuzz",
+                   "repro.gatelevel.genscale",
+                   "repro.gatelevel.kernel",
+                   "repro.gatelevel.fault_sim",
+                   "repro.gatelevel.atpg",
+                   "repro.gatelevel.bist_session",
+                   "repro.gatelevel.batch"),
+    )
+    f.stage(
+        "table", fuzz_smoke_table,
+        inputs=("fuzz_summary",),
+        outputs=("table",),
+    )
+    return f
+
+
 # ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
@@ -1073,6 +1155,7 @@ FLOWS: dict[str, Callable[..., Flow]] = {
     "table1": table1_flow,
     "coverage": coverage_flow,
     "dmachine": dmachine_flow,
+    "fuzz_smoke": fuzz_smoke_flow,
 }
 
 

@@ -177,6 +177,7 @@ def run_sharded(
     retries: int = 1,
     timeout: float | None = None,
     pools: PoolProvider | None = None,
+    label: str | None = None,
 ) -> tuple[list[Any], dict[str, Any]]:
     """Run ``worker(args)`` per element across a process pool, resiliently.
 
@@ -201,6 +202,13 @@ def run_sharded(
     index -> ``(count, last exception repr)``.  A shard that exhausts
     its retries re-raises from the in-process run with the prior worker
     failures attached as a note, instead of silently masking them.
+
+    ``label`` names the shard family (the callers' chaos checkpoint
+    prefix, e.g. ``"faultsim_shard"``): a shard still running when
+    ``timeout`` expires is recorded in ``shard_error_detail`` as a
+    ``TimeoutError`` naming ``<label>:<shard>`` and the elapsed time --
+    so a hang that later rescues in-process (or re-raises) carries the
+    same forensics the crash/kill paths always had.
     """
     n = len(args_list)
     results: list[Any] = [None] * n
@@ -270,7 +278,8 @@ def run_sharded(
                     futures[pool.submit(worker, args_list[i])] = i
             except concurrent.futures.BrokenExecutor:
                 broken = True
-            deadline = (time.monotonic() + timeout) if timeout else None
+            t_submit = time.monotonic()
+            deadline = (t_submit + timeout) if timeout else None
             waiting = set(futures)
             while waiting and not broken:
                 step = _POLL_SECONDS
@@ -296,7 +305,18 @@ def run_sharded(
                 if (deadline is not None and waiting
                         and time.monotonic() >= deadline):
                     # Runaway workers: the executor API cannot pre-empt
-                    # them, so the whole pool is recycled.
+                    # them, so the whole pool is recycled.  Record which
+                    # shards were hung (by checkpoint name) and for how
+                    # long, so the eventual failure -- or the silent
+                    # in-process rescue -- carries the forensics.
+                    elapsed = time.monotonic() - t_submit
+                    family = label or "shard"
+                    for fut in waiting:
+                        i = futures[fut]
+                        note_error(i, TimeoutError(
+                            f"{family}:{i} timed out after "
+                            f"{elapsed:.2f}s (limit {timeout}s)"
+                        ))
                     broken = True
             if broken or (pool is not None and getattr(pool, "_broken", False)):
                 drop_pool(pool)

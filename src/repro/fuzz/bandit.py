@@ -1,0 +1,80 @@
+"""Arm-selection policies for the fuzzing campaign.
+
+:class:`LinUCB` is the standard disjoint-model linear UCB contextual
+bandit (Li et al., "A Contextual-Bandit Approach to Personalized News
+Article Recommendation", WWW 2010), in pure numpy: one shared ridge
+model ``A = lam*I + sum(x x^T)``, ``b = sum(r x)`` over the arm feature
+vectors, scoring each arm ``x`` by ``theta^T x + alpha *
+sqrt(x^T A^-1 x)``.  A shared model (rather than per-arm models) is the
+right shape here because the arm contexts are *structural design
+features* -- a reward observed on the ``xor_heavy/scan`` arm genuinely
+transfers to ``xor_heavy/bist``, which is how the bandit beats uniform
+sampling on trials-to-first-find.
+
+Everything is deterministic: ties break toward the lowest arm index,
+and with L2-normalised contexts (see :meth:`Arm.features`) the cold
+model scores every untried arm equally, so the opening phase is a clean
+index-order sweep over distinct arms -- no-replacement coverage, which
+uniform-with-replacement sampling cannot match.
+
+:class:`UniformPolicy` is the seeded uniform-random baseline the
+benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import numpy as np
+
+
+class LinUCB:
+    """Disjoint LinUCB with a shared ridge model over arm contexts."""
+
+    def __init__(self, dim: int, alpha: float = 1.0,
+                 lam: float = 1.0) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self.alpha = float(alpha)
+        self.A = lam * np.eye(dim)
+        self.b = np.zeros(dim)
+
+    def scores(self, contexts: Sequence[Sequence[float]]) -> list[float]:
+        """UCB score per context (exploit mean + alpha * uncertainty)."""
+        A_inv = np.linalg.inv(self.A)
+        theta = A_inv @ self.b
+        out = []
+        for ctx in contexts:
+            x = np.asarray(ctx, dtype=float)
+            width = float(np.sqrt(max(0.0, x @ A_inv @ x)))
+            out.append(float(theta @ x) + self.alpha * width)
+        return out
+
+    def select(self, contexts: Sequence[Sequence[float]]) -> int:
+        """Arm index with the highest UCB; ties -> lowest index."""
+        scores = self.scores(contexts)
+        best = 0
+        for i, s in enumerate(scores):
+            if s > scores[best] + 1e-12:
+                best = i
+        return best
+
+    def update(self, context: Sequence[float], reward: float) -> None:
+        x = np.asarray(context, dtype=float)
+        self.A += np.outer(x, x)
+        self.b += reward * x
+
+
+class UniformPolicy:
+    """Seeded uniform-random arm choice (the benchmark baseline)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, contexts: Sequence[Sequence[float]]) -> int:
+        return self._rng.randrange(len(contexts))
+
+    def update(self, context: Sequence[float], reward: float) -> None:
+        pass

@@ -1,0 +1,200 @@
+"""Feature-parameterised design generation for the fuzzing campaign.
+
+A :class:`DesignSpec` is a *reproducible* recipe: the same spec builds
+the same netlist on any platform (it drives
+:func:`repro.gatelevel.genscale.generate_netlist`, which is seeded by
+one ``random.Random``).  Its fields are the campaign's degrees of
+freedom -- operator mix, fanout/reconvergence profile, DFF-feedback
+shape, scan/BIST wrapping, pattern pack width, size -- and its
+normalised feature vector is exactly the context the LinUCB bandit
+scores, so "steer generation toward feature regions that historically
+diverged" needs no translation layer.
+
+An :class:`Arm` is the discretised region the bandit chooses between:
+a spec shape with the per-trial seed left open.  Per-trial diversity
+inside an arm (pack width, fanin window, pool cadence) is derived
+deterministically from the trial seed, so a journal entry's spec dict
+is always enough to rebuild the exact design.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Mapping
+
+from repro.gatelevel.gates import Netlist
+
+#: named operator mixes: weighted gate-kind pools for the cloud, plus
+#: the terminal buf/not chain probability ("buffered" models a
+#: technology mapper's buffer trees).
+OP_MIXES: dict[str, tuple[tuple[str, ...], float]] = {
+    "balanced": (
+        ("and", "or", "xor", "xor", "nand", "nand", "nor", "xnor",
+         "not"),
+        0.0,
+    ),
+    "and_or": (
+        ("and", "and", "or", "or", "nand", "nor", "not", "not"),
+        0.0,
+    ),
+    "xor_heavy": (
+        ("xor", "xor", "xnor", "xnor", "and", "or", "not"),
+        0.0,
+    ),
+    "inverting": (
+        ("nand", "nand", "nor", "nor", "not", "not", "xor"),
+        0.0,
+    ),
+    "buffered": (
+        ("and", "or", "xor", "xor", "nand", "nand", "nor", "xnor",
+         "not"),
+        0.25,
+    ),
+}
+
+#: state/wrapping profiles: (name, dff_ratio, scan, bist)
+PROFILES: tuple[tuple[str, float, bool, bool], ...] = (
+    ("comb", 0.0, True, False),
+    ("scan", 0.15, True, False),
+    ("noscan", 0.15, False, False),
+    ("bist", 0.12, True, True),
+)
+
+#: per-trial derived diversity (deterministic in the spec seed).
+_WIDTHS = (1, 8, 32, 64)
+_WINDOWS = (6, 24, 48)
+_POOL_EVERY = (3, 8, 20)
+
+#: MISR bits for BIST-wrapped specs.
+SIGNATURE_BITS = 8
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """One concrete generated design plus its oracle workload knobs."""
+
+    n_gates: int
+    seed: int
+    op_mix: str = "balanced"
+    profile: str = "scan"
+    dff_ratio: float = 0.15
+    scan: bool = True
+    bist: bool = False
+    window: int = 24
+    pool_every: int = 8
+    width: int = 64
+    n_cycles: int = 3
+    n_faults: int = 48
+
+    def __post_init__(self) -> None:
+        if self.op_mix not in OP_MIXES:
+            raise ValueError(
+                f"unknown op_mix {self.op_mix!r}; "
+                f"pick from {sorted(OP_MIXES)}"
+            )
+        if not 1 <= self.width <= 64:
+            raise ValueError(f"width must be in 1..64, got {self.width}")
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> Netlist:
+        """The (deterministic) netlist this spec describes."""
+        from repro.gatelevel import genscale
+
+        kinds, buf_ratio = OP_MIXES[self.op_mix]
+        return genscale.generate_netlist(
+            self.n_gates,
+            seed=self.seed,
+            dff_ratio=self.dff_ratio,
+            scan=self.scan,
+            signature_bits=SIGNATURE_BITS if self.bist else 0,
+            buf_ratio=buf_ratio,
+            kind_pool=kinds,
+            window=self.window,
+            pool_every=self.pool_every,
+            name=f"fuzz_{self.op_mix}_{self.profile}"
+                 f"_g{self.n_gates}_s{self.seed}",
+        )
+
+    def faults(self, netlist: Netlist):
+        """The deterministic fault sample the oracles simulate."""
+        from repro.gatelevel.genscale import sample_faults
+
+        return sample_faults(netlist, self.n_faults, seed=self.seed)
+
+    def patterns(self, netlist: Netlist):
+        """``n_cycles`` packed PI assignments at this spec's width."""
+        from repro.gatelevel.genscale import random_patterns
+
+        return random_patterns(
+            netlist, self.n_cycles, seed=self.seed, width=self.width
+        )
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DesignSpec":
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class Arm:
+    """A bandit arm: a feature region of the generator space.
+
+    ``spec(trial_seed)`` instantiates a concrete :class:`DesignSpec`;
+    the per-trial knobs (pack width, fanin window, pool cadence) cycle
+    deterministically through their ranges so one arm still produces
+    structurally varied designs trial over trial.
+    """
+
+    index: int
+    op_mix: str
+    n_gates: int
+    profile: str
+    dff_ratio: float
+    scan: bool
+    bist: bool
+
+    def spec(self, trial_seed: int) -> DesignSpec:
+        return DesignSpec(
+            n_gates=self.n_gates,
+            seed=trial_seed,
+            op_mix=self.op_mix,
+            profile=self.profile,
+            dff_ratio=self.dff_ratio,
+            scan=self.scan,
+            bist=self.bist,
+            window=_WINDOWS[trial_seed % len(_WINDOWS)],
+            pool_every=_POOL_EVERY[trial_seed % len(_POOL_EVERY)],
+            width=_WIDTHS[trial_seed % len(_WIDTHS)],
+            n_cycles=2 + trial_seed % 3,
+            n_faults=max(40, min(64, self.n_gates // 8)),
+        )
+
+    def features(self) -> tuple[float, ...]:
+        """L2-normalised context vector for the LinUCB bandit.
+
+        Dimensions: bias, log-size, one feature per operator mix
+        (one-hot), dff ratio, scan, bist.  Normalising to unit length
+        makes the initial exploration (zero reward everywhere) a clean
+        index-order sweep over distinct arms instead of a
+        feature-norm-ordered one.
+        """
+        mixes = sorted(OP_MIXES)
+        raw = [
+            1.0,
+            math.log10(max(10, self.n_gates)) / 4.0,
+            *(1.0 if self.op_mix == m else 0.0 for m in mixes),
+            self.dff_ratio * 4.0,
+            1.0 if self.scan else 0.0,
+            1.0 if self.bist else 0.0,
+        ]
+        norm = math.sqrt(sum(v * v for v in raw))
+        return tuple(v / norm for v in raw)
+
+    def label(self) -> str:
+        return f"{self.op_mix}/{self.profile}/g{self.n_gates}"

@@ -798,7 +798,8 @@ def _fused_sim_sharded(group: Sequence[SimJob],
             ]
             _record_payload_bytes(args, plane)
             results, info = run_sharded(
-                _batch_shard_worker, args, max_workers=shards
+                _batch_shard_worker, args, max_workers=shards,
+                label="batch_shard",
             )
     else:
         # classic pickle transport: the netlist body crosses the pipe
@@ -813,7 +814,8 @@ def _fused_sim_sharded(group: Sequence[SimJob],
         ]
         _record_payload_bytes(args, None)
         results, info = run_sharded(
-            _batch_shard_worker_pickle, args, max_workers=shards
+            _batch_shard_worker_pickle, args, max_workers=shards,
+            label="batch_shard",
         )
     _record_shard_info(info)
     out: list[dict[Fault, int | None]] = []

@@ -447,14 +447,16 @@ def _attribution_sharded(
                     for i in range(shards)]
             _record_payload_bytes(args, plane)
             results, info = run_sharded(
-                _attribution_shard_worker_shm, args, max_workers=shards
+                _attribution_shard_worker_shm, args, max_workers=shards,
+                label="bist_shard",
             )
     else:
         args = [(i, digest, hardware, chunk, sess, marks, backend)
                 for i, chunk in enumerate(chunks)]
         _record_payload_bytes(args, None)
         results, info = run_sharded(
-            _attribution_shard_worker, args, max_workers=shards
+            _attribution_shard_worker, args, max_workers=shards,
+            label="bist_shard",
         )
     merged: dict[Fault, tuple[int, int] | None] = {}
     for res in results:

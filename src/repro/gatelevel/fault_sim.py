@@ -378,7 +378,8 @@ def _fault_simulate_sharded(
             ]
             _record_payload_bytes(args, plane)
             results, info = run_sharded(
-                _shard_worker_shm, args, max_workers=shards
+                _shard_worker_shm, args, max_workers=shards,
+                label="faultsim_shard",
             )
     else:
         args = [(i, digest, netlist, chunk, list(pi_sequence), width,
@@ -386,7 +387,8 @@ def _fault_simulate_sharded(
                 for i, chunk in enumerate(chunks)]
         _record_payload_bytes(args, None)
         results, info = run_sharded(
-            _shard_worker, args, max_workers=shards
+            _shard_worker, args, max_workers=shards,
+            label="faultsim_shard",
         )
     for i, (res, work, secs) in enumerate(results):
         _record_pps(work, secs, shard=i)

@@ -43,15 +43,19 @@ def generate_netlist(
     signature_bits: int = 0,
     buf_ratio: float = 0.0,
     name: str | None = None,
+    kind_pool: Sequence[str] | None = None,
+    window: int | None = None,
+    pool_every: int = 8,
 ) -> Netlist:
     """A reproducible random sequential netlist of ``~n_gates`` gates.
 
     ``dff_ratio`` of the budget becomes scannable flip-flops whose
     names are forward-declared into the fanin pool (feedback loops
     through state, never through combinational logic, so the graph
-    stays topologically sortable).  ``signature_bits > 0`` additionally
-    builds a ``bist_en``-gated MISR register ``sr0`` fed from random
-    taps -- the shape :func:`bist_wrap` turns into a
+    stays topologically sortable); ``dff_ratio=0`` yields a pure
+    combinational design with no state at all.  ``signature_bits > 0``
+    additionally builds a ``bist_en``-gated MISR register ``sr0`` fed
+    from random taps -- the shape :func:`bist_wrap` turns into a
     :class:`~repro.gatelevel.bist_session.BISTHardware`.
 
     ``buf_ratio`` grows terminal buf/not chains (2-4 gates, chain
@@ -62,13 +66,28 @@ def generate_netlist(
     (the default) leaves the generator byte-identical to its historical
     output: the extra ``rng`` draw happens only inside the enabled
     branch.
+
+    The remaining knobs parameterise the *shape* of the cloud and are
+    what :mod:`repro.fuzz` steers: ``kind_pool`` is the weighted
+    operator mix drawn from (default :data:`_KIND_POOL`), ``window``
+    the fanin locality window (small = deep narrow logic, large = wide
+    reconvergent cones), and ``pool_every`` how often a cloud net joins
+    the global fanout pool (small = heavy multi-fanout reconvergence).
+    The defaults reproduce the historical output bit-for-bit.
     """
     if n_gates < 8:
         raise ValueError(f"n_gates must be >= 8, got {n_gates}")
+    if pool_every < 1:
+        raise ValueError(f"pool_every must be >= 1, got {pool_every}")
+    kinds = tuple(kind_pool) if kind_pool else _KIND_POOL
+    for kind in kinds:
+        if kind not in COMBINATIONAL_KINDS:
+            raise ValueError(f"unknown gate kind {kind!r} in kind_pool")
+    win = _WINDOW if window is None else max(1, int(window))
     rng = random.Random(seed)
     if n_inputs is None:
         n_inputs = min(256, max(8, n_gates // 64))
-    n_dffs = max(1, round(n_gates * dff_ratio))
+    n_dffs = 0 if dff_ratio <= 0 else max(1, round(n_gates * dff_ratio))
     n_comb = max(4, n_gates - n_dffs - 3 * signature_bits)
     nl = Netlist(name or f"genscale_s{seed}_g{n_gates}")
 
@@ -81,7 +100,7 @@ def generate_netlist(
         if buf_ratio and comb and rng.random() < buf_ratio:
             length = min(rng.randint(2, 4), n_comb - k)
             prev = comb[rng.randrange(
-                max(0, len(comb) - _WINDOW), len(comb))]
+                max(0, len(comb) - win), len(comb))]
             for _ in range(length):
                 kind = "buf" if rng.random() < 0.5 else "not"
                 prev = nl.add(f"g{k}", kind, prev)
@@ -90,17 +109,17 @@ def generate_netlist(
             # interior links keep their single consumer.
             comb.append(prev)
             continue
-        kind = rng.choice(_KIND_POOL)
-        arity = 1 if kind == "not" else 2
+        kind = rng.choice(kinds)
+        arity = 1 if kind in ("not", "buf") else 2
         picks = []
         for _ in range(arity):
             if comb and rng.random() < 0.7:
                 picks.append(comb[rng.randrange(
-                    max(0, len(comb) - _WINDOW), len(comb))])
+                    max(0, len(comb) - win), len(comb))])
             else:
                 picks.append(pool[rng.randrange(len(pool))])
         comb.append(nl.add(f"g{k}", kind, *picks))
-        if k % 8 == 0:
+        if k % pool_every == 0:
             pool.append(comb[-1])
         k += 1
 

@@ -343,7 +343,8 @@ def _parallel_podem(
                     for i in range(shards)]
             _record_payload_bytes(args, plane)
             results, info = run_sharded(
-                _podem_worker_shm, args, max_workers=shards
+                _podem_worker_shm, args, max_workers=shards,
+                label="podem_shard",
             )
     else:
         args = [(i, digest, netlist, chunk, backtrack_limit,
@@ -351,7 +352,8 @@ def _parallel_podem(
                 for i, chunk in enumerate(chunks)]
         _record_payload_bytes(args, None)
         results, info = run_sharded(
-            _podem_worker, args, max_workers=shards
+            _podem_worker, args, max_workers=shards,
+            label="podem_shard",
         )
     out: dict[Fault, ATPGResult] = {}
     for res_list in results:

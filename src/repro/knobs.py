@@ -151,6 +151,16 @@ KNOWN_KNOBS: dict[str, tuple[str, str, str]] = {
         "flow-cache entries the server keeps hot in memory "
         "(0 disables the memory layer)",
     ),
+    "REPRO_FUZZ_TIMEOUT": (
+        "float > 0 (seconds)", "30.0",
+        "hard per-leg deadline in the fuzzing campaign: an oracle "
+        "configuration exceeding it is classified as a hang finding",
+    ),
+    "REPRO_FUZZ_EXEC": (
+        "choice: pool|inproc", "pool",
+        "fuzzing oracle-leg execution: a sacrificial worker pool "
+        "(hang/crash-safe) or in-process (faster, no hang protection)",
+    ),
 }
 
 

@@ -1,0 +1,38 @@
+"""Minimized fuzzing reproducer -- auto-generated.
+
+origin:  campaign seed=5 trial=5 spec_seed=500020
+oracle:  injected:nand_noscan
+outcome: divergence
+detail:  {'legs': ['real', 'injected:nand_noscan'], 'diff': 'synthetic divergence (injected bug)'}
+"""
+
+from repro.gatelevel.gates import Netlist
+from repro.fuzz.generator import DesignSpec
+from repro.fuzz.oracles import injected_divergence
+
+
+SPEC = DesignSpec.from_dict({'n_gates': 80, 'seed': 500020, 'op_mix': 'inverting', 'profile': 'noscan', 'dff_ratio': 0.15, 'scan': False, 'bist': False, 'window': 24, 'pool_every': 8, 'width': 1, 'n_cycles': 3, 'n_faults': 40})
+
+
+def build() -> Netlist:
+    nl = Netlist('fuzz_inverting_noscan_g80_s500020_min')
+    nl.add('i0', 'input')
+    nl.add('i1', 'input')
+    nl.add('i2', 'input')
+    nl.add('i3', 'input')
+    nl.add('i4', 'input')
+    nl.add('i5', 'input')
+    nl.add('i6', 'input')
+    nl.add('i7', 'input')
+    nl.add('rz0', 'input')
+    nl.add('rz1', 'input')
+    nl.add('g62', 'nand', 'rz0', 'rz1')
+    nl.add('rz2', 'input')
+    nl.add('d0', 'dff', 'rz2')
+    nl.add_output('g62')
+    return nl
+
+
+def test_injected_nand_noscan_still_fires():
+    nl = build()
+    assert injected_divergence('nand_noscan', nl, SPEC) is not None

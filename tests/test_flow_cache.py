@@ -286,16 +286,22 @@ class TestSelfHealing:
         cache = self._populate(tmp_path)
         entry = sorted(cache.root.rglob("*.pkl"))[0]
         entry.write_bytes(b"garbage")
+        # Problems found (and quarantined) -> non-zero, so CI can gate.
         rc = flow_cli.main(["fsck", "--cache-dir", str(cache.root)])
-        assert rc == 0
+        assert rc == 1
         out = capsys.readouterr().out
         assert "1 corrupt" in out
         assert "corrupt:" in out
+        # Removing the quarantined entry still reports it was found.
         rc = flow_cli.main(
             ["fsck", "--cache-dir", str(cache.root), "--remove"]
         )
-        assert rc == 0
+        assert rc == 1
         assert "1 removed" in capsys.readouterr().out
+        # A healthy cache exits 0.
+        rc = flow_cli.main(["fsck", "--cache-dir", str(cache.root)])
+        assert rc == 0
+        assert "0 corrupt" in capsys.readouterr().out
 
     def test_cli_knobs_lists_registry(self, capsys):
         assert flow_cli.main(["knobs"]) == 0

@@ -87,6 +87,25 @@ class TestRunSharded:
         assert info["pool_rebuilds"] >= 1
         assert elapsed < 30.0  # the 60 s sleeper really was killed
 
+    def test_hang_records_checkpoint_and_elapsed(self, tmp_path):
+        """A timed-out shard lands in ``shard_error_detail`` naming the
+        chaos checkpoint and how long it ran -- even when the retry
+        rescues it, so the hang is never silent."""
+        with chaos.active(
+            [Injection("rs_shard:2", "hang", times=1,
+                       hang_seconds=60.0)],
+            tmp_path,
+        ):
+            results, info = run_sharded(
+                _chaos_square, ARGS, timeout=1.0, label="rs_shard"
+            )
+        assert results == WANT
+        count, msg = info["shard_error_detail"][2]
+        assert count >= 1
+        assert "rs_shard:2" in msg
+        assert "timed out after" in msg
+        assert "limit 1.0s" in msg
+
 
 # -- fault simulation ------------------------------------------------------
 
